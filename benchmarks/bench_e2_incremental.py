@@ -1,0 +1,107 @@
+"""E2 `incremental-update` -- paper 3.3 "accelerating deployment updates".
+
+Claim: "even a single resource update will trigger expensive queries on
+all cloud-level resource state and recomputation of the deployment plan
+from the ground up." Arms: full-refresh replan (baseline) vs
+impact-scoped replan. Expected shape: API calls and turnaround scale
+with estate size for the baseline but with delta size for cloudless.
+"""
+
+import pytest
+
+from repro.cloud import CloudGateway
+from repro.deploy import CriticalPathExecutor, UpdatePipeline
+from repro.deploy.incremental import read_data_sources
+from repro.graph import Planner, build_graph
+from repro.lang import Configuration
+from repro.state import StateDocument
+from repro.workloads import microservices
+
+from _support import Table, record
+
+SIZES = [4, 8, 16]  # services; ~12, ~25, ~50 aws resources + substrate
+
+
+def deployed(gateway, source):
+    graph = build_graph(Configuration.parse(source))
+    planner = Planner(
+        spec_lookup=gateway.try_spec,
+        region_lookup=gateway.region_for,
+        provider_lookup=gateway.provider_of,
+    )
+    state = StateDocument()
+    data = read_data_sources(gateway, graph, state)
+    plan = planner.plan(graph, state, data_values=data)
+    result = CriticalPathExecutor(gateway).apply(plan)
+    assert result.ok
+    return result.state
+
+
+def single_resource_delta(source):
+    # edit exactly one dns record (first occurrence only)
+    return source.replace('zone  = "example.sim"', 'zone  = "edited.sim"', 1)
+
+
+def run_experiment():
+    table = Table(
+        "E2: update turnaround, full refresh vs impact-scoped",
+        [
+            "services",
+            "estate",
+            "arm",
+            "refresh_api_calls",
+            "refresh_s",
+            "turnaround_s",
+            "scope",
+        ],
+    )
+    headline = {}
+    for services in SIZES:
+        source = microservices(services=services, vms_per_service=2)
+        new_source = single_resource_delta(source)
+        for incremental in (False, True):
+            gateway = CloudGateway.simulated(seed=200 + services)
+            state = deployed(gateway, source)
+            estate = len(state)
+            pipeline = UpdatePipeline(gateway, incremental=incremental)
+            outcome = pipeline.plan_update(
+                Configuration.parse(source),
+                Configuration.parse(new_source),
+                state,
+            )
+            arm = "impact-scoped" if incremental else "full-refresh (terraform)"
+            table.add(
+                services,
+                estate,
+                arm,
+                outcome.refresh.api_calls,
+                outcome.refresh.duration_s,
+                outcome.turnaround_s,
+                outcome.scope_size if incremental else estate,
+            )
+            headline[f"{services}|{arm}|api"] = outcome.refresh.api_calls
+            headline[f"{services}|{arm}|turnaround"] = round(
+                outcome.turnaround_s, 2
+            )
+    return table, headline
+
+
+def test_e2_incremental(benchmark):
+    table, headline = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record(benchmark, table, **headline)
+    # shape: baseline refresh cost grows with estate; scoped cost does not
+    big = SIZES[-1]
+    small = SIZES[0]
+    assert (
+        headline[f"{big}|full-refresh (terraform)|api"]
+        > headline[f"{small}|full-refresh (terraform)|api"] * 2
+    )
+    assert headline[f"{big}|impact-scoped|api"] <= headline[f"{small}|impact-scoped|api"] + 2
+    assert (
+        headline[f"{big}|impact-scoped|turnaround"]
+        < headline[f"{big}|full-refresh (terraform)|turnaround"]
+    )
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0].render())

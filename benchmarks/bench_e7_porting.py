@@ -1,0 +1,215 @@
+"""E7 `porting-quality` -- paper 3.1, "Porting non-IaC infrastructures".
+
+Claim: Aztfy/Terraformer-style exporters "resort to porting with static,
+pre-defined templates [whose] resulting IaC programs usually lack clear
+structures"; a program optimizer should compact repeated resources into
+count/for_each and modules, resolve ids into references, and prune
+cloud-filled defaults -- optimizing for maintainability, not just
+correctness. Arms: naive exporter vs structured importer (+ablations).
+Metrics: LoC, blocks, hard-coded ids, references, repetition,
+maintainability index, and round-trip fidelity (plan-is-noop).
+"""
+
+import pytest
+
+from repro.cloud import CloudGateway
+from repro.porting import (
+    NaiveExporter,
+    StructuredImporter,
+    measure_quality,
+    verify_fidelity,
+)
+
+from _support import Table, record
+
+
+def flat_estate(gateway, vms):
+    """One VPC with a ladder of subnets/NICs/VMs (count/for_each bait)."""
+    vpc = gateway.execute(
+        "create",
+        "aws_vpc",
+        attrs={"name": "prod", "cidr_block": "10.0.0.0/16"},
+        region="us-east-1",
+    )
+    subnets = [
+        gateway.execute(
+            "create",
+            "aws_subnet",
+            attrs={
+                "name": f"app-{i}",
+                "vpc_id": vpc["id"],
+                "cidr_block": f"10.0.{i}.0/24",
+            },
+            region="us-east-1",
+        )
+        for i in range(vms)
+    ]
+    nics = [
+        gateway.execute(
+            "create",
+            "aws_network_interface",
+            attrs={"name": f"nic-{i}", "subnet_id": subnets[i]["id"]},
+            region="us-east-1",
+        )
+        for i in range(vms)
+    ]
+    for i in range(vms):
+        gateway.execute(
+            "create",
+            "aws_virtual_machine",
+            attrs={"name": f"web-{i}", "nic_ids": [nics[i]["id"]]},
+            region="us-east-1",
+        )
+    return 1 + 3 * vms
+
+
+def stacked_estate(gateway, stacks):
+    """N isomorphic environment stacks (module-extraction bait)."""
+    for i in range(stacks):
+        vpc = gateway.execute(
+            "create",
+            "aws_vpc",
+            attrs={"name": f"env{i}", "cidr_block": f"10.{i}.0.0/16"},
+            region="us-east-1",
+        )
+        subnet = gateway.execute(
+            "create",
+            "aws_subnet",
+            attrs={
+                "name": f"env{i}-main",
+                "vpc_id": vpc["id"],
+                "cidr_block": f"10.{i}.1.0/24",
+            },
+            region="us-east-1",
+        )
+        gateway.execute(
+            "create",
+            "aws_database_instance",
+            attrs={
+                "name": f"env{i}-db",
+                "engine": "postgres",
+                "subnet_ids": [subnet["id"]],
+            },
+            region="us-east-1",
+        )
+    return 3 * stacks
+
+
+def named_estate(gateway, envs=("alpha", "bravo", "charlie", "delta", "echo")):
+    """Named (non-indexed) repeats -- the for_each target shape."""
+    vpc = gateway.execute(
+        "create",
+        "aws_vpc",
+        attrs={"name": "net", "cidr_block": "10.0.0.0/16"},
+        region="us-east-1",
+    )
+    subnet = gateway.execute(
+        "create",
+        "aws_subnet",
+        attrs={"name": "main", "vpc_id": vpc["id"], "cidr_block": "10.0.1.0/24"},
+        region="us-east-1",
+    )
+    sizes = {"alpha": 100, "bravo": 500, "charlie": 250, "delta": 100, "echo": 50}
+    for env in envs:
+        gateway.execute(
+            "create",
+            "aws_s3_bucket",
+            attrs={"name": f"logs-{env}"},
+            region="us-east-1",
+        )
+        gateway.execute(
+            "create",
+            "aws_disk",
+            attrs={"name": f"scratch-{env}", "size_gb": sizes[env]},
+            region="us-east-1",
+        )
+    return 2 + 2 * len(envs)
+
+
+ESTATES = {
+    "flat ladder (16 res)": lambda gw: flat_estate(gw, vms=5),
+    "flat ladder (31 res)": lambda gw: flat_estate(gw, vms=10),
+    "repeated stacks (18 res)": lambda gw: stacked_estate(gw, stacks=6),
+    "named repeats (12 res)": lambda gw: named_estate(gw),
+}
+
+ARMS = {
+    "naive export (aztfy/terraformer)": lambda: NaiveExporter(),
+    "structured import (cloudless)": lambda: StructuredImporter(),
+    "  - no grouping": lambda: StructuredImporter(enable_grouping=False),
+    "  - no modules": lambda: StructuredImporter(enable_modules=False),
+}
+
+
+def run_experiment():
+    table = Table(
+        "E7: ported-program quality, naive vs structured importer",
+        [
+            "estate",
+            "arm",
+            "loc",
+            "blocks",
+            "hard_ids",
+            "refs",
+            "modules",
+            "maintainability",
+            "fidelity",
+        ],
+    )
+    headline = {}
+    for estate_name, build in ESTATES.items():
+        for arm_name, make in ARMS.items():
+            gateway = CloudGateway.simulated(seed=700)
+            build(gateway)
+            importer = make()
+            project = (
+                importer.export(gateway)
+                if isinstance(importer, NaiveExporter)
+                else importer.import_estate(gateway)
+            )
+            metrics = measure_quality(project)
+            fidelity = verify_fidelity(project)
+            table.add(
+                estate_name,
+                arm_name,
+                metrics.loc,
+                metrics.blocks,
+                metrics.hardcoded_ids,
+                metrics.reference_count,
+                metrics.module_count,
+                metrics.maintainability,
+                fidelity.ok,
+            )
+            key = f"{estate_name}|{arm_name.strip()}"
+            headline[f"{key}|loc"] = metrics.loc
+            headline[f"{key}|maint"] = round(metrics.maintainability, 1)
+            headline[f"{key}|fidelity"] = fidelity.ok
+    return table, headline
+
+
+def test_e7_porting(benchmark):
+    table, headline = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record(benchmark, table, **headline)
+    naive = "naive export (aztfy/terraformer)"
+    smart = "structured import (cloudless)"
+    for estate in ESTATES:
+        key_n, key_s = f"{estate}|{naive}", f"{estate}|{smart}"
+        assert headline[f"{key_n}|fidelity"] and headline[f"{key_s}|fidelity"]
+        assert headline[f"{key_s}|loc"] < headline[f"{key_n}|loc"]
+        assert headline[f"{key_s}|maint"] > headline[f"{key_n}|maint"] + 15
+    # on the big ladder the compaction is dramatic
+    big = "flat ladder (31 res)"
+    assert headline[f"{big}|{smart}|loc"] < headline[f"{big}|{naive}|loc"] / 3
+    # module extraction carries the stacked estate
+    stacks = "repeated stacks (18 res)"
+    assert (
+        headline[f"{stacks}|{smart}|loc"]
+        < headline[f"{stacks}|- no modules|loc"]
+    )
+    # named repeats compact via for_each
+    named = "named repeats (12 res)"
+    assert headline[f"{named}|{smart}|loc"] < headline[f"{named}|{naive}|loc"] / 1.5
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0].render())

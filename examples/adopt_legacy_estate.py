@@ -1,0 +1,102 @@
+"""Porting a ClickOps estate into IaC (paper 3.1).
+
+An enterprise built its infrastructure by hand: a VPC, a ladder of
+subnets, NICs, and VMs, created straight through the cloud API. The
+structured importer turns that into a *maintainable* program --
+references instead of hard-coded ids, ``count`` + ``cidrsubnet`` instead
+of copy-paste, defaults pruned -- and an adoptable state document whose
+follow-up plan is a no-op. The naive Terraformer-style export is shown
+side by side.
+
+    python examples/adopt_legacy_estate.py
+"""
+
+from repro import CloudlessEngine
+from repro.porting import NaiveExporter, measure_quality, verify_fidelity
+
+
+def click_ops(engine: CloudlessEngine) -> None:
+    """Build the estate the way the paper says people do: by hand."""
+    plane = engine.gateway.planes["aws"]
+    vpc = plane.external_create(
+        "aws_vpc",
+        {"name": "legacy-prod", "cidr_block": "10.0.0.0/16"},
+        "us-east-1",
+        actor="console-user",
+    )
+    subnets, nics = [], []
+    for i in range(5):
+        subnets.append(
+            plane.external_create(
+                "aws_subnet",
+                {
+                    "name": f"prod-{i}",
+                    "vpc_id": vpc,
+                    "cidr_block": f"10.0.{i}.0/24",
+                },
+                "us-east-1",
+                actor="console-user",
+            )
+        )
+    for i in range(5):
+        nics.append(
+            plane.external_create(
+                "aws_network_interface",
+                {"name": f"prod-nic-{i}", "subnet_id": subnets[i]},
+                "us-east-1",
+                actor="console-user",
+            )
+        )
+    for i in range(5):
+        plane.external_create(
+            "aws_virtual_machine",
+            {"name": f"prod-web-{i}", "nic_ids": [nics[i]]},
+            "us-east-1",
+            actor="console-user",
+        )
+
+
+def main() -> None:
+    engine = CloudlessEngine(seed=21)
+    click_ops(engine)
+    n = engine.gateway.planes["aws"].count()
+    print(f"legacy estate: {n} hand-built resources, zero IaC\n")
+
+    print("== naive export (what Terraformer/Aztfy produce) ==")
+    naive = NaiveExporter().export(engine.gateway)
+    naive_metrics = measure_quality(naive)
+    print(naive.main_source[:600] + "  ...\n")
+    print(
+        f"{naive_metrics.loc} LoC, {naive_metrics.blocks} blocks, "
+        f"{naive_metrics.hardcoded_ids} hard-coded ids, "
+        f"maintainability {naive_metrics.maintainability:.0f}/100\n"
+    )
+
+    print("== structured import (the cloudless optimizer) ==")
+    project = engine.import_estate(adopt=True)
+    metrics = measure_quality(project)
+    print(project.main_source)
+    print(
+        f"{metrics.loc} LoC, {metrics.blocks} blocks, "
+        f"{metrics.hardcoded_ids} hard-coded ids, "
+        f"{metrics.reference_count} references, "
+        f"maintainability {metrics.maintainability:.0f}/100"
+    )
+
+    fidelity = verify_fidelity(project)
+    print(f"\nround-trip fidelity (plan is a no-op): {fidelity.ok}")
+
+    print("\n== the estate is now managed: scale it through the program ==")
+    grown = project.main_source.replace("count      = 5", "count      = 7")
+    grown = grown.replace("count     = 5", "count     = 7")
+    grown = grown.replace("count   = 5", "count   = 7")
+    result = engine.apply(grown)
+    assert result.ok
+    print(
+        f"plan: {result.plan.summary()['create']} to add -- now "
+        f"{engine.gateway.planes['aws'].count('aws_virtual_machine')} VMs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The diagnose/repair lifecycle (paper 3.5 + 3.4).
+
+A web estate is deployed, then an out-of-band script mutates a VM
+("ClickOps" drift). The activity-log watcher spots it in one cheap
+poll; the reconciler pushes the cloud back to the golden state. Then a
+deeper wound: a script plants a *shadow* modification that plain
+re-apply cannot revert -- the reversibility-aware rollback planner
+replaces exactly that resource and the estate converges to the
+checkpointed snapshot.
+
+    python examples/drift_and_repair.py
+"""
+
+from repro import CloudlessEngine
+from repro.update import measure_divergence
+from repro.workloads import web_tier
+
+
+def main() -> None:
+    engine = CloudlessEngine(seed=7)
+
+    print("== deploy v1 and checkpoint (the time machine) ==")
+    v1 = engine.apply(web_tier(web_vms=2, app_vms=1))
+    assert v1.ok
+    print(
+        f"deployed {len(engine.state)} resources; snapshot "
+        f"v{v1.snapshot_version} recorded"
+    )
+
+    vm = next(
+        e
+        for e in engine.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    )
+
+    print("\n== an intern's script resizes a VM out of band ==")
+    engine.gateway.planes["aws"].external_update(
+        vm.resource_id, {"size": "xlarge"}, actor="intern-script"
+    )
+    run = engine.watch()  # one activity-log poll: 2 API calls total
+    for finding in run.findings:
+        print(
+            f"drift[{finding.kind}] {finding.address} "
+            f"(attrs: {', '.join(finding.changed_attrs)}) by {finding.actor}"
+        )
+
+    print("\n== reconcile: enforce the golden state ==")
+    report = engine.reconcile(run.findings)
+    for action in report.actions:
+        print(f"  {action.policy}: {action.performed}")
+    live = engine.gateway.find_record(vm.resource_id)
+    print(f"VM size back to {live.attrs['size']!r}")
+
+    print("\n== a shadow modification (not expressible in IaC) lands ==")
+    engine.gateway.planes["aws"].external_update(
+        vm.resource_id, {"network_settings": "custom-mtu-9000"}, actor="script"
+    )
+    print("...and the estate is scaled up meanwhile")
+    assert engine.apply(web_tier(web_vms=4, app_vms=1)).ok
+
+    print("\n== rollback to v1 (reversibility-aware) ==")
+    result = engine.rollback(v1.snapshot_version)
+    print(f"rollback plan: {len(result.plan)} actions")
+    for action in result.plan.actions:
+        print(f"  {action.kind}: {action.address}")
+        for reason in action.reasons:
+            print(f"      because {reason}")
+    snapshot = engine.history.get(v1.snapshot_version)
+    divergence = measure_divergence(engine.gateway, snapshot, engine.state)
+    print(
+        f"redeployments: {result.plan.redeployments}, errors: "
+        f"{len(result.errors)}, remaining divergence: {divergence}"
+    )
+    assert divergence == 0, "the estate must converge to the snapshot"
+
+
+if __name__ == "__main__":
+    main()

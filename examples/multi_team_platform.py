@@ -1,0 +1,92 @@
+"""Concurrent platform teams on one shared estate (paper 3.4).
+
+Four DevOps teams submit updates at the same moment. With today's
+whole-state lock they serialize -- the last team waits through
+everybody else's apply. With per-resource locks and transactions, the
+disjoint updates run in parallel, the one genuine conflict still
+excludes correctly, and the resulting history is serializable.
+
+    python examples/multi_team_platform.py
+"""
+
+from repro import CloudlessEngine
+from repro.addressing import ResourceAddress
+from repro.state import GlobalLockManager, ResourceLockManager
+from repro.update import UpdateCoordinator, UpdateRequest
+from repro.workloads import microservices
+
+
+def team_requests():
+    """Teams 0-2 each own a service; team 3 collides with team 0."""
+
+    def touch(*keys):
+        return set(keys)
+
+    return [
+        UpdateRequest(
+            team="payments",
+            submitted_at=0.0,
+            keys=touch("aws_virtual_machine.svc_0_vm[0]", "aws_load_balancer.svc_0_lb"),
+            duration_s=180.0,
+        ),
+        UpdateRequest(
+            team="search",
+            submitted_at=2.0,
+            keys=touch("aws_virtual_machine.svc_1_vm[0]", "aws_load_balancer.svc_1_lb"),
+            duration_s=240.0,
+        ),
+        UpdateRequest(
+            team="checkout",
+            submitted_at=4.0,
+            keys=touch("aws_virtual_machine.svc_2_vm[0]", "aws_load_balancer.svc_2_lb"),
+            duration_s=150.0,
+        ),
+        UpdateRequest(
+            team="sre",  # tuning the same LB payments is editing
+            submitted_at=5.0,
+            keys=touch("aws_load_balancer.svc_0_lb"),
+            duration_s=60.0,
+        ),
+    ]
+
+
+def run(label, lock_manager, state):
+    coordinator = UpdateCoordinator(state, lock_manager)
+    result = coordinator.run(team_requests())
+    print(f"== {label} ==")
+    for outcome in result.outcomes:
+        print(
+            f"  {outcome.team:9s} waited {outcome.wait_s:6.1f}s, "
+            f"finished at t={outcome.completed_at:6.1f}s"
+        )
+    print(
+        f"  makespan {result.makespan_s:.1f}s, "
+        f"throughput {result.throughput_per_hour:.1f}/h, "
+        f"serializable: {result.serializable}\n"
+    )
+    return result
+
+
+def main() -> None:
+    engine = CloudlessEngine(seed=33)
+    assert engine.apply(microservices(services=3, vms_per_service=1)).ok
+    print(f"shared estate: {len(engine.state)} resources\n")
+
+    coarse = run(
+        "whole-state lock (today's practice)",
+        GlobalLockManager(),
+        engine.state.copy(),
+    )
+    fine = run(
+        "per-resource locks + transactions (cloudless)",
+        ResourceLockManager(),
+        engine.state.copy(),
+    )
+    speedup = coarse.makespan_s / fine.makespan_s
+    print(f"fine-grained locking finished {speedup:.1f}x sooner;")
+    print("note the sre team still waited for payments -- they really do")
+    print("touch the same load balancer, and isolation held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: the cloudless lifecycle in one file.
+
+Runs the paper's Figure 2 program (completed with the networking the
+provider requires) through validate -> plan -> apply -> re-plan, then
+shows the compile-time validation the paper calls for by breaking the
+program on purpose.
+
+    python examples/quickstart.py
+"""
+
+from repro import CloudlessEngine
+
+PROGRAM = """
+/* Figure 2 of the paper, completed with a subnet + VPC */
+
+data "aws_region" "current" {}
+
+variable "vmName" {
+  type    = string
+  default = "cloudless"
+}
+
+resource "aws_vpc" "v1" {
+  name       = "quickstart-vpc"
+  cidr_block = "10.0.0.0/16"
+}
+
+resource "aws_subnet" "s1" {
+  name       = "quickstart-subnet"
+  vpc_id     = aws_vpc.v1.id
+  cidr_block = cidrsubnet(aws_vpc.v1.cidr_block, 8, 0)
+}
+
+resource "aws_network_interface" "n1" {
+  name      = "example-nic"
+  subnet_id = aws_subnet.s1.id
+}
+
+resource "aws_virtual_machine" "vm1" {
+  name    = var.vmName
+  nic_ids = [aws_network_interface.n1.id]
+  tags    = { region = data.aws_region.current.name }
+}
+
+output "vm_name" { value = aws_virtual_machine.vm1.name }
+"""
+
+
+def main() -> None:
+    engine = CloudlessEngine(seed=42)
+
+    print("== validate ==")
+    report = engine.validate(PROGRAM)
+    print(report)
+
+    print("\n== plan ==")
+    plan = engine.plan(PROGRAM)
+    print(plan.render())
+
+    print("\n== apply ==")
+    result = engine.apply(PROGRAM)
+    assert result.ok
+    print(
+        f"deployed {len(result.apply.succeeded)} resources in "
+        f"{result.apply.makespan_s:.1f} simulated seconds "
+        f"({result.apply.api_calls} API calls)"
+    )
+    for entry in engine.state.resources():
+        print(f"  {str(entry.address):35s} -> {entry.resource_id}")
+
+    print("\n== re-plan (idempotence) ==")
+    again = engine.plan(PROGRAM)
+    print(f"second plan empty: {again.is_empty}")
+
+    print("\n== compile-time validation (paper 3.2) ==")
+    broken = PROGRAM.replace(
+        "nic_ids = [aws_network_interface.n1.id]",
+        "nic_ids = [aws_subnet.s1.id]  // oops: a subnet is not a NIC",
+    )
+    report = engine.validate(broken)
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

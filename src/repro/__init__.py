@@ -1,0 +1,67 @@
+"""repro: Cloudless Computing.
+
+A complete, from-scratch reproduction of *"Simplifying Cloud Management
+with Cloudless Computing"* (HotNets 2023): a principled
+Infrastructure-as-Code framework covering the full lifecycle the paper
+describes -- development (synthesis + porting), validation (semantic
+types + cloud-specific rules + specification mining), deployment
+(critical-path scheduling, incremental updates), updating (fine-grained
+locking, transactions, reversibility-aware rollback), diagnosing (drift
+detection, error correlation, repair), and policing (the infrastructure
+controller) -- over a simulated multi-cloud substrate.
+
+Quickstart::
+
+    from repro import CloudlessEngine
+
+    engine = CloudlessEngine()
+    result = engine.apply('''
+    resource "aws_vpc" "main" {
+      name       = "main"
+      cidr_block = "10.0.0.0/16"
+    }
+    ''')
+    assert result.ok
+"""
+
+from .addressing import ResourceAddress, data, managed
+from .cloud import CloudAPIError, CloudGateway, SimClock
+from .core import CloudlessEngine, EngineApplyResult, EngineError
+from .deploy import (
+    BestEffortExecutor,
+    CriticalPathExecutor,
+    SequentialExecutor,
+)
+from .graph import Action, Plan, Planner, build_graph
+from .lang import Configuration, ModuleContext
+from .state import StateDocument
+from .types import SchemaRegistry
+from .validate import ValidationPipeline, validate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "BestEffortExecutor",
+    "CloudAPIError",
+    "CloudGateway",
+    "CloudlessEngine",
+    "Configuration",
+    "CriticalPathExecutor",
+    "EngineApplyResult",
+    "EngineError",
+    "ModuleContext",
+    "Plan",
+    "Planner",
+    "ResourceAddress",
+    "SchemaRegistry",
+    "SequentialExecutor",
+    "SimClock",
+    "StateDocument",
+    "ValidationPipeline",
+    "build_graph",
+    "data",
+    "managed",
+    "validate",
+    "__version__",
+]

@@ -1,0 +1,396 @@
+"""The ``cloudless`` command-line interface.
+
+A terraform-shaped CLI over the cloudless engine. Configuration lives
+in ``*.clc`` files in the working directory; the simulated clouds, the
+golden state, and the snapshot history persist in ``cloudless.world``
+between invocations, so the workflow feels real::
+
+    python -m repro init
+    python -m repro validate
+    python -m repro plan
+    python -m repro apply
+    python -m repro show
+    python -m repro watch          # one drift poll
+    python -m repro history
+    python -m repro rollback 1
+    python -m repro import         # adopt a hand-built estate
+    python -m repro destroy
+
+``--var name=value`` passes input variables (repeatable); ``--chdir``
+selects the project directory; ``--world`` the world file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from .core.engine import CloudlessEngine, EngineError
+from .persist import load_world, save_world
+
+WORLD_FILE = "cloudless.world"
+
+
+class CliError(RuntimeError):
+    """User-facing CLI failure (exit code 1)."""
+
+
+def _world_path(args) -> str:
+    return os.path.join(args.chdir, args.world)
+
+
+def _load_engine(args) -> CloudlessEngine:
+    path = _world_path(args)
+    if not os.path.exists(path):
+        raise CliError(
+            f"no world file at {path}; run `python -m repro init` first"
+        )
+    return load_world(path)
+
+
+def _save_engine(args, engine: CloudlessEngine) -> None:
+    save_world(engine, _world_path(args))
+
+
+def _read_sources(args) -> Dict[str, str]:
+    pattern = os.path.join(args.chdir, "*.clc")
+    files = sorted(glob.glob(pattern))
+    if not files:
+        raise CliError(f"no *.clc files in {args.chdir}")
+    out: Dict[str, str] = {}
+    for path in files:
+        with open(path, "r", encoding="utf-8") as handle:
+            out[os.path.basename(path)] = handle.read()
+    return out
+
+
+def _parse_vars(pairs: List[str]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise CliError(f"--var wants name=value, got {pair!r}")
+        name, raw = pair.split("=", 1)
+        try:
+            out[name] = json.loads(raw)
+        except json.JSONDecodeError:
+            out[name] = raw
+    return out
+
+
+# -- subcommands ------------------------------------------------------------------
+
+
+def cmd_init(args) -> int:
+    path = _world_path(args)
+    if os.path.exists(path) and not args.force:
+        raise CliError(f"{path} already exists (use --force to reset)")
+    engine = CloudlessEngine(seed=args.seed)
+    save_world(engine, path)
+    print(f"initialized simulated multi-cloud world at {path}")
+    print(f"providers: {', '.join(sorted(engine.gateway.planes))}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    engine = _load_engine(args)
+    report = engine.validate(_read_sources(args), variables=_parse_vars(args.var))
+    print(report)
+    return 0 if report.ok else 1
+
+
+def cmd_plan(args) -> int:
+    engine = _load_engine(args)
+    sources = _read_sources(args)
+    report = engine.validate(sources, variables=_parse_vars(args.var))
+    if not report.ok:
+        print(report)
+        return 1
+    plan = engine.plan(sources, variables=_parse_vars(args.var))
+    print(plan.render())
+    return 0
+
+
+def cmd_apply(args) -> int:
+    engine = _load_engine(args)
+    sources = _read_sources(args)
+    result = engine.apply(sources, variables=_parse_vars(args.var))
+    if result.validation is not None and not result.validation.ok:
+        print(result.validation)
+        return 1
+    if result.admission is not None and not result.admission.allowed:
+        print(result.admission)
+        return 1
+    assert result.plan is not None and result.apply is not None
+    print(result.plan.render())
+    _save_engine(args, engine)
+    if not result.apply.ok:
+        print("\napply FAILED:")
+        for diagnosis in result.diagnoses:
+            print(diagnosis.render())
+        return 1
+    print(
+        f"\napply complete in {result.apply.makespan_s:.1f} simulated "
+        f"seconds ({result.apply.api_calls} API calls); snapshot "
+        f"v{result.snapshot_version}"
+    )
+    if engine.state.outputs:
+        print("outputs:")
+        for name, value in sorted(engine.state.outputs.items()):
+            print(f"  {name} = {value!r}")
+    return 0
+
+
+def cmd_destroy(args) -> int:
+    engine = _load_engine(args)
+    result = engine.destroy()
+    _save_engine(args, engine)
+    if result.apply is None or not result.apply.ok:
+        print("destroy failed")
+        return 1
+    print(f"destroyed; {len(engine.state)} resources remain in state")
+    return 0
+
+
+def cmd_show(args) -> int:
+    engine = _load_engine(args)
+    if not len(engine.state):
+        print("state is empty")
+        return 0
+    print(f"state serial {engine.state.serial}, {len(engine.state)} resources:")
+    for entry in engine.state.resources():
+        print(
+            f"  {str(entry.address):45s} {entry.resource_id:16s} "
+            f"{entry.region}"
+        )
+    if engine.state.outputs:
+        print("outputs:")
+        for name, value in sorted(engine.state.outputs.items()):
+            print(f"  {name} = {value!r}")
+    return 0
+
+
+def cmd_watch(args) -> int:
+    engine = _load_engine(args)
+    run = engine.watch()
+    _save_engine(args, engine)
+    if not run.findings:
+        print("no drift detected")
+        return 0
+    print(f"{len(run.findings)} drift finding(s):")
+    for finding in run.findings:
+        where = str(finding.address) if finding.address else finding.resource_id
+        attrs = f" ({', '.join(finding.changed_attrs)})" if finding.changed_attrs else ""
+        print(f"  [{finding.kind}] {where}{attrs} by {finding.actor}")
+    if args.reconcile:
+        report = engine.reconcile(run.findings)
+        _save_engine(args, engine)
+        for action in report.actions:
+            print(f"  -> {action.policy}: {action.performed}")
+    return 0
+
+
+def cmd_history(args) -> int:
+    engine = _load_engine(args)
+    if not len(engine.history):
+        print("no snapshots yet")
+        return 0
+    for version in engine.history.versions():
+        snap = engine.history.get(version)
+        print(
+            f"  v{snap.version}  t={snap.timestamp:10.1f}  "
+            f"{len(snap.state):3d} resources  {snap.description}"
+        )
+    return 0
+
+
+def cmd_rollback(args) -> int:
+    engine = _load_engine(args)
+    result = engine.rollback(args.version)
+    _save_engine(args, engine)
+    print(
+        f"rollback to v{args.version}: {len(result.plan)} actions, "
+        f"{result.plan.redeployments} redeployments, "
+        f"{len(result.errors)} errors"
+    )
+    for error in result.errors:
+        print(f"  error: {error}")
+    return 0 if not result.errors else 1
+
+
+def cmd_import(args) -> int:
+    engine = _load_engine(args)
+    project = engine.import_estate(adopt=True)
+    _save_engine(args, engine)
+    for fname, text in sorted(project.sources.items()):
+        path = os.path.join(args.chdir, fname)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
+    for source, files in sorted(project.module_sources.items()):
+        directory = os.path.join(args.chdir, source)
+        os.makedirs(directory, exist_ok=True)
+        for fname, text in sorted(files.items()):
+            path = os.path.join(directory, fname)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {path}")
+    print(f"adopted {len(engine.state)} resources into state")
+    return 0
+
+
+def cmd_outputs(args) -> int:
+    engine = _load_engine(args)
+    for name, value in sorted(engine.state.outputs.items()):
+        print(f"{name} = {value!r}")
+    return 0
+
+
+def cmd_providers(args) -> int:
+    engine = _load_engine(args)
+    for name, plane in sorted(engine.gateway.planes.items()):
+        print(f"{name} (regions: {', '.join(plane.regions)})")
+        for rtype in sorted(plane.specs):
+            spec = plane.specs[rtype]
+            required = ", ".join(
+                a.name for a in spec.required_attrs() if not a.computed
+            )
+            print(f"  {rtype:32s} create~{spec.latency.create_s:6.0f}s  "
+                  f"required: {required}")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    engine = _load_engine(args)
+    sources = _read_sources(args)
+    plan = engine.plan(sources, variables=_parse_vars(args.var))
+    print(plan.to_dot())
+    return 0
+
+
+def cmd_state_mv(args) -> int:
+    from .core.engine import EngineError
+
+    engine = _load_engine(args)
+    try:
+        engine.state_move(args.src, args.dst)
+    except (EngineError, ValueError) as exc:
+        raise CliError(str(exc))
+    _save_engine(args, engine)
+    print(f"moved {args.src} -> {args.dst}")
+    return 0
+
+
+def cmd_state_rm(args) -> int:
+    engine = _load_engine(args)
+    try:
+        removed = engine.state_forget(args.address)
+    except ValueError as exc:
+        raise CliError(str(exc))
+    if not removed:
+        raise CliError(f"no state entry at {args.address}")
+    _save_engine(args, engine)
+    print(f"forgot {args.address} (the cloud resource still exists)")
+    return 0
+
+
+# -- wiring -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cloudless",
+        description="Cloudless Computing: IaC lifecycle over simulated clouds",
+    )
+    parser.add_argument(
+        "--chdir", default=".", help="project directory (default: cwd)"
+    )
+    parser.add_argument(
+        "--world", default=WORLD_FILE, help=f"world file (default: {WORLD_FILE})"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a fresh simulated world")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(fn=cmd_init)
+
+    for name, fn, with_vars in (
+        ("validate", cmd_validate, True),
+        ("plan", cmd_plan, True),
+        ("apply", cmd_apply, True),
+    ):
+        p = sub.add_parser(name, help=f"{name} the *.clc configuration")
+        if with_vars:
+            p.add_argument("--var", action="append", default=[])
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("destroy", help="tear down everything in state")
+    p.set_defaults(fn=cmd_destroy)
+
+    p = sub.add_parser("show", help="list state")
+    p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser("watch", help="poll the activity logs for drift")
+    p.add_argument("--reconcile", action="store_true")
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("history", help="list snapshots (the time machine)")
+    p.set_defaults(fn=cmd_history)
+
+    p = sub.add_parser("rollback", help="roll back to a snapshot version")
+    p.add_argument("version", type=int)
+    p.set_defaults(fn=cmd_rollback)
+
+    p = sub.add_parser("import", help="adopt the live estate into IaC")
+    p.set_defaults(fn=cmd_import)
+
+    p = sub.add_parser("outputs", help="print stored outputs")
+    p.set_defaults(fn=cmd_outputs)
+
+    p = sub.add_parser("providers", help="list simulated resource types")
+    p.set_defaults(fn=cmd_providers)
+
+    p = sub.add_parser("graph", help="emit the plan's dependency graph as DOT")
+    p.add_argument("--var", action="append", default=[])
+    p.set_defaults(fn=cmd_graph)
+
+    p = sub.add_parser("state", help="state surgery (mv/rm)")
+    state_sub = p.add_subparsers(dest="state_command", required=True)
+    mv = state_sub.add_parser("mv", help="rename an address in state")
+    mv.add_argument("src")
+    mv.add_argument("dst")
+    mv.set_defaults(fn=cmd_state_mv)
+    rm = state_sub.add_parser(
+        "rm", help="forget a resource (cloud resource survives)"
+    )
+    rm.add_argument("address")
+    rm.set_defaults(fn=cmd_state_rm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`); exit quietly
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module runner
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Simulated multi-cloud substrate.
+
+Stands in for real AWS/Azure control planes (see DESIGN.md,
+"Substitutions"): typed resources, regions, per-type provisioning
+latency, API rate limits, activity logs, quotas, and fault injection --
+all over a discrete-event :class:`SimClock` so experiments run in
+microseconds of wall time.
+"""
+
+from .activitylog import ActivityEvent, ActivityLog
+from .aws.provider import AWS_REGIONS, AwsControlPlane, aws_catalog
+from .azure.provider import AZURE_LOCATIONS, AzureControlPlane, azure_catalog
+from .base import (
+    CloudAPIError,
+    ControlPlane,
+    PendingOperation,
+    ResourceRecord,
+)
+from .clock import EventQueue, SimClock
+from .faults import FaultInjector, FaultSpec, InjectedFault
+from .gateway import CloudGateway
+from .latency import DEFAULT_PROFILE, LatencyModel, LatencyProfile
+from .ratelimit import RateLimiterBank, RateLimitStats, TokenBucket
+from .resources import AttributeSpec, ResourceTypeSpec
+
+__all__ = [
+    "ActivityEvent",
+    "ActivityLog",
+    "AttributeSpec",
+    "AWS_REGIONS",
+    "AwsControlPlane",
+    "aws_catalog",
+    "AZURE_LOCATIONS",
+    "AzureControlPlane",
+    "azure_catalog",
+    "CloudAPIError",
+    "CloudGateway",
+    "ControlPlane",
+    "DEFAULT_PROFILE",
+    "EventQueue",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "LatencyModel",
+    "LatencyProfile",
+    "PendingOperation",
+    "RateLimiterBank",
+    "RateLimitStats",
+    "ResourceRecord",
+    "ResourceTypeSpec",
+    "SimClock",
+    "TokenBucket",
+]

@@ -1,0 +1,96 @@
+"""Cloud activity log.
+
+Simulates Azure Activity Log / AWS CloudTrail / GCP Audit Logs: every
+control-plane mutation is appended with actor identity and timestamp.
+The cloudless drift watcher (3.5) consumes this log instead of scanning
+resources, which is precisely the design the paper advocates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivityEvent:
+    """One management-plane event."""
+
+    sequence: int
+    timestamp: float
+    provider: str
+    operation: str  # create | update | delete
+    resource_type: str
+    resource_id: str
+    resource_name: str
+    region: str
+    actor: str  # "iac" for framework-driven ops, anything else is external
+    changed_attrs: tuple = ()
+
+    @property
+    def is_external(self) -> bool:
+        return self.actor != "iac"
+
+
+class ActivityLog:
+    """Append-only event log with cursor-based tailing."""
+
+    def __init__(self, provider: str):
+        self.provider = provider
+        self._events: List[ActivityEvent] = []
+        self._seq = itertools.count()
+
+    def append(
+        self,
+        timestamp: float,
+        operation: str,
+        resource_type: str,
+        resource_id: str,
+        resource_name: str,
+        region: str,
+        actor: str,
+        changed_attrs: tuple = (),
+    ) -> ActivityEvent:
+        event = ActivityEvent(
+            sequence=next(self._seq),
+            timestamp=timestamp,
+            provider=self.provider,
+            operation=operation,
+            resource_type=resource_type,
+            resource_id=resource_id,
+            resource_name=resource_name,
+            region=region,
+            actor=actor,
+            changed_attrs=changed_attrs,
+        )
+        self._events.append(event)
+        return event
+
+    def events_since(self, cursor: int, until: Optional[float] = None) -> List[
+        ActivityEvent
+    ]:
+        """Events with sequence >= cursor, optionally up to a timestamp.
+
+        Reading the log is itself one (cheap, read-class) API call in
+        the control plane; callers go through the gateway for that.
+        """
+        out = []
+        for event in self._events[cursor:]:
+            if until is not None and event.timestamp > until:
+                break
+            out.append(event)
+        return out
+
+    @property
+    def next_cursor(self) -> int:
+        return len(self._events)
+
+    def all_events(self) -> List[ActivityEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ActivityEvent]:
+        return iter(self._events)

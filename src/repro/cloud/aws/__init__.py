@@ -1,0 +1,5 @@
+"""AWS-like simulated provider."""
+
+from .provider import AWS_REGIONS, AwsControlPlane, aws_catalog
+
+__all__ = ["AWS_REGIONS", "AwsControlPlane", "aws_catalog"]

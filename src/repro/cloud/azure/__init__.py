@@ -1,0 +1,5 @@
+"""Azure-like simulated provider."""
+
+from .provider import AZURE_LOCATIONS, AzureControlPlane, azure_catalog
+
+__all__ = ["AZURE_LOCATIONS", "AzureControlPlane", "azure_catalog"]

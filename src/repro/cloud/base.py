@@ -1,0 +1,817 @@
+"""Simulated cloud control plane.
+
+One :class:`ControlPlane` per provider: it owns the resource store, the
+API rate limiters, the latency model, the fault injector, and the
+activity log. Every operation flows through :meth:`submit`, which
+returns a :class:`PendingOperation` carrying the simulated completion
+time -- executors drive these as discrete events.
+
+The control plane also enforces *cloud-level* constraints (same-region
+rules, reference existence, CIDR overlap, quotas). When they fail, they
+fail the way real clouds do: after provisioning latency, with an opaque
+provider-style error message (the raw material for 3.5's debugger).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .activitylog import ActivityLog
+from .clock import SimClock
+from .faults import FaultInjector
+from .latency import LatencyModel
+from .ratelimit import RateLimiterBank
+from .resources import AttributeSpec, ResourceTypeSpec
+
+READ_OPS = ("read", "list", "log")
+WRITE_OPS = ("create", "update", "delete")
+
+
+class CloudAPIError(Exception):
+    """A provider API error -- code + human-oriented (opaque) message."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        http_status: int = 400,
+        transient: bool = False,
+        resource_type: str = "",
+        operation: str = "",
+        resource_id: str = "",
+    ):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.http_status = http_status
+        self.transient = transient
+        self.resource_type = resource_type
+        self.operation = operation
+        self.resource_id = resource_id
+
+
+@dataclasses.dataclass
+class ResourceRecord:
+    """One live resource in the provider's store."""
+
+    id: str
+    type: str
+    region: str
+    attrs: Dict[str, Any]
+    created_at: float
+    updated_at: float
+    state: str = "active"  # active | deleting
+
+    @property
+    def name(self) -> str:
+        return str(self.attrs.get("name", self.id))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Attribute view as the API would return it (includes id)."""
+        out = dict(self.attrs)
+        out["id"] = self.id
+        return out
+
+
+@dataclasses.dataclass
+class PendingOperation:
+    """An in-flight API operation in simulated time."""
+
+    operation: str
+    resource_type: str
+    t_submit: float
+    t_start: float  # after rate limiting
+    t_complete: float  # when the result becomes visible
+    _resolve: Callable[[], Any] = lambda: None
+    resolved: bool = False
+    result: Any = None
+    error: Optional[CloudAPIError] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t_complete - self.t_submit
+
+    def resolve(self) -> Any:
+        """Apply the operation's effect; call once clock >= t_complete."""
+        if self.resolved:
+            if self.error is not None:
+                raise self.error
+            return self.result
+        self.resolved = True
+        try:
+            self.result = self._resolve()
+        except CloudAPIError as exc:
+            self.error = exc
+            raise
+        return self.result
+
+
+class ControlPlane:
+    """The management plane of one simulated provider."""
+
+    #: provider name; subclasses override
+    provider = "generic"
+    #: page size for list() calls -- what makes full scans expensive
+    list_page_size = 25
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        seed: int = 0,
+        rate_limits: Optional[Dict[str, tuple]] = None,
+        regions: Optional[List[str]] = None,
+    ):
+        self.clock = clock or SimClock()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.specs: Dict[str, ResourceTypeSpec] = {}
+        self.latency = LatencyModel()
+        self.limiter = RateLimiterBank(rate_limits)
+        self.faults = FaultInjector(random.Random(seed + 1))
+        self.log = ActivityLog(self.provider)
+        self.records: Dict[str, ResourceRecord] = {}
+        self.regions = regions or ["region-1"]
+        self.quotas: Dict[Tuple[str, str], int] = {}  # (rtype, region) -> max
+        self._next_id = 1
+        self.api_calls: Dict[str, int] = {"read": 0, "write": 0}
+        self._register_catalog()
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _register_catalog(self) -> None:
+        """Subclasses register their ResourceTypeSpecs here."""
+
+    def validate_create(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any], region: str
+    ) -> None:
+        """Provider-specific create-time constraints (raise CloudAPIError)."""
+
+    def validate_update(
+        self,
+        spec: ResourceTypeSpec,
+        record: ResourceRecord,
+        new_attrs: Dict[str, Any],
+    ) -> None:
+        """Provider-specific update-time constraints."""
+
+    # -- registration ------------------------------------------------------
+
+    def register_spec(self, spec: ResourceTypeSpec) -> None:
+        self.specs[spec.name] = spec
+        self.latency.register(spec.name, spec.latency)
+
+    def spec_for(self, rtype: str) -> ResourceTypeSpec:
+        spec = self.specs.get(rtype)
+        if spec is None:
+            raise CloudAPIError(
+                "UnknownResourceType",
+                f"The resource type '{rtype}' is not supported by {self.provider}.",
+                http_status=404,
+                resource_type=rtype,
+            )
+        return spec
+
+    def set_quota(self, rtype: str, region: str, limit: int) -> None:
+        self.quotas[(rtype, region)] = limit
+
+    # -- public operation API -------------------------------------------------
+
+    def submit(
+        self,
+        operation: str,
+        rtype: str = "",
+        *,
+        resource_id: str = "",
+        attrs: Optional[Dict[str, Any]] = None,
+        region: str = "",
+        actor: str = "iac",
+        t_submit: Optional[float] = None,
+    ) -> PendingOperation:
+        """Enqueue one API call; returns its completion event."""
+        now = self.clock.now if t_submit is None else t_submit
+        op_class = "read" if operation in READ_OPS else "write"
+        self.api_calls[op_class] += 1
+        t_start = self.limiter.consume(op_class, now)
+        spec = self.spec_for(rtype) if rtype else None
+
+        fault = self.faults.check(rtype, operation) if spec else None
+        if fault is not None:
+            t_complete = (
+                t_start
+                + self._sample_latency(rtype, operation, resource_id or "fault")
+                + fault.extra_delay_s
+            )
+            error = CloudAPIError(
+                fault.error_code,
+                fault.message,
+                http_status=500 if fault.transient else 400,
+                transient=fault.transient,
+                resource_type=rtype,
+                operation=operation,
+            )
+
+            def fail() -> Any:
+                raise error
+
+            return PendingOperation(
+                operation, rtype, now, t_start, t_complete, fail
+            )
+
+        builder = {
+            "create": self._build_create,
+            "update": self._build_update,
+            "delete": self._build_delete,
+            "read": self._build_read,
+            "log": self._build_read,
+            "list": self._build_list,
+        }.get(operation)
+        if builder is None:
+            raise ValueError(f"unknown operation {operation!r}")
+        return builder(
+            spec,
+            now,
+            t_start,
+            resource_id=resource_id,
+            attrs=attrs or {},
+            region=region,
+            actor=actor,
+        )
+
+    def execute(self, operation: str, rtype: str = "", **kwargs: Any) -> Any:
+        """Synchronous convenience: submit, advance the clock, resolve."""
+        pending = self.submit(operation, rtype, **kwargs)
+        self.clock.advance_to(pending.t_complete)
+        return pending.resolve()
+
+    # -- operation builders ---------------------------------------------------
+
+    def _finish_time(
+        self, rtype: str, operation: str, t_start: float, key: str = ""
+    ) -> float:
+        return t_start + self._sample_latency(rtype, operation, key)
+
+    def _sample_latency(self, rtype: str, operation: str, key: str) -> float:
+        """Latency draw keyed by operation *identity*, not call order.
+
+        Two executors running the same plan therefore see identical
+        per-resource latencies -- scheduling comparisons measure
+        scheduling, never RNG stream divergence.
+        """
+        rng = random.Random(f"{self.provider}|{rtype}|{operation}|{key}|{self.seed}")
+        return self.latency.sample(rtype, operation, rng)
+
+    def _build_create(
+        self,
+        spec: ResourceTypeSpec,
+        t_submit: float,
+        t_start: float,
+        *,
+        resource_id: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str,
+    ) -> PendingOperation:
+        t_complete = self._finish_time(
+            spec.name, "create", t_start, key=str(attrs.get("name", ""))
+        )
+
+        def apply() -> Dict[str, Any]:
+            self._check_create(spec, attrs, region)
+            new_id = self._mint_id(spec)
+            full_attrs = self._attrs_with_defaults(spec, attrs)
+            full_attrs.update(self._computed_attrs(spec, new_id, region))
+            record = ResourceRecord(
+                id=new_id,
+                type=spec.name,
+                region=region,
+                attrs=full_attrs,
+                created_at=t_complete,
+                updated_at=t_complete,
+            )
+            self.records[new_id] = record
+            self.log.append(
+                t_complete,
+                "create",
+                spec.name,
+                new_id,
+                record.name,
+                region,
+                actor,
+                tuple(sorted(attrs)),
+            )
+            return record.snapshot()
+
+        return PendingOperation("create", spec.name, t_submit, t_start, t_complete, apply)
+
+    def _build_update(
+        self,
+        spec: ResourceTypeSpec,
+        t_submit: float,
+        t_start: float,
+        *,
+        resource_id: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str,
+    ) -> PendingOperation:
+        t_complete = self._finish_time(spec.name, "update", t_start, key=resource_id)
+
+        def apply() -> Dict[str, Any]:
+            record = self._get_record(spec.name, resource_id, "update")
+            for name in attrs:
+                if name in spec.immutable_attrs:
+                    raise CloudAPIError(
+                        "InvalidParameterCombination",
+                        f"The property '{name}' cannot be changed after "
+                        f"the resource is created.",
+                        resource_type=spec.name,
+                        operation="update",
+                        resource_id=resource_id,
+                    )
+            self._check_attr_types(spec, attrs, partial=True)
+            self._check_references(spec, attrs, record.region)
+            self.validate_update(spec, record, attrs)
+            record.attrs.update(attrs)
+            record.updated_at = t_complete
+            self.log.append(
+                t_complete,
+                "update",
+                spec.name,
+                record.id,
+                record.name,
+                record.region,
+                actor,
+                tuple(sorted(attrs)),
+            )
+            return record.snapshot()
+
+        return PendingOperation("update", spec.name, t_submit, t_start, t_complete, apply)
+
+    def _build_delete(
+        self,
+        spec: ResourceTypeSpec,
+        t_submit: float,
+        t_start: float,
+        *,
+        resource_id: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str,
+    ) -> PendingOperation:
+        t_complete = self._finish_time(spec.name, "delete", t_start, key=resource_id)
+
+        def apply() -> Dict[str, Any]:
+            record = self._get_record(spec.name, resource_id, "delete")
+            dependents = self._dependents_of(resource_id)
+            if dependents:
+                raise CloudAPIError(
+                    "DependencyViolation",
+                    f"The resource {resource_id} has dependent resources "
+                    f"({', '.join(sorted(dependents)[:3])}) and cannot be deleted.",
+                    http_status=409,
+                    resource_type=spec.name,
+                    operation="delete",
+                    resource_id=resource_id,
+                )
+            del self.records[resource_id]
+            self.log.append(
+                t_complete,
+                "delete",
+                spec.name,
+                record.id,
+                record.name,
+                record.region,
+                actor,
+            )
+            return record.snapshot()
+
+        return PendingOperation("delete", spec.name, t_submit, t_start, t_complete, apply)
+
+    def _build_read(
+        self,
+        spec: Optional[ResourceTypeSpec],
+        t_submit: float,
+        t_start: float,
+        *,
+        resource_id: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str,
+    ) -> PendingOperation:
+        rtype = spec.name if spec else ""
+        t_complete = t_start + self._sample_latency(rtype or "_read", "read", resource_id)
+
+        def apply() -> Optional[Dict[str, Any]]:
+            record = self.records.get(resource_id)
+            if record is None or (rtype and record.type != rtype):
+                return None
+            return record.snapshot()
+
+        return PendingOperation("read", rtype, t_submit, t_start, t_complete, apply)
+
+    def _build_list(
+        self,
+        spec: Optional[ResourceTypeSpec],
+        t_submit: float,
+        t_start: float,
+        *,
+        resource_id: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str,
+    ) -> PendingOperation:
+        rtype = spec.name if spec else ""
+        page_token = attrs.get("page_token", 0)
+        t_complete = t_start + self._sample_latency(
+            rtype or "_read", "list", str(page_token)
+        )
+
+        def apply() -> Dict[str, Any]:
+            matches = sorted(
+                (
+                    r
+                    for r in self.records.values()
+                    if (not rtype or r.type == rtype)
+                    and (not region or r.region == region)
+                ),
+                key=lambda r: r.id,
+            )
+            start = int(page_token)
+            page = matches[start : start + self.list_page_size]
+            next_token = (
+                start + self.list_page_size
+                if start + self.list_page_size < len(matches)
+                else None
+            )
+            return {
+                "items": [r.snapshot() for r in page],
+                "types": [r.type for r in page],
+                "next_token": next_token,
+            }
+
+        return PendingOperation("list", rtype, t_submit, t_start, t_complete, apply)
+
+    # -- data sources -------------------------------------------------------
+
+    def read_data(
+        self, rtype: str, attrs: Dict[str, Any], region: str = ""
+    ) -> Dict[str, Any]:
+        """Resolve a data-source query (used by ``data`` blocks).
+
+        Built-in pseudo sources (``<provider>_region``,
+        ``<provider>_availability_zones``, ``<provider>_image``) answer
+        from provider metadata; any catalog type is looked up by name.
+        """
+        region = region or self.regions[0]
+        short = rtype.split("_", 1)[-1] if "_" in rtype else rtype
+        if short in ("region", "location"):
+            return {"name": region, "id": region}
+        if short in ("availability_zones", "zones"):
+            return {
+                "names": [f"{region}-{z}" for z in ("a", "b", "c")],
+                "id": region,
+            }
+        if short == "image":
+            family = str(attrs.get("family", "linux"))
+            return {"id": f"img-{family}-latest", "family": family}
+        if rtype in self.specs:
+            name = attrs.get("name")
+            if not isinstance(name, str):
+                raise CloudAPIError(
+                    "MissingParameter",
+                    f"Data lookup for '{rtype}' requires 'name'.",
+                    resource_type=rtype,
+                    operation="read",
+                )
+            record = self.find_by_name(rtype, name)
+            if record is None:
+                raise CloudAPIError(
+                    "ResourceNotFound",
+                    f"No '{rtype}' named '{name}' was found.",
+                    http_status=404,
+                    resource_type=rtype,
+                    operation="read",
+                )
+            return record.snapshot()
+        raise CloudAPIError(
+            "UnknownResourceType",
+            f"The data source '{rtype}' is not supported by {self.provider}.",
+            http_status=404,
+            resource_type=rtype,
+            operation="read",
+        )
+
+    # -- out-of-band (non-IaC) mutations -- instant, for drift experiments ----
+
+    def external_update(
+        self, resource_id: str, attrs: Dict[str, Any], actor: str = "legacy-script"
+    ) -> None:
+        """A change performed outside the IaC framework ("ClickOps")."""
+        record = self.records.get(resource_id)
+        if record is None:
+            raise CloudAPIError(
+                "ResourceNotFound", f"{resource_id} does not exist", http_status=404
+            )
+        record.attrs.update(attrs)
+        record.updated_at = self.clock.now
+        self.log.append(
+            self.clock.now,
+            "update",
+            record.type,
+            record.id,
+            record.name,
+            record.region,
+            actor,
+            tuple(sorted(attrs)),
+        )
+
+    def external_delete(self, resource_id: str, actor: str = "legacy-script") -> None:
+        record = self.records.get(resource_id)
+        if record is None:
+            raise CloudAPIError(
+                "ResourceNotFound", f"{resource_id} does not exist", http_status=404
+            )
+        del self.records[resource_id]
+        self.log.append(
+            self.clock.now,
+            "delete",
+            record.type,
+            record.id,
+            record.name,
+            record.region,
+            actor,
+        )
+
+    def external_create(
+        self,
+        rtype: str,
+        attrs: Dict[str, Any],
+        region: str,
+        actor: str = "legacy-script",
+    ) -> str:
+        spec = self.spec_for(rtype)
+        new_id = self._mint_id(spec)
+        full_attrs = self._attrs_with_defaults(spec, attrs)
+        full_attrs.update(self._computed_attrs(spec, new_id, region))
+        self.records[new_id] = ResourceRecord(
+            id=new_id,
+            type=rtype,
+            region=region,
+            attrs=full_attrs,
+            created_at=self.clock.now,
+            updated_at=self.clock.now,
+        )
+        self.log.append(
+            self.clock.now,
+            "create",
+            rtype,
+            new_id,
+            str(full_attrs.get("name", new_id)),
+            region,
+            actor,
+            tuple(sorted(attrs)),
+        )
+        return new_id
+
+    # -- shared validation --------------------------------------------------
+
+    def _check_create(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any], region: str
+    ) -> None:
+        if region not in self.regions:
+            raise CloudAPIError(
+                "InvalidLocation",
+                f"The location '{region}' is not available for subscription.",
+                resource_type=spec.name,
+                operation="create",
+            )
+        for attr in spec.required_attrs():
+            if attr.computed:
+                continue
+            if attrs.get(attr.name) is None:
+                raise CloudAPIError(
+                    "MissingParameter",
+                    f"The request is missing the required parameter "
+                    f"'{attr.name}'.",
+                    resource_type=spec.name,
+                    operation="create",
+                )
+        self._check_attr_types(spec, attrs, partial=False)
+        self._check_references(spec, attrs, region)
+        self._check_quota(spec, region)
+        self._check_name_unique(spec, attrs, region)
+        self.validate_create(spec, attrs, region)
+
+    def _check_attr_types(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any], partial: bool
+    ) -> None:
+        for name, value in attrs.items():
+            aspec = spec.attr(name)
+            if aspec is None:
+                raise CloudAPIError(
+                    "InvalidParameter",
+                    f"Unknown property '{name}' for resource type "
+                    f"'{spec.name}'.",
+                    resource_type=spec.name,
+                )
+            if aspec.computed:
+                raise CloudAPIError(
+                    "InvalidParameter",
+                    f"The property '{name}' is read-only.",
+                    resource_type=spec.name,
+                )
+            if value is None:
+                continue
+            base = aspec.type.split("(")[0]
+            ok = {
+                "string": lambda v: isinstance(v, str),
+                "number": lambda v: isinstance(v, (int, float))
+                and not isinstance(v, bool),
+                "bool": lambda v: isinstance(v, bool),
+                "list": lambda v: isinstance(v, list),
+                "map": lambda v: isinstance(v, dict),
+            }.get(base, lambda v: True)
+            if not ok(value):
+                raise CloudAPIError(
+                    "InvalidParameterValue",
+                    f"Value for '{name}' has the wrong type "
+                    f"(expected {aspec.type}).",
+                    resource_type=spec.name,
+                )
+            enum = aspec.enum_values
+            if enum and isinstance(value, str) and value not in enum:
+                raise CloudAPIError(
+                    "InvalidParameterValue",
+                    f"'{value}' is not a valid value for '{name}'.",
+                    resource_type=spec.name,
+                )
+
+    def _check_references(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any], region: str
+    ) -> None:
+        for aspec in spec.reference_attrs():
+            value = attrs.get(aspec.name)
+            if value is None:
+                continue
+            targets = value if aspec.is_ref_list else [value]
+            for target_id in targets:
+                if not isinstance(target_id, str):
+                    raise CloudAPIError(
+                        "InvalidParameterValue",
+                        f"Value for '{aspec.name}' must be a resource id.",
+                        resource_type=spec.name,
+                    )
+                record = self.records.get(target_id)
+                if record is None:
+                    raise CloudAPIError(
+                        self._not_found_code(aspec.ref_target or ""),
+                        self._not_found_message(aspec.ref_target or "", target_id),
+                        http_status=404,
+                        resource_type=spec.name,
+                    )
+                if aspec.ref_target and record.type != aspec.ref_target:
+                    # the classic leaky-abstraction error: right-looking
+                    # string, wrong resource kind (paper 3.2)
+                    raise CloudAPIError(
+                        self._not_found_code(aspec.ref_target),
+                        self._not_found_message(aspec.ref_target, target_id),
+                        http_status=404,
+                        resource_type=spec.name,
+                    )
+
+    def _check_quota(self, spec: ResourceTypeSpec, region: str) -> None:
+        limit = self.quotas.get((spec.name, region))
+        if limit is None:
+            return
+        current = sum(
+            1
+            for r in self.records.values()
+            if r.type == spec.name and r.region == region
+        )
+        if current >= limit:
+            raise CloudAPIError(
+                "QuotaExceeded",
+                f"Operation could not be completed as it results in exceeding "
+                f"approved quota for '{spec.name}' in '{region}' "
+                f"(limit: {limit}).",
+                http_status=429,
+                resource_type=spec.name,
+                operation="create",
+            )
+
+    def _check_name_unique(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any], region: str
+    ) -> None:
+        name = attrs.get("name")
+        if not isinstance(name, str):
+            return
+        for record in self.records.values():
+            if (
+                record.type == spec.name
+                and record.region == region
+                and record.attrs.get("name") == name
+            ):
+                raise CloudAPIError(
+                    "Conflict",
+                    f"A resource named '{name}' already exists in '{region}'.",
+                    http_status=409,
+                    resource_type=spec.name,
+                    operation="create",
+                )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _get_record(
+        self, rtype: str, resource_id: str, operation: str
+    ) -> ResourceRecord:
+        record = self.records.get(resource_id)
+        if record is None or (rtype and record.type != rtype):
+            raise CloudAPIError(
+                "ResourceNotFound",
+                f"The resource '{resource_id}' was not found.",
+                http_status=404,
+                resource_type=rtype,
+                operation=operation,
+                resource_id=resource_id,
+            )
+        return record
+
+    def _not_found_code(self, ref_type: str) -> str:
+        return "ResourceNotFound"
+
+    def _not_found_message(self, ref_type: str, target_id: str) -> str:
+        return f"The referenced resource '{target_id}' was not found."
+
+    def _mint_id(self, spec: ResourceTypeSpec) -> str:
+        minted = f"{spec.id_prefix}{self._next_id:08x}"
+        self._next_id += 1
+        return minted
+
+    def _attrs_with_defaults(
+        self, spec: ResourceTypeSpec, attrs: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name, aspec in spec.attributes.items():
+            if aspec.computed:
+                continue
+            if name in attrs and attrs[name] is not None:
+                out[name] = attrs[name]
+            elif aspec.default is not None:
+                out[name] = aspec.default
+        return out
+
+    def _computed_attrs(
+        self, spec: ResourceTypeSpec, new_id: str, region: str
+    ) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for aspec in spec.computed_attrs():
+            if aspec.name == "id":
+                out["id"] = new_id
+            elif aspec.name in ("arn", "resource_uri"):
+                out[aspec.name] = f"arn:{self.provider}:{region}:{new_id}"
+            elif "ip" in aspec.name:
+                out[aspec.name] = (
+                    f"10.{self.rng.randint(0, 255)}."
+                    f"{self.rng.randint(0, 255)}.{self.rng.randint(1, 254)}"
+                )
+            elif aspec.name == "fqdn" or "dns" in aspec.name:
+                out[aspec.name] = f"{new_id}.{region}.{self.provider}.sim"
+            else:
+                out[aspec.name] = f"{aspec.name}-{new_id}"
+        return out
+
+    def _dependents_of(self, resource_id: str) -> List[str]:
+        """Live resources holding a reference to ``resource_id``."""
+        out = []
+        for record in self.records.values():
+            spec = self.specs.get(record.type)
+            if spec is None:
+                continue
+            for aspec in spec.reference_attrs():
+                value = record.attrs.get(aspec.name)
+                targets = value if isinstance(value, list) else [value]
+                if resource_id in [t for t in targets if t]:
+                    out.append(record.id)
+        return out
+
+    # -- introspection -----------------------------------------------------------
+
+    def count(self, rtype: str = "", region: str = "") -> int:
+        return sum(
+            1
+            for r in self.records.values()
+            if (not rtype or r.type == rtype) and (not region or r.region == region)
+        )
+
+    def find_by_name(self, rtype: str, name: str) -> Optional[ResourceRecord]:
+        for record in self.records.values():
+            if record.type == rtype and record.attrs.get("name") == name:
+                return record
+        return None
+
+    def total_api_calls(self) -> int:
+        return sum(self.api_calls.values())

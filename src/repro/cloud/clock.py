@@ -1,0 +1,78 @@
+"""Discrete-event simulated clock.
+
+All cloud-side latency in the framework is *simulated*: a 45-minute VPN
+gateway costs microseconds of wall time, while still interacting
+faithfully with rate limits, schedulers, and drift detection windows.
+Executors advance the clock to the next completion event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Jump forward to absolute time ``t`` (never backwards)."""
+        if t < self._now - 1e-9:
+            raise ValueError(f"cannot move clock backwards ({t} < {self._now})")
+        self._now = max(self._now, t)
+
+    def advance_by(self, dt: float) -> None:
+        """Jump forward by ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self._now += dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(t={self._now:.3f})"
+
+
+class EventQueue:
+    """A time-ordered queue of ``(time, payload)`` events.
+
+    Used by executors and the policy controller to run discrete-event
+    loops over one shared :class:`SimClock`.
+    """
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+
+    def schedule(self, at: float, payload: Any) -> None:
+        """Enqueue ``payload`` to fire at absolute sim time ``at``."""
+        if at < self.clock.now - 1e-9:
+            raise ValueError(f"cannot schedule in the past ({at} < {self.clock.now})")
+        heapq.heappush(self._heap, (at, next(self._counter), payload))
+
+    def schedule_after(self, delay: float, payload: Any) -> None:
+        self.schedule(self.clock.now + delay, payload)
+
+    def pop(self) -> Optional[Tuple[float, Any]]:
+        """Remove the earliest event, advancing the clock to its time."""
+        if not self._heap:
+            return None
+        at, _, payload = heapq.heappop(self._heap)
+        self.clock.advance_to(at)
+        return at, payload
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,99 @@
+"""Fault injection for the simulated control planes.
+
+Deployments in the paper's world "error out at the cloud level" (3.5);
+this module decides when. Two mechanisms:
+
+* probabilistic transient faults (throttle bursts, capacity errors,
+  hangs) applied per operation class, and
+* scheduled faults targeted at specific resource types/names, for
+  reproducible failure-handling tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+
+@dataclasses.dataclass
+class FaultSpec:
+    """One injected failure rule."""
+
+    error_code: str
+    message: str
+    match_type: str = ""  # resource type glob-ish match; "" = any
+    match_operation: str = ""  # create/update/delete/read; "" = any
+    probability: float = 1.0
+    transient: bool = True  # transient faults succeed on retry
+    max_strikes: int = 1  # how many times the rule may fire in total
+    extra_delay_s: float = 0.0  # hang before failing (resource hanging)
+    _strikes: int = 0
+
+    def matches(self, rtype: str, operation: str) -> bool:
+        if self.max_strikes >= 0 and self._strikes >= self.max_strikes:
+            return False
+        if self.match_type and self.match_type != rtype:
+            return False
+        if self.match_operation and self.match_operation != operation:
+            return False
+        return True
+
+    def strike(self) -> None:
+        self._strikes += 1
+
+
+@dataclasses.dataclass
+class InjectedFault:
+    """What the control plane should do for one doomed operation."""
+
+    error_code: str
+    message: str
+    transient: bool
+    extra_delay_s: float
+
+
+class FaultInjector:
+    """Holds fault rules and rolls the dice per operation."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random(0)
+        self.rules: List[FaultSpec] = []
+        self.transient_rate: float = 0.0  # blanket transient failure rate
+        self.fired: int = 0
+
+    def add_rule(self, rule: FaultSpec) -> None:
+        self.rules.append(rule)
+
+    def set_transient_rate(self, rate: float) -> None:
+        """Blanket probability that any mutating call fails transiently."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("transient rate must be in [0, 1)")
+        self.transient_rate = rate
+
+    def check(self, rtype: str, operation: str) -> Optional[InjectedFault]:
+        """Decide whether this operation fails, and how."""
+        for rule in self.rules:
+            if rule.matches(rtype, operation):
+                if self.rng.random() <= rule.probability:
+                    rule.strike()
+                    self.fired += 1
+                    return InjectedFault(
+                        error_code=rule.error_code,
+                        message=rule.message,
+                        transient=rule.transient,
+                        extra_delay_s=rule.extra_delay_s,
+                    )
+        if (
+            self.transient_rate > 0.0
+            and operation in ("create", "update", "delete")
+            and self.rng.random() < self.transient_rate
+        ):
+            self.fired += 1
+            return InjectedFault(
+                error_code="InternalServerError",
+                message="An internal error occurred. Please retry.",
+                transient=True,
+                extra_delay_s=0.0,
+            )
+        return None

@@ -1,0 +1,120 @@
+"""Multi-cloud gateway.
+
+A thin router fronting one or more provider control planes over a shared
+simulated clock -- the deploy/drift/policy layers talk to this, never to
+an individual provider directly, mirroring how IaC frameworks speak
+through per-provider plugins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .aws.provider import AwsControlPlane
+from .azure.provider import AzureControlPlane
+from .base import CloudAPIError, ControlPlane, PendingOperation
+from .clock import SimClock
+
+
+class CloudGateway:
+    """Routes operations to the control plane that owns a resource type."""
+
+    def __init__(self, planes: Dict[str, ControlPlane], clock: SimClock):
+        self.clock = clock
+        self.planes = dict(planes)
+        for plane in self.planes.values():
+            if plane.clock is not clock:
+                raise ValueError("all control planes must share the gateway clock")
+
+    @classmethod
+    def simulated(cls, seed: int = 0, clock: Optional[SimClock] = None) -> "CloudGateway":
+        """A gateway with fresh aws+azure planes on one clock."""
+        clock = clock or SimClock()
+        return cls(
+            {
+                "aws": AwsControlPlane(clock=clock, seed=seed),
+                "azure": AzureControlPlane(clock=clock, seed=seed + 1000),
+            },
+            clock,
+        )
+
+    # -- routing ----------------------------------------------------------
+
+    def provider_of(self, rtype: str) -> str:
+        prefix = rtype.split("_", 1)[0]
+        if prefix in self.planes:
+            return prefix
+        raise CloudAPIError(
+            "UnknownResourceType",
+            f"No provider is configured for resource type '{rtype}'.",
+            http_status=404,
+            resource_type=rtype,
+        )
+
+    def plane_for(self, rtype: str) -> ControlPlane:
+        return self.planes[self.provider_of(rtype)]
+
+    def default_region(self, rtype: str) -> str:
+        return self.plane_for(rtype).regions[0]
+
+    def region_for(self, rtype: str, attrs: Dict[str, Any]) -> str:
+        """The region an instance lands in: location attr, else default."""
+        location = attrs.get("location")
+        if isinstance(location, str) and location:
+            return location
+        return self.default_region(rtype)
+
+    # -- operations ----------------------------------------------------------
+
+    def submit(self, operation: str, rtype: str, **kwargs: Any) -> PendingOperation:
+        return self.plane_for(rtype).submit(operation, rtype, **kwargs)
+
+    def execute(self, operation: str, rtype: str, **kwargs: Any) -> Any:
+        return self.plane_for(rtype).execute(operation, rtype, **kwargs)
+
+    def spec_for(self, rtype: str):
+        return self.plane_for(rtype).spec_for(rtype)
+
+    def try_spec(self, rtype: str):
+        """spec_for, or None for unknown types (planner convenience)."""
+        try:
+            return self.plane_for(rtype).spec_for(rtype)
+        except CloudAPIError:
+            return None
+
+    def read_data(
+        self, rtype: str, attrs: Dict[str, Any], region: str = ""
+    ) -> Dict[str, Any]:
+        """Resolve a data-source query; costs one read-class API call."""
+        plane = self.plane_for(rtype)
+        pending = plane.submit("read", "", attrs={})  # account for the call
+        plane.clock.advance_to(pending.t_complete)
+        pending.resolve()
+        return plane.read_data(rtype, attrs, region)
+
+    def mean_latency(self, rtype: str, operation: str) -> float:
+        return self.plane_for(rtype).latency.mean(rtype, operation)
+
+    # -- aggregate introspection ---------------------------------------------
+
+    def total_api_calls(self) -> int:
+        return sum(p.total_api_calls() for p in self.planes.values())
+
+    def api_calls_by_class(self) -> Dict[str, int]:
+        out = {"read": 0, "write": 0}
+        for plane in self.planes.values():
+            for klass, count in plane.api_calls.items():
+                out[klass] = out.get(klass, 0) + count
+        return out
+
+    def all_records(self) -> List[Any]:
+        out = []
+        for plane in self.planes.values():
+            out.extend(plane.records.values())
+        return out
+
+    def find_record(self, resource_id: str):
+        for plane in self.planes.values():
+            if resource_id in plane.records:
+                return plane.records[resource_id]
+        return None

@@ -1,0 +1,15 @@
+"""The cloudless engine facade (paper Figure 1b)."""
+
+from .engine import (
+    CloudlessEngine,
+    EngineApplyResult,
+    EngineError,
+    EXECUTORS,
+)
+
+__all__ = [
+    "CloudlessEngine",
+    "EngineApplyResult",
+    "EngineError",
+    "EXECUTORS",
+]

@@ -1,0 +1,389 @@
+"""The cloudless engine: the whole lifecycle behind one facade.
+
+Figure 1(b) of the paper: Developing -> Validating -> Deploying ->
+Updating -> Diagnosing, policed throughout by the infrastructure
+controller. :class:`CloudlessEngine` wires every subsystem together and
+exposes the lifecycle verbs: ``validate``, ``plan``, ``apply``,
+``watch``, ``reconcile``, ``rollback``, ``import_estate``, ``destroy``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Union
+
+from ..cloud.gateway import CloudGateway
+from ..debug.correlate import Diagnosis, IaCDebugger
+from ..deploy.executor import (
+    ApplyResult,
+    BestEffortExecutor,
+    CriticalPathExecutor,
+    PlanExecutor,
+    RetryPolicy,
+    SequentialExecutor,
+)
+from ..deploy.incremental import read_data_sources
+from ..drift.detector import DetectionRun, DriftFinding, LogWatchDetector
+from ..drift.reconcile import Reconciler, ReconcileReport
+from ..graph.builder import ResourceGraph, build_graph
+from ..graph.plan import Plan, Planner
+from ..lang.config import Configuration
+from ..lang.module_loader import ModuleLoader
+from ..policy.controller import AdmissionDecision, InfrastructureController
+from ..policy.cost import CostEstimator
+from ..porting.importer import PortedProject, StructuredImporter
+from ..state.document import StateDocument
+from ..state.snapshots import Snapshot, SnapshotHistory
+from ..types.schema import SchemaRegistry
+from ..update.rollback import ReversibilityAwareRollback, RollbackResult
+from ..validate.pipeline import (
+    LEVEL_RULES,
+    ValidationPipeline,
+    ValidationReport,
+)
+
+EXECUTORS = {
+    "sequential": SequentialExecutor,
+    "best-effort": BestEffortExecutor,
+    "critical-path": CriticalPathExecutor,
+}
+
+Sources = Union[str, Dict[str, str], Configuration]
+
+
+class EngineError(RuntimeError):
+    """Lifecycle-level failures (validation denied, admission denied)."""
+
+
+@dataclasses.dataclass
+class EngineApplyResult:
+    """Everything one ``apply`` produced."""
+
+    validation: Optional[ValidationReport]
+    admission: Optional[AdmissionDecision]
+    plan: Optional[Plan]
+    apply: Optional[ApplyResult]
+    diagnoses: List[Diagnosis]
+    snapshot_version: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.validation is not None and not self.validation.ok:
+            return False
+        if self.admission is not None and not self.admission.allowed:
+            return False
+        return self.apply is not None and self.apply.ok
+
+
+class CloudlessEngine:
+    """One tenant's cloudless control plane."""
+
+    def __init__(
+        self,
+        gateway: Optional[CloudGateway] = None,
+        registry: Optional[SchemaRegistry] = None,
+        loader: Optional[ModuleLoader] = None,
+        executor: str = "critical-path",
+        validation_level: str = LEVEL_RULES,
+        concurrency: int = 10,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+    ):
+        self.seed = seed
+        self.gateway = gateway or CloudGateway.simulated(seed=seed)
+        self.registry = registry or SchemaRegistry.default()
+        self.loader = loader
+        self.executor_name = executor
+        self.concurrency = concurrency
+        self.retry = retry
+        self.state = StateDocument()
+        self.history = SnapshotHistory()
+        self.controller = InfrastructureController()
+        self.cost = CostEstimator()
+        self.debugger = IaCDebugger(self.registry)
+        self.watcher = LogWatchDetector(self.gateway)
+        self.validation = ValidationPipeline(
+            registry=self.registry, level=validation_level
+        )
+        self.planner = Planner(
+            spec_lookup=self.gateway.try_spec,
+            region_lookup=self.gateway.region_for,
+            provider_lookup=self.gateway.provider_of,
+        )
+        self.last_sources: Dict[str, str] = {}
+        self.last_variables: Dict[str, Any] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.gateway.clock
+
+    def _coerce_sources(self, sources: Sources) -> tuple:
+        if isinstance(sources, Configuration):
+            return sources, {
+                f.filename: "" for f in sources.files
+            }  # originals unavailable
+        if isinstance(sources, str):
+            sources = {"main.clc": sources}
+        return Configuration.parse(sources), dict(sources)
+
+    def _executor(self) -> PlanExecutor:
+        cls = EXECUTORS.get(self.executor_name)
+        if cls is None:
+            raise EngineError(f"unknown executor {self.executor_name!r}")
+        if cls is SequentialExecutor:
+            return cls(self.gateway, retry=self.retry)
+        return cls(self.gateway, concurrency=self.concurrency, retry=self.retry)
+
+    # -- lifecycle verbs ---------------------------------------------------------
+
+    def validate(
+        self, sources: Sources, variables: Optional[Dict[str, Any]] = None
+    ) -> ValidationReport:
+        config, _ = self._coerce_sources(sources)
+        return self.validation.validate(
+            config, variables=variables, loader=self.loader
+        )
+
+    def plan(
+        self,
+        sources: Sources,
+        variables: Optional[Dict[str, Any]] = None,
+        state: Optional[StateDocument] = None,
+    ) -> Plan:
+        from ..graph.builder import GraphBuildError
+        from ..lang.diagnostics import CLCError
+
+        config, _ = self._coerce_sources(sources)
+        try:
+            graph = build_graph(config, variables=variables, loader=self.loader)
+        except (GraphBuildError, CLCError) as exc:
+            raise EngineError(str(exc))
+        working = (state if state is not None else self.state).copy()
+        data_values = read_data_sources(self.gateway, graph, working)
+        return self.planner.plan(graph, working, data_values=data_values)
+
+    def apply(
+        self,
+        sources: Sources,
+        variables: Optional[Dict[str, Any]] = None,
+        validate_first: bool = True,
+        admit: bool = True,
+        checkpoint: bool = True,
+    ) -> EngineApplyResult:
+        config, source_texts = self._coerce_sources(sources)
+        validation: Optional[ValidationReport] = None
+        if validate_first:
+            validation = self.validation.validate(
+                config, variables=variables, loader=self.loader
+            )
+            if not validation.ok:
+                return EngineApplyResult(
+                    validation=validation,
+                    admission=None,
+                    plan=None,
+                    apply=None,
+                    diagnoses=[],
+                )
+        plan = self.plan(config, variables=variables)
+        admission: Optional[AdmissionDecision] = None
+        if admit:
+            admission = self.controller.admit(
+                plan, self.state, cost_estimator=self.cost, variables=variables
+            )
+            if not admission.allowed:
+                return EngineApplyResult(
+                    validation=validation,
+                    admission=admission,
+                    plan=plan,
+                    apply=None,
+                    diagnoses=[],
+                )
+        result = self._executor().apply(plan)
+        assert result.state is not None
+        self.state = result.state
+        self._store_outputs(plan, result)
+        self.last_sources = source_texts
+        self.last_variables = dict(variables or {})
+        diagnoses = (
+            self.debugger.diagnose_apply(plan, result) if result.failed else []
+        )
+        snapshot_version: Optional[int] = None
+        if checkpoint and result.ok:
+            snap = self.history.checkpoint(
+                self.state,
+                source_texts,
+                timestamp=self.clock.now,
+                description=f"apply ({plan.summary()})",
+            )
+            snapshot_version = snap.version
+        return EngineApplyResult(
+            validation=validation,
+            admission=admission,
+            plan=plan,
+            apply=result,
+            diagnoses=diagnoses,
+            snapshot_version=snapshot_version,
+        )
+
+    def _store_outputs(self, plan: Plan, result: ApplyResult) -> None:
+        """Evaluate root-module outputs post-apply into state.outputs."""
+        if not result.ok or plan.graph.root_context is None:
+            return
+        try:
+            outputs = plan.graph.root_context.output_values()
+        except Exception:
+            return
+        from ..lang.values import is_unknown
+
+        self.state.outputs = {
+            name: value
+            for name, value in outputs.items()
+            if not is_unknown(value)
+        }
+
+    def destroy(self) -> EngineApplyResult:
+        """Tear down everything the state manages."""
+        return self.apply("", validate_first=False, admit=False, checkpoint=False)
+
+    # -- observe / repair -------------------------------------------------------------
+
+    def watch(self) -> DetectionRun:
+        """One drift-detection poll over the activity logs."""
+        run = self.watcher.poll(self.state)
+        if run.findings:
+            self.controller.evaluate_drift(run.findings, self.state, self.clock.now)
+        return run
+
+    def reconcile(
+        self,
+        findings: List[DriftFinding],
+        policy: Optional[Dict[str, str]] = None,
+    ) -> ReconcileReport:
+        reconciler = Reconciler(self.gateway, policy=policy)
+        return reconciler.reconcile(findings, self.state)
+
+    def rollback(self, version: int) -> RollbackResult:
+        """Reversibility-aware rollback to a snapshot version."""
+        snapshot = self.history.get(version)
+        planner = ReversibilityAwareRollback(self.gateway)
+        plan = planner.plan(snapshot, self.state)
+        result = planner.execute(plan, self.state)
+        self.last_sources = dict(snapshot.config_sources)
+        self.history.checkpoint(
+            self.state,
+            snapshot.config_sources,
+            timestamp=self.clock.now,
+            description=f"rollback to v{version}",
+        )
+        return result
+
+    def learn_validation_rules(self, min_support: int = 3) -> int:
+        """Mine validation rules from this engine's own deploy history.
+
+        3.2's knowledge-base loop closed: every checkpointed (healthy)
+        configuration is a specification-mining example; invariants that
+        held across all of them become compile-time checks on future
+        changes. Returns how many rules were added.
+        """
+        from ..validate.mining import DeploymentExample, SpecificationMiner
+
+        examples = []
+        for version in self.history.versions():
+            snap = self.history.get(version)
+            sources = {k: v for k, v in snap.config_sources.items() if v}
+            if not sources:
+                continue
+            try:
+                config = Configuration.parse(sources)
+                if config.diagnostics.has_errors():
+                    continue
+                examples.append(
+                    DeploymentExample.from_config(config, self.registry)
+                )
+            except Exception:
+                continue
+        if not examples:
+            return 0
+        rules = SpecificationMiner(min_support=min_support).mine(examples)
+        existing = {r.info.rule_id for r in self.validation.engine.rules}
+        added = 0
+        for rule in rules:
+            if rule.info.rule_id not in existing:
+                self.validation.engine.rules.append(rule)
+                added += 1
+        return added
+
+    # -- develop ------------------------------------------------------------------------
+
+    def import_estate(self, adopt: bool = True) -> PortedProject:
+        """Port the live (non-IaC) estate into a structured program."""
+        project = StructuredImporter(self.registry).import_estate(self.gateway)
+        if adopt:
+            self.state = project.state.copy()
+            self.last_sources = dict(project.sources)
+            self.history.checkpoint(
+                self.state,
+                project.sources,
+                timestamp=self.clock.now,
+                description="imported existing estate",
+            )
+        return project
+
+    # -- state surgery (refactor support) ------------------------------------
+
+    def state_move(self, src: str, dst: str) -> None:
+        """Rename a resource's address in state without touching the
+        cloud -- what lets a config refactor (rename, move into a
+        module, adopt count) proceed without destroy/recreate."""
+        from ..addressing import ResourceAddress
+
+        src_addr = ResourceAddress.parse(src)
+        dst_addr = ResourceAddress.parse(dst)
+        entry = self.state.get(src_addr)
+        if entry is None:
+            raise EngineError(f"no state entry at {src}")
+        if self.state.get(dst_addr) is not None:
+            raise EngineError(f"destination {dst} already exists in state")
+        self.state.remove(src_addr)
+        entry.address = dst_addr
+        self.state.set(entry)
+        for other in self.state.resources():
+            other.dependencies = [
+                dst if dep == src else dep for dep in other.dependencies
+            ]
+        self.state.bump()
+
+    def state_forget(self, address: str) -> bool:
+        """Drop a resource from state (the cloud resource survives,
+        unmanaged). Returns whether anything was removed."""
+        from ..addressing import ResourceAddress
+
+        removed = self.state.remove(ResourceAddress.parse(address))
+        if removed is not None:
+            self.state.bump()
+        return removed is not None
+
+    def regenerate_config(self, adopt: bool = True) -> PortedProject:
+        """Regenerate the program from the managed estate's live values.
+
+        The other half of 3.5's reconciliation: after drift is adopted
+        (or repairs landed out of band), re-emit a program that matches
+        what is actually deployed, so config and cloud agree again.
+        Only resources the state already manages are included.
+        """
+        managed_ids = {entry.resource_id for entry in self.state.resources()}
+        project = StructuredImporter(self.registry).import_estate(
+            self.gateway, only_ids=managed_ids
+        )
+        if adopt:
+            self.state = project.state.copy()
+            self.last_sources = dict(project.sources)
+            self.history.checkpoint(
+                self.state,
+                project.sources,
+                timestamp=self.clock.now,
+                description="regenerated program from live estate",
+            )
+        return project

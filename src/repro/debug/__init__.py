@@ -1,0 +1,13 @@
+"""IaC debugger: error correlation and repair (paper 3.5)."""
+
+from .correlate import Diagnosis, FixSuggestion, IaCDebugger
+from .repair import RepairOutcome, apply_diagnoses, apply_fix
+
+__all__ = [
+    "Diagnosis",
+    "FixSuggestion",
+    "IaCDebugger",
+    "RepairOutcome",
+    "apply_diagnoses",
+    "apply_fix",
+]

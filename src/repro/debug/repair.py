@@ -1,0 +1,68 @@
+"""Automatic repair of diagnosed configurations (3.5).
+
+Applies :class:`FixSuggestion` patches directly to the parsed
+configuration's AST (attribute expression replaced by the suggested
+literal), so the repaired config can be re-validated and re-applied
+without round-tripping through text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..addressing import ResourceAddress
+from ..lang.ast_nodes import Attribute, Literal
+from ..lang.config import Configuration
+from ..lang.diagnostics import SourceSpan
+from .correlate import Diagnosis, FixSuggestion
+
+
+@dataclasses.dataclass
+class RepairOutcome:
+    """What happened for one attempted fix."""
+
+    fix: FixSuggestion
+    applied: bool
+    reason: str = ""
+
+
+def apply_fix(config: Configuration, fix: FixSuggestion) -> RepairOutcome:
+    """Mutate ``config`` per one suggestion (literal-valued fixes only)."""
+    if fix.new_value is None:
+        return RepairOutcome(fix, False, "suggestion is advisory (no value)")
+    try:
+        address = ResourceAddress.parse(fix.address)
+    except ValueError:
+        return RepairOutcome(fix, False, f"unparseable address {fix.address!r}")
+    decl = config.resource(
+        address.type, address.name, mode=address.mode
+    )
+    if decl is None:
+        return RepairOutcome(fix, False, f"no declaration for {fix.address}")
+    span = SourceSpan()
+    existing = decl.body.attributes.get(fix.attr)
+    if existing is not None:
+        span = existing.span
+    decl.body.attributes[fix.attr] = Attribute(
+        name=fix.attr,
+        expr=Literal(fix.new_value, span),
+        span=span,
+    )
+    return RepairOutcome(fix, True)
+
+
+def apply_diagnoses(
+    config: Configuration, diagnoses: List[Diagnosis], min_confidence: float = 0.8
+) -> List[RepairOutcome]:
+    """Apply the first applicable fix of each high-confidence diagnosis."""
+    outcomes: List[RepairOutcome] = []
+    for diagnosis in diagnoses:
+        if diagnosis.confidence < min_confidence:
+            continue
+        for fix in diagnosis.fixes:
+            outcome = apply_fix(config, fix)
+            outcomes.append(outcome)
+            if outcome.applied:
+                break
+    return outcomes

@@ -1,0 +1,33 @@
+"""Deployment executors and incremental update pipeline (paper 3.3)."""
+
+from .executor import (
+    ApplyResult,
+    BestEffortExecutor,
+    CriticalPathExecutor,
+    OperationRecord,
+    PlanExecutor,
+    RetryPolicy,
+    SequentialExecutor,
+)
+from .incremental import (
+    RefreshResult,
+    UpdatePipeline,
+    UpdatePlanResult,
+    read_data_sources,
+    refresh_state,
+)
+
+__all__ = [
+    "ApplyResult",
+    "BestEffortExecutor",
+    "CriticalPathExecutor",
+    "OperationRecord",
+    "PlanExecutor",
+    "RefreshResult",
+    "RetryPolicy",
+    "SequentialExecutor",
+    "UpdatePipeline",
+    "UpdatePlanResult",
+    "read_data_sources",
+    "refresh_state",
+]

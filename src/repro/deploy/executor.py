@@ -1,0 +1,454 @@
+"""Plan executors.
+
+The discrete-event engine that walks an execution plan against the
+simulated clouds. Three scheduling strategies reproduce the spectrum in
+3.3:
+
+* :class:`SequentialExecutor` -- one operation at a time (the floor).
+* :class:`BestEffortExecutor` -- Terraform's documented behaviour: a
+  bounded-parallel, unprioritized graph walk (the baseline).
+* :class:`CriticalPathExecutor` -- the cloudless scheduler: ready
+  operations are dispatched longest-remaining-path first, optionally
+  rate-limit aware, with retry handling for transient faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..cloud.base import CloudAPIError, PendingOperation
+from ..cloud.clock import EventQueue
+from ..cloud.gateway import CloudGateway
+from ..graph.critical_path import analyze
+from ..graph.dag import Dag
+from ..graph.plan import Action, Plan, PlannedChange
+from ..lang.values import is_unknown
+from ..state.document import ResourceState, StateDocument
+
+
+@dataclasses.dataclass
+class RetryPolicy:
+    """Retry behaviour for transient cloud errors."""
+
+    max_attempts: int = 3
+    base_backoff_s: float = 5.0
+    multiplier: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        return self.base_backoff_s * (self.multiplier ** max(0, attempt - 1))
+
+
+@dataclasses.dataclass
+class OperationRecord:
+    """One executed API operation (for timing/Gantt analysis)."""
+
+    change_id: str
+    operation: str
+    t_submit: float
+    t_complete: float
+    ok: bool
+    error_code: str = ""
+    attempt: int = 1
+
+    @property
+    def duration(self) -> float:
+        return self.t_complete - self.t_submit
+
+
+@dataclasses.dataclass
+class ApplyResult:
+    """Outcome of one apply run."""
+
+    started_at: float
+    finished_at: float
+    succeeded: List[str] = dataclasses.field(default_factory=list)
+    failed: Dict[str, str] = dataclasses.field(default_factory=dict)
+    skipped: List[str] = dataclasses.field(default_factory=list)
+    operations: List[OperationRecord] = dataclasses.field(default_factory=list)
+    state: Optional[StateDocument] = None
+    api_calls: int = 0
+
+    @property
+    def makespan_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.skipped
+
+    def errors_for(self, change_id: str) -> List[OperationRecord]:
+        return [
+            op for op in self.operations if op.change_id == change_id and not op.ok
+        ]
+
+
+@dataclasses.dataclass
+class _Running:
+    change: PlannedChange
+    steps: List[str]
+    step_idx: int = 0
+    attempts: int = 0
+    pending: Optional[PendingOperation] = None
+
+
+_STEPS = {
+    Action.CREATE: ["create"],
+    Action.UPDATE: ["update"],
+    Action.DELETE: ["delete"],
+    Action.REPLACE: ["delete", "create"],
+    Action.READ: [],
+}
+
+
+class PlanExecutor:
+    """Base discrete-event executor; subclasses pick scheduling order."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        gateway: CloudGateway,
+        concurrency: int = 10,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        self.gateway = gateway
+        self.concurrency = max(1, concurrency)
+        self.retry = retry or RetryPolicy()
+
+    # -- scheduling hook ----------------------------------------------------
+
+    def prepare(self, plan: Plan, dag: Dag) -> None:
+        """Called once before execution; compute priorities here."""
+
+    def pick_next(self, ready: List[str]) -> str:
+        """Choose the next ready change id. Default: FIFO."""
+        return ready[0]
+
+    # -- main loop -------------------------------------------------------------
+
+    def apply(self, plan: Plan) -> ApplyResult:
+        """Execute the plan; mutates ``plan.state`` as the new state."""
+        clock = self.gateway.clock
+        started = clock.now
+        calls_before = self.gateway.total_api_calls()
+        result = ApplyResult(started_at=started, finished_at=started)
+        state = plan.state
+
+        dag = plan.execution_dag()
+        self.prepare(plan, dag)
+
+        indeg: Dict[str, int] = {n: dag.in_degree(n) for n in dag.nodes}
+        ready: List[str] = sorted([n for n, d in indeg.items() if d == 0])
+        running: Dict[str, _Running] = {}
+        done: Set[str] = set()
+        dead: Set[str] = set()  # failed or skipped
+        events = EventQueue(clock)
+
+        def finish_change(cid: str, ok: bool, error: str = "") -> None:
+            running.pop(cid, None)
+            if ok:
+                done.add(cid)
+                result.succeeded.append(cid)
+                for succ in sorted(dag.successors(cid)):
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0 and succ not in dead:
+                        ready.append(succ)
+            else:
+                dead.add(cid)
+                result.failed[cid] = error
+                for desc in dag.descendants(cid):
+                    if desc not in dead and desc not in done:
+                        dead.add(desc)
+                        result.skipped.append(desc)
+
+        def start(cid: str) -> None:
+            change = plan.changes[cid]
+            steps = list(_STEPS[change.action])
+            rc = _Running(change=change, steps=steps)
+            if not steps:  # READ: value already resolved at plan time
+                result.operations.append(
+                    OperationRecord(cid, "read", clock.now, clock.now, True)
+                )
+                done.add(cid)
+                result.succeeded.append(cid)
+                for succ in sorted(dag.successors(cid)):
+                    indeg[succ] -= 1
+                    if indeg[succ] == 0 and succ not in dead:
+                        ready.append(succ)
+                return
+            running[cid] = rc
+            submit_step(cid, rc)
+
+        def submit_step(cid: str, rc: _Running) -> None:
+            rc.attempts += 1
+            try:
+                pending = self._submit_operation(plan, rc, state)
+            except CloudAPIError as exc:
+                result.operations.append(
+                    OperationRecord(
+                        cid, rc.steps[rc.step_idx], clock.now, clock.now,
+                        False, exc.code, rc.attempts,
+                    )
+                )
+                finish_change(cid, False, str(exc))
+                return
+            except _UnresolvedValueError as exc:
+                result.operations.append(
+                    OperationRecord(
+                        cid, rc.steps[rc.step_idx], clock.now, clock.now,
+                        False, "UnresolvedValue", rc.attempts,
+                    )
+                )
+                finish_change(cid, False, str(exc))
+                return
+            rc.pending = pending
+            events.schedule(pending.t_complete, ("complete", cid))
+
+        def on_complete(cid: str) -> None:
+            rc = running.get(cid)
+            if rc is None or rc.pending is None:
+                return
+            op_name = rc.steps[rc.step_idx]
+            try:
+                response = rc.pending.resolve()
+            except CloudAPIError as exc:
+                result.operations.append(
+                    OperationRecord(
+                        cid, op_name, rc.pending.t_submit, clock.now,
+                        False, exc.code, rc.attempts,
+                    )
+                )
+                if exc.transient and rc.attempts < self.retry.max_attempts:
+                    delay = self.retry.backoff(rc.attempts)
+                    events.schedule(clock.now + delay, ("retry", cid))
+                else:
+                    finish_change(cid, False, str(exc))
+                return
+            result.operations.append(
+                OperationRecord(
+                    cid, op_name, rc.pending.t_submit, clock.now, True,
+                    "", rc.attempts,
+                )
+            )
+            self._commit_step(plan, rc, state, op_name, response, clock.now)
+            rc.step_idx += 1
+            rc.attempts = 0
+            if rc.step_idx < len(rc.steps):
+                submit_step(cid, rc)
+            else:
+                finish_change(cid, True)
+
+        # drive the event loop
+        while True:
+            while ready and len(running) < self.concurrency:
+                ready_sorted = ready  # subclasses reorder through pick_next
+                cid = self.pick_next(ready_sorted)
+                ready.remove(cid)
+                if cid in dead:
+                    continue
+                start(cid)
+            if not running:
+                if not ready:
+                    break
+                continue
+            popped = events.pop()
+            if popped is None:
+                break
+            _, (kind, cid) = popped
+            if kind == "complete":
+                on_complete(cid)
+            elif kind == "retry":
+                rc = running.get(cid)
+                if rc is not None:
+                    submit_step(cid, rc)
+
+        result.finished_at = clock.now
+        result.state = state
+        result.api_calls = self.gateway.total_api_calls() - calls_before
+        state.bump()
+        return result
+
+    # -- operation submission / commit -------------------------------------------
+
+    def _submit_operation(
+        self, plan: Plan, rc: _Running, state: StateDocument
+    ) -> PendingOperation:
+        change = rc.change
+        op = rc.steps[rc.step_idx]
+        rtype = change.rtype
+        if op == "delete":
+            prior = change.prior if change.prior else state.get(change.address)
+            if prior is None:
+                raise _UnresolvedValueError(
+                    f"{change.id}: nothing in state to delete"
+                )
+            return self.gateway.submit(
+                "delete", rtype, resource_id=prior.resource_id
+            )
+        # create / update need (re-)evaluated attribute values
+        attrs = self._materialized_attrs(change)
+        region = change.region or self.gateway.region_for(rtype, attrs)
+        if op == "create":
+            payload = {k: v for k, v in attrs.items() if v is not None}
+            return self.gateway.submit("create", rtype, attrs=payload, region=region)
+        # update: send only the changed attributes
+        changed_names = [d.name for d in change.diffs]
+        prior = change.prior if change.prior else state.get(change.address)
+        if prior is None:
+            raise _UnresolvedValueError(f"{change.id}: nothing in state to update")
+        payload = {
+            name: attrs[name]
+            for name in changed_names
+            if name in attrs and attrs[name] is not None
+        }
+        return self.gateway.submit(
+            "update", rtype, resource_id=prior.resource_id, attrs=payload
+        )
+
+    def _materialized_attrs(self, change: PlannedChange) -> Dict[str, Any]:
+        assert change.node is not None
+        attrs = change.node.evaluate_attrs()
+        unknowns = sorted(
+            name for name, value in attrs.items() if is_unknown(value)
+        )
+        if unknowns:
+            raise _UnresolvedValueError(
+                f"{change.id}: attributes still unknown at apply time: "
+                f"{', '.join(unknowns)}"
+            )
+        return attrs
+
+    def _commit_step(
+        self,
+        plan: Plan,
+        rc: _Running,
+        state: StateDocument,
+        op: str,
+        response: Any,
+        now: float,
+    ) -> None:
+        change = rc.change
+        if op == "delete":
+            state.remove(change.address)
+            plan.resolver.drop_override(change.id)
+            return
+        assert isinstance(response, dict)
+        deps = sorted(
+            p
+            for p in plan.graph.dag.predecessors(change.id)
+            if plan.graph.nodes.get(p) is not None
+            and plan.graph.nodes[p].address.mode == "managed"
+        )
+        provider = change.provider or self.gateway.provider_of(change.rtype)
+        region = change.region or self.gateway.region_for(change.rtype, response)
+        if op == "create":
+            entry = ResourceState(
+                address=change.address,
+                resource_id=response["id"],
+                provider=provider,
+                attrs=dict(response),
+                region=region,
+                created_at=now,
+                updated_at=now,
+                dependencies=deps,
+            )
+            state.set(entry)
+        else:  # update
+            entry = state.get(change.address)
+            if entry is None and change.prior is not None:
+                entry = change.prior.copy()
+                state.set(entry)
+            if entry is not None:
+                entry.attrs = dict(response)
+                entry.updated_at = now
+                entry.dependencies = deps or entry.dependencies
+        plan.resolver.set_override(change.id, dict(response))
+
+
+class _UnresolvedValueError(RuntimeError):
+    """Attribute values still unknown when the operation must run."""
+
+
+class SequentialExecutor(PlanExecutor):
+    """One operation at a time, alphabetical order. The floor."""
+
+    name = "sequential"
+
+    def __init__(self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None):
+        super().__init__(gateway, concurrency=1, retry=retry)
+
+    def pick_next(self, ready: List[str]) -> str:
+        return min(ready)
+
+
+class BestEffortExecutor(PlanExecutor):
+    """Terraform-style bounded-parallel walk, no prioritization.
+
+    Ready nodes are dispatched in the order they became ready
+    (alphabetical among ties) -- a faithful model of the "best effort"
+    graph walk the paper critiques.
+    """
+
+    name = "best-effort"
+
+    def __init__(
+        self,
+        gateway: CloudGateway,
+        concurrency: int = 10,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        super().__init__(gateway, concurrency=concurrency, retry=retry)
+
+    def pick_next(self, ready: List[str]) -> str:
+        return ready[0]
+
+
+class CriticalPathExecutor(PlanExecutor):
+    """The cloudless scheduler: longest-remaining-path-first dispatch.
+
+    ``rate_aware=True`` additionally prefers, among near-critical
+    candidates, operations whose provider write bucket can start
+    soonest, so a throttled provider does not stall the critical path.
+    """
+
+    name = "critical-path"
+
+    def __init__(
+        self,
+        gateway: CloudGateway,
+        concurrency: int = 10,
+        retry: Optional[RetryPolicy] = None,
+        rate_aware: bool = True,
+    ):
+        super().__init__(gateway, concurrency=concurrency, retry=retry)
+        self.rate_aware = rate_aware
+        self._priority: Dict[str, float] = {}
+
+    def prepare(self, plan: Plan, dag: Dag) -> None:
+        analysis = analyze(plan, self.gateway.mean_latency, execution_dag=dag)
+        self._priority = analysis.priorities
+        self._plan = plan
+
+    def pick_next(self, ready: List[str]) -> str:
+        best = max(ready, key=lambda cid: (self._priority.get(cid, 0.0), cid))
+        if not self.rate_aware:
+            return best
+        top = self._priority.get(best, 0.0)
+        candidates = [
+            cid for cid in ready if self._priority.get(cid, 0.0) >= 0.8 * top
+        ]
+        now = self.gateway.clock.now
+
+        def start_estimate(cid: str) -> float:
+            change = self._plan.changes[cid]
+            try:
+                plane = self.gateway.plane_for(change.rtype)
+            except Exception:
+                return now
+            return plane.limiter.available_at("write", now)
+
+        return min(
+            candidates,
+            key=lambda cid: (start_estimate(cid), -self._priority.get(cid, 0.0), cid),
+        )

@@ -1,0 +1,21 @@
+"""Drift detection and reconciliation (paper 3.5)."""
+
+from .detector import (
+    DetectionRun,
+    DriftFinding,
+    FullScanDetector,
+    LogWatchDetector,
+)
+from .reconcile import ADOPT, ENFORCE, NOTIFY, ReconcileReport, Reconciler
+
+__all__ = [
+    "ADOPT",
+    "DetectionRun",
+    "DriftFinding",
+    "ENFORCE",
+    "FullScanDetector",
+    "LogWatchDetector",
+    "NOTIFY",
+    "ReconcileReport",
+    "Reconciler",
+]

@@ -1,0 +1,208 @@
+"""Drift reconciliation (3.5).
+
+Once drift is detected the framework "should either regenerate the
+IaC-level program to reflect the latest deployment, or notify
+corresponding parties". The :class:`Reconciler` supports both, per
+drift kind:
+
+* ``enforce`` -- push the cloud back to the golden state;
+* ``adopt``   -- accept the cloud's version into state (and flag the
+  configuration for regeneration);
+* ``notify``  -- surface the finding to humans, touch nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..cloud.base import CloudAPIError
+from ..cloud.gateway import CloudGateway
+from ..state.document import ResourceState, StateDocument
+from .detector import DriftFinding
+
+ENFORCE = "enforce"
+ADOPT = "adopt"
+NOTIFY = "notify"
+
+
+@dataclasses.dataclass
+class ReconcileAction:
+    finding: DriftFinding
+    policy: str
+    performed: str  # human-readable description of what happened
+    ok: bool = True
+
+
+@dataclasses.dataclass
+class ReconcileReport:
+    actions: List[ReconcileAction]
+    notifications: List[str]
+    api_calls: int
+
+    def count(self, policy: str) -> int:
+        return sum(1 for a in self.actions if a.policy == policy)
+
+
+class Reconciler:
+    """Applies a per-kind reconciliation policy to drift findings."""
+
+    def __init__(
+        self,
+        gateway: CloudGateway,
+        policy: Optional[Dict[str, str]] = None,
+    ):
+        self.gateway = gateway
+        self.policy = {
+            "modified": ENFORCE,
+            "deleted": ENFORCE,
+            "unmanaged": NOTIFY,
+        }
+        if policy:
+            self.policy.update(policy)
+
+    def reconcile(
+        self, findings: List[DriftFinding], state: StateDocument
+    ) -> ReconcileReport:
+        calls_before = self.gateway.total_api_calls()
+        actions: List[ReconcileAction] = []
+        notifications: List[str] = []
+        for finding in findings:
+            policy = self.policy.get(finding.kind, NOTIFY)
+            if policy == NOTIFY:
+                message = (
+                    f"drift[{finding.kind}] {finding.resource_type} "
+                    f"{finding.resource_id}"
+                    + (f" by {finding.actor}" if finding.actor else "")
+                )
+                notifications.append(message)
+                actions.append(
+                    ReconcileAction(finding, NOTIFY, "notified operators")
+                )
+                continue
+            try:
+                description = self._apply(finding, policy, state)
+                actions.append(ReconcileAction(finding, policy, description))
+            except CloudAPIError as exc:
+                actions.append(
+                    ReconcileAction(finding, policy, str(exc), ok=False)
+                )
+        return ReconcileReport(
+            actions=actions,
+            notifications=notifications,
+            api_calls=self.gateway.total_api_calls() - calls_before,
+        )
+
+    def _apply(
+        self, finding: DriftFinding, policy: str, state: StateDocument
+    ) -> str:
+        if finding.kind == "modified":
+            entry = state.by_resource_id(finding.resource_id)
+            if entry is None:
+                return "no state entry; nothing to do"
+            if policy == ENFORCE:
+                rtype = entry.address.type
+                updatable, immutable = self._split_drift(entry, finding)
+                if immutable:
+                    # the drifted attribute cannot change in place; the
+                    # only way back to golden state is replacement
+                    self.gateway.execute(
+                        "delete", rtype, resource_id=entry.resource_id
+                    )
+                    payload = self._settable_attrs(entry)
+                    region = entry.region or self.gateway.default_region(rtype)
+                    response = self.gateway.execute(
+                        "create", rtype, attrs=payload, region=region
+                    )
+                    entry.resource_id = response["id"]
+                    entry.attrs = dict(response)
+                    return (
+                        "recreated resource (drift on immutable attrs: "
+                        + ", ".join(immutable)
+                        + ")"
+                    )
+                if not updatable:
+                    return "drift already matches golden state"
+                response = self.gateway.execute(
+                    "update",
+                    rtype,
+                    resource_id=entry.resource_id,
+                    attrs=updatable,
+                )
+                entry.attrs = dict(response)
+                return "reset cloud attributes to golden state"
+            # adopt: pull the cloud's version into state
+            live = self.gateway.find_record(finding.resource_id)
+            if live is not None:
+                entry.attrs = live.snapshot()
+            return "adopted cloud attributes into state"
+        if finding.kind == "deleted":
+            entry = state.by_resource_id(finding.resource_id)
+            if entry is None:
+                return "no state entry; nothing to do"
+            if policy == ENFORCE:
+                payload = self._settable_attrs(entry)
+                region = entry.region or self.gateway.default_region(
+                    entry.address.type
+                )
+                response = self.gateway.execute(
+                    "create", entry.address.type, attrs=payload, region=region
+                )
+                state.set(
+                    ResourceState(
+                        address=entry.address,
+                        resource_id=response["id"],
+                        provider=entry.provider,
+                        attrs=dict(response),
+                        region=region,
+                    )
+                )
+                return "recreated deleted resource"
+            state.remove(entry.address)
+            return "removed deleted resource from state"
+        if finding.kind == "unmanaged" and policy == ADOPT:
+            return "flagged for import into configuration"
+        return "no action"
+
+    def _split_drift(self, entry: ResourceState, finding: DriftFinding):
+        """Golden values for the drifted attrs: (updatable, immutable)."""
+        spec = self.gateway.try_spec(entry.address.type)
+        live = self.gateway.find_record(entry.resource_id)
+        changed = list(finding.changed_attrs)
+        if not changed and live is not None:
+            changed = sorted(
+                key
+                for key in set(entry.attrs) | set(live.attrs)
+                if entry.attrs.get(key) != live.attrs.get(key)
+            )
+        updatable: Dict[str, object] = {}
+        immutable: List[str] = []
+        for attr in changed:
+            golden = entry.attrs.get(attr)
+            if live is not None and live.attrs.get(attr) == golden:
+                continue  # already matches
+            if spec is not None:
+                aspec = spec.attr(attr)
+                if aspec is None or aspec.computed:
+                    continue
+                if attr in spec.immutable_attrs or aspec.forces_replacement:
+                    immutable.append(attr)
+                    continue
+            if golden is not None:
+                updatable[attr] = golden
+        return updatable, immutable
+
+    def _settable_attrs(self, entry: ResourceState) -> Dict[str, object]:
+        spec = self.gateway.try_spec(entry.address.type)
+        out = {}
+        for key, value in entry.attrs.items():
+            if value is None:
+                continue
+            if spec is not None:
+                aspec = spec.attr(key)
+                if aspec is None or aspec.computed:
+                    continue
+            elif key == "id":
+                continue
+            out[key] = value
+        return out

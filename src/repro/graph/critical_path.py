@@ -1,0 +1,75 @@
+"""Critical-path analysis over execution plans (3.3).
+
+Computes per-change priorities (longest remaining path, weighted by
+estimated provisioning latency), the critical path itself, and the
+theoretical lower bound on makespan -- the numbers the cloudless
+scheduler uses and the E1 benchmark reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .dag import Dag
+from .plan import Action, Plan, PlannedChange
+
+
+@dataclasses.dataclass
+class CriticalPathAnalysis:
+    """Result bundle for one plan."""
+
+    priorities: Dict[str, float]  # change id -> longest path to sink
+    critical_path: List[str]
+    critical_length_s: float
+    total_work_s: float
+    max_width: int
+
+    @property
+    def parallelism_bound(self) -> float:
+        """Best possible speedup over sequential (work / span)."""
+        if self.critical_length_s <= 0:
+            return 1.0
+        return self.total_work_s / self.critical_length_s
+
+
+def estimate_change_duration(
+    change: PlannedChange, mean_latency: Callable[[str, str], float]
+) -> float:
+    """Expected execution time of one planned change."""
+    rtype = change.rtype
+    if change.action is Action.CREATE:
+        return mean_latency(rtype, "create")
+    if change.action is Action.UPDATE:
+        return mean_latency(rtype, "update")
+    if change.action is Action.DELETE:
+        return mean_latency(rtype, "delete")
+    if change.action is Action.REPLACE:
+        return mean_latency(rtype, "delete") + mean_latency(rtype, "create")
+    if change.action is Action.READ:
+        return mean_latency(rtype, "read")
+    return 0.0
+
+
+def analyze(
+    plan: Plan,
+    mean_latency: Callable[[str, str], float],
+    execution_dag: Optional[Dag] = None,
+) -> CriticalPathAnalysis:
+    """Critical-path analysis of a plan's execution DAG."""
+    dag = execution_dag if execution_dag is not None else plan.execution_dag()
+    durations = {
+        cid: estimate_change_duration(plan.changes[cid], mean_latency)
+        for cid in dag.nodes
+    }
+    if not dag.nodes:
+        return CriticalPathAnalysis({}, [], 0.0, 0.0, 0)
+    priorities = dag.longest_path_to_sink(lambda n: durations[n])
+    length, path = dag.critical_path(lambda n: durations[n])
+    return CriticalPathAnalysis(
+        priorities=priorities,
+        critical_path=path,
+        critical_length_s=length,
+        total_work_s=sum(durations.values()),
+        max_width=dag.max_width(),
+    )

@@ -1,0 +1,276 @@
+"""Generic directed acyclic graph.
+
+The workhorse behind resource dependency graphs, execution plans,
+critical-path scheduling (3.3), and impact-scope analysis (3.3). Nodes
+are hashable identifiers; payloads live in the caller.
+
+Edge direction convention: an edge ``u -> v`` means *u must complete
+before v* (v depends on u).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+N = TypeVar("N", bound=Hashable)
+
+
+class CycleError(ValueError):
+    """Raised when a DAG operation finds a dependency cycle."""
+
+    def __init__(self, cycle: List):
+        pretty = " -> ".join(str(n) for n in cycle)
+        super().__init__(f"dependency cycle: {pretty}")
+        self.cycle = cycle
+
+
+class Dag(Generic[N]):
+    """Adjacency-set DAG with the analyses the planner needs."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[N, Set[N]] = {}
+        self._pred: Dict[N, Set[N]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: N) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, before: N, after: N) -> None:
+        """Record that ``before`` must complete before ``after``."""
+        if before == after:
+            raise CycleError([before, after])
+        self.add_node(before)
+        self.add_node(after)
+        self._succ[before].add(after)
+        self._pred[after].add(before)
+
+    def remove_node(self, node: N) -> None:
+        for succ in self._succ.pop(node, set()):
+            self._pred[succ].discard(node)
+        for pred in self._pred.pop(node, set()):
+            self._succ[pred].discard(node)
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[N]:
+        return list(self._succ.keys())
+
+    def __contains__(self, node: N) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def edges(self) -> List[Tuple[N, N]]:
+        return [(u, v) for u, succs in self._succ.items() for v in succs]
+
+    def successors(self, node: N) -> Set[N]:
+        return set(self._succ.get(node, set()))
+
+    def predecessors(self, node: N) -> Set[N]:
+        return set(self._pred.get(node, set()))
+
+    def in_degree(self, node: N) -> int:
+        return len(self._pred.get(node, set()))
+
+    def roots(self) -> List[N]:
+        return [n for n in self._succ if not self._pred[n]]
+
+    def leaves(self) -> List[N]:
+        return [n for n in self._succ if not self._succ[n]]
+
+    # -- traversal ------------------------------------------------------------
+
+    def topological_order(self, key: Optional[Callable[[N], object]] = None) -> List[N]:
+        """Kahn's algorithm; ``key`` breaks ties deterministically."""
+        indeg = {n: len(self._pred[n]) for n in self._succ}
+        ready = [n for n, d in indeg.items() if d == 0]
+        sort_key = key or (lambda n: str(n))
+        ready.sort(key=sort_key)
+        out: List[N] = []
+        while ready:
+            node = ready.pop(0)
+            out.append(node)
+            inserted = False
+            for succ in sorted(self._succ[node], key=sort_key):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+                    inserted = True
+            if inserted:
+                ready.sort(key=sort_key)
+        if len(out) != len(self._succ):
+            raise CycleError(self.find_cycle() or [])
+        return out
+
+    def find_cycle(self) -> Optional[List[N]]:
+        """Some cycle in the graph, or None."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[N, int] = {n: WHITE for n in self._succ}
+        parent: Dict[N, Optional[N]] = {}
+
+        for start in self._succ:
+            if color[start] != WHITE:
+                continue
+            stack: List[Tuple[N, Iterable[N]]] = [(start, iter(sorted(self._succ[start], key=str)))]
+            color[start] = GRAY
+            parent[start] = None
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if color[succ] == WHITE:
+                        color[succ] = GRAY
+                        parent[succ] = node
+                        stack.append((succ, iter(sorted(self._succ[succ], key=str))))
+                        advanced = True
+                        break
+                    if color[succ] == GRAY:
+                        cycle = [succ, node]
+                        cur = parent[node]
+                        while cur is not None and cur != succ:
+                            cycle.append(cur)
+                            cur = parent[cur]
+                        cycle.append(succ)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def validate_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle:
+            raise CycleError(cycle)
+
+    def ancestors(self, node: N) -> Set[N]:
+        """Every node that must complete before ``node``."""
+        return self._reach(node, self._pred)
+
+    def descendants(self, node: N) -> Set[N]:
+        """Every node that depends (transitively) on ``node``."""
+        return self._reach(node, self._succ)
+
+    def _reach(self, node: N, adj: Dict[N, Set[N]]) -> Set[N]:
+        seen: Set[N] = set()
+        frontier = deque(adj.get(node, set()))
+        while frontier:
+            cur = frontier.popleft()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(adj.get(cur, set()))
+        return seen
+
+    def subgraph(self, keep: Set[N]) -> "Dag[N]":
+        """Induced subgraph over ``keep``."""
+        out: Dag[N] = Dag()
+        for node in self._succ:
+            if node in keep:
+                out.add_node(node)
+        for u, v in self.edges():
+            if u in keep and v in keep:
+                out.add_edge(u, v)
+        return out
+
+    def reversed(self) -> "Dag[N]":
+        out: Dag[N] = Dag()
+        for node in self._succ:
+            out.add_node(node)
+        for u, v in self.edges():
+            out.add_edge(v, u)
+        return out
+
+    def copy(self) -> "Dag[N]":
+        out: Dag[N] = Dag()
+        for node in self._succ:
+            out.add_node(node)
+        for u, v in self.edges():
+            out.add_edge(u, v)
+        return out
+
+    # -- weighted analyses ------------------------------------------------------
+
+    def longest_path_to_sink(self, weight: Callable[[N], float]) -> Dict[N, float]:
+        """For each node: weight of the heaviest path from it to any sink,
+        *including its own weight*. This is the critical-path priority
+        used by the cloudless scheduler (3.3).
+        """
+        order = self.topological_order()
+        dist: Dict[N, float] = {}
+        for node in reversed(order):
+            succ_best = max(
+                (dist[s] for s in self._succ[node]), default=0.0
+            )
+            dist[node] = weight(node) + succ_best
+        return dist
+
+    def critical_path(self, weight: Callable[[N], float]) -> Tuple[float, List[N]]:
+        """The heaviest root-to-sink path (length, nodes)."""
+        if not self._succ:
+            return 0.0, []
+        dist = self.longest_path_to_sink(weight)
+        path: List[N] = []
+        node = max(self.roots(), key=lambda n: (dist[n], str(n)))
+        while True:
+            path.append(node)
+            succs = self._succ[node]
+            if not succs:
+                break
+            node = max(succs, key=lambda n: (dist[n], str(n)))
+        return dist[path[0]], path
+
+    def width_profile(self) -> List[int]:
+        """Number of nodes per dependency level (parallelism profile)."""
+        level: Dict[N, int] = {}
+        for node in self.topological_order():
+            preds = self._pred[node]
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+        if not level:
+            return []
+        depth = max(level.values()) + 1
+        profile = [0] * depth
+        for lv in level.values():
+            profile[lv] += 1
+        return profile
+
+    def max_width(self) -> int:
+        profile = self.width_profile()
+        return max(profile) if profile else 0
+
+    # -- export -----------------------------------------------------------
+
+    def to_dot(
+        self,
+        name: str = "resources",
+        label: Optional[Callable[[N], str]] = None,
+        color: Optional[Callable[[N], str]] = None,
+    ) -> str:
+        """Graphviz DOT rendering (the `cloudless graph` command)."""
+        label = label or str
+        lines = [f"digraph \"{name}\" {{", "  rankdir = LR;"]
+        for node in sorted(self._succ, key=str):
+            attrs = [f'label="{label(node)}"']
+            if color is not None:
+                attrs.append(f'color="{color(node)}"')
+            lines.append(f'  "{node}" [{", ".join(attrs)}];')
+        for u, v in sorted(self.edges(), key=lambda e: (str(e[0]), str(e[1]))):
+            lines.append(f'  "{u}" -> "{v}";')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""CLC: the Cloudless Configuration Language.
+
+A from-scratch declarative IaC language with HCL2 semantics -- the
+substrate for every lifecycle stage in the cloudless framework (paper
+section 2.1, Figure 2).
+
+Typical use::
+
+    from repro.lang import Configuration, ModuleContext
+
+    cfg = Configuration.parse('''
+    variable "name" { default = "web" }
+    resource "aws_vm" "box" { name = var.name }
+    ''')
+    ctx = ModuleContext(cfg)
+"""
+
+from .ast_nodes import (
+    AttrAccess,
+    Attribute,
+    BinaryOp,
+    Block,
+    Body,
+    Conditional,
+    ConfigFile,
+    Expr,
+    ForExpr,
+    FunctionCall,
+    IndexAccess,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ScopeRef,
+    SplatExpr,
+    TemplateExpr,
+    UnaryOp,
+    walk_expr,
+)
+from .config import (
+    Configuration,
+    LifecycleOptions,
+    ModuleCall,
+    OutputDecl,
+    ProviderConfig,
+    ResourceDecl,
+    VariableDecl,
+    VariableValidation,
+)
+from .context import ModuleContext, ResourceResolver, StaticResolver
+from .diagnostics import (
+    CLCError,
+    CLCEvalError,
+    CLCSyntaxError,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    SourceSpan,
+)
+from .evaluator import Evaluator, Scope, evaluate
+from .functions import FUNCTIONS, call_function
+from .lexer import Lexer, tokenize
+from .module_loader import (
+    DictModuleLoader,
+    FileSystemModuleLoader,
+    ModuleLoader,
+    NullModuleLoader,
+)
+from .parser import Parser, parse_expression_source, parse_file
+from .references import Reference, body_references, extract_references
+from .values import UNKNOWN, Unknown, is_unknown, to_string, type_name
+
+__all__ = [
+    "AttrAccess",
+    "Attribute",
+    "BinaryOp",
+    "Block",
+    "Body",
+    "CLCError",
+    "CLCEvalError",
+    "CLCSyntaxError",
+    "Conditional",
+    "ConfigFile",
+    "Configuration",
+    "Diagnostic",
+    "DiagnosticSink",
+    "DictModuleLoader",
+    "Evaluator",
+    "Expr",
+    "FileSystemModuleLoader",
+    "ForExpr",
+    "FUNCTIONS",
+    "FunctionCall",
+    "IndexAccess",
+    "Lexer",
+    "LifecycleOptions",
+    "ListExpr",
+    "Literal",
+    "ModuleCall",
+    "ModuleContext",
+    "ModuleLoader",
+    "NullModuleLoader",
+    "ObjectExpr",
+    "OutputDecl",
+    "Parser",
+    "ProviderConfig",
+    "Reference",
+    "ResourceDecl",
+    "ResourceResolver",
+    "Scope",
+    "ScopeRef",
+    "Severity",
+    "SourceSpan",
+    "SplatExpr",
+    "StaticResolver",
+    "TemplateExpr",
+    "UNKNOWN",
+    "UnaryOp",
+    "Unknown",
+    "VariableDecl",
+    "VariableValidation",
+    "body_references",
+    "call_function",
+    "evaluate",
+    "extract_references",
+    "is_unknown",
+    "parse_expression_source",
+    "parse_file",
+    "to_string",
+    "tokenize",
+    "type_name",
+    "walk_expr",
+]

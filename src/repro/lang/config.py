@@ -1,0 +1,488 @@
+"""Typed configuration model extracted from parsed CLC files.
+
+The parser gives us generic blocks; this module classifies them into
+variables, locals, outputs, resources, data sources, module calls, and
+provider configurations -- checking structural rules (labels, duplicate
+names, known meta-arguments) and collecting diagnostics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from .ast_nodes import (
+    Attribute,
+    Block,
+    Body,
+    ConfigFile,
+    Expr,
+    FunctionCall,
+    Literal,
+    ScopeRef,
+)
+from .diagnostics import CLCError, DiagnosticSink, SourceSpan
+from .parser import parse_file
+from .references import Reference, body_references, extract_references
+
+# meta-arguments recognised on resource/data blocks
+_RESOURCE_META = {"count", "for_each", "depends_on", "provider", "lifecycle"}
+_MODULE_META = {"source", "count", "for_each", "depends_on", "providers", "version"}
+_PRIMITIVE_TYPES = {"string", "number", "bool", "any"}
+_TYPE_CONSTRUCTORS = {"list", "set", "map", "object", "tuple"}
+
+
+@dataclasses.dataclass
+class LifecycleOptions:
+    """Subset of Terraform's ``lifecycle`` meta-block we honour."""
+
+    prevent_destroy: bool = False
+    create_before_destroy: bool = False
+    ignore_changes: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class VariableValidation:
+    """One ``validation { condition, error_message }`` rule."""
+
+    condition: Expr
+    error_message: str
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+
+@dataclasses.dataclass
+class VariableDecl:
+    name: str
+    type_constraint: str = "any"
+    default: Optional[Expr] = None
+    description: str = ""
+    sensitive: bool = False
+    validations: List["VariableValidation"] = dataclasses.field(
+        default_factory=list
+    )
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+
+@dataclasses.dataclass
+class OutputDecl:
+    name: str
+    value: Expr
+    description: str = ""
+    sensitive: bool = False
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+
+@dataclasses.dataclass
+class ResourceDecl:
+    """One ``resource`` or ``data`` block."""
+
+    mode: str  # "managed" | "data"
+    type: str
+    name: str
+    body: Body
+    count: Optional[Expr] = None
+    for_each: Optional[Expr] = None
+    depends_on: List[Reference] = dataclasses.field(default_factory=list)
+    provider: str = ""
+    lifecycle: LifecycleOptions = dataclasses.field(default_factory=LifecycleOptions)
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.mode, self.type, self.name)
+
+    @property
+    def address(self) -> str:
+        prefix = "data." if self.mode == "data" else ""
+        return f"{prefix}{self.type}.{self.name}"
+
+    def references(self) -> set:
+        """Config objects referenced by this resource's body + meta."""
+        refs = body_references(self.body)
+        if self.count is not None:
+            refs |= extract_references(self.count)
+        if self.for_each is not None:
+            refs |= extract_references(self.for_each)
+        refs |= set(self.depends_on)
+        return refs
+
+
+@dataclasses.dataclass
+class ModuleCall:
+    name: str
+    source: str
+    body: Body  # arguments (meta-args removed)
+    count: Optional[Expr] = None
+    for_each: Optional[Expr] = None
+    depends_on: List[Reference] = dataclasses.field(default_factory=list)
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+    def references(self) -> set:
+        refs = body_references(self.body)
+        if self.count is not None:
+            refs |= extract_references(self.count)
+        if self.for_each is not None:
+            refs |= extract_references(self.for_each)
+        refs |= set(self.depends_on)
+        return refs
+
+
+@dataclasses.dataclass
+class ProviderConfig:
+    name: str
+    alias: str = ""
+    body: Body = dataclasses.field(default_factory=Body)
+    span: SourceSpan = dataclasses.field(default_factory=SourceSpan)
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}.{self.alias}" if self.alias else self.name
+
+
+class Configuration:
+    """All declarations of one module, ready for expansion/evaluation."""
+
+    def __init__(self) -> None:
+        self.variables: Dict[str, VariableDecl] = {}
+        self.outputs: Dict[str, OutputDecl] = {}
+        self.locals: Dict[str, Attribute] = {}
+        self.resources: Dict[Tuple[str, str, str], ResourceDecl] = {}
+        self.module_calls: Dict[str, ModuleCall] = {}
+        self.providers: Dict[str, ProviderConfig] = {}
+        self.files: List[ConfigFile] = []
+        self.diagnostics = DiagnosticSink()
+
+    # -- lookup helpers ----------------------------------------------------
+
+    def resource(self, rtype: str, name: str, mode: str = "managed") -> Optional[
+        ResourceDecl
+    ]:
+        return self.resources.get((mode, rtype, name))
+
+    def managed_resources(self) -> List[ResourceDecl]:
+        return [r for r in self.resources.values() if r.mode == "managed"]
+
+    def data_sources(self) -> List[ResourceDecl]:
+        return [r for r in self.resources.values() if r.mode == "data"]
+
+    def resource_types(self) -> set:
+        return {r.type for r in self.resources.values()}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls, sources: Any, filename: str = "main.clc"
+    ) -> "Configuration":
+        """Parse source text (or a {filename: source} mapping)."""
+        if isinstance(sources, str):
+            sources = {filename: sources}
+        cfg = cls()
+        for fname in sorted(sources):
+            cfg.add_file(parse_file(sources[fname], fname))
+        return cfg
+
+    def add_file(self, cfile: ConfigFile) -> None:
+        self.files.append(cfile)
+        for name, attr in cfile.body.attributes.items():
+            self.diagnostics.error(
+                f"unexpected top-level attribute {name!r}", attr.span, "CLC001"
+            )
+        for block in cfile.body.blocks:
+            self._classify_block(block)
+
+    def _classify_block(self, block: Block) -> None:
+        handler = {
+            "variable": self._add_variable,
+            "output": self._add_output,
+            "locals": self._add_locals,
+            "resource": self._add_resource,
+            "data": self._add_data,
+            "module": self._add_module,
+            "provider": self._add_provider,
+            "terraform": lambda b: None,  # accepted and ignored
+        }.get(block.type)
+        if handler is None:
+            self.diagnostics.error(
+                f"unknown block type {block.type!r}", block.span, "CLC002"
+            )
+            return
+        handler(block)
+
+    # -- block handlers -------------------------------------------------------
+
+    def _add_variable(self, block: Block) -> None:
+        name = block.label(0)
+        if not name or len(block.labels) != 1:
+            self.diagnostics.error(
+                "variable block wants exactly one label", block.span, "CLC003"
+            )
+            return
+        if name in self.variables:
+            self.diagnostics.error(
+                f"duplicate variable {name!r}", block.span, "CLC004"
+            )
+            return
+        decl = VariableDecl(name=name, span=block.span)
+        type_expr = block.body.attr_expr("type")
+        if type_expr is not None:
+            constraint = _type_constraint_from_expr(type_expr)
+            if constraint is None:
+                self.diagnostics.error(
+                    "invalid type constraint", type_expr.span, "CLC005"
+                )
+            else:
+                decl.type_constraint = constraint
+        decl.default = block.body.attr_expr("default")
+        decl.description = _literal_str(block.body.attr_expr("description")) or ""
+        sensitive = block.body.attr_expr("sensitive")
+        if isinstance(sensitive, Literal) and sensitive.value is True:
+            decl.sensitive = True
+        for sub in block.body.blocks_of_type("validation"):
+            condition = sub.body.attr_expr("condition")
+            message = _literal_str(sub.body.attr_expr("error_message"))
+            if condition is None:
+                self.diagnostics.error(
+                    f"variable {name!r}: validation block needs 'condition'",
+                    sub.span,
+                    "CLC012",
+                )
+                continue
+            decl.validations.append(
+                VariableValidation(
+                    condition=condition,
+                    error_message=message or f"invalid value for var.{name}",
+                    span=sub.span,
+                )
+            )
+        self.variables[name] = decl
+
+    def _add_output(self, block: Block) -> None:
+        name = block.label(0)
+        if not name or len(block.labels) != 1:
+            self.diagnostics.error(
+                "output block wants exactly one label", block.span, "CLC003"
+            )
+            return
+        if name in self.outputs:
+            self.diagnostics.error(f"duplicate output {name!r}", block.span, "CLC004")
+            return
+        value = block.body.attr_expr("value")
+        if value is None:
+            self.diagnostics.error(
+                f"output {name!r} is missing 'value'", block.span, "CLC006"
+            )
+            return
+        self.outputs[name] = OutputDecl(
+            name=name,
+            value=value,
+            description=_literal_str(block.body.attr_expr("description")) or "",
+            span=block.span,
+        )
+
+    def _add_locals(self, block: Block) -> None:
+        if block.labels:
+            self.diagnostics.error(
+                "locals block takes no labels", block.span, "CLC003"
+            )
+            return
+        for name, attr in block.body.attributes.items():
+            if name in self.locals:
+                self.diagnostics.error(
+                    f"duplicate local {name!r}", attr.span, "CLC004"
+                )
+                continue
+            self.locals[name] = attr
+
+    def _add_resource(self, block: Block) -> None:
+        self._add_resourceish(block, mode="managed")
+
+    def _add_data(self, block: Block) -> None:
+        self._add_resourceish(block, mode="data")
+
+    def _add_resourceish(self, block: Block, mode: str) -> None:
+        if len(block.labels) != 2:
+            self.diagnostics.error(
+                f"{block.type} block wants two labels (type, name)",
+                block.span,
+                "CLC003",
+            )
+            return
+        rtype, name = block.labels
+        key = (mode, rtype, name)
+        if key in self.resources:
+            self.diagnostics.error(
+                f"duplicate {block.type} {rtype}.{name}", block.span, "CLC004"
+            )
+            return
+        decl = ResourceDecl(
+            mode=mode, type=rtype, name=name, body=Body(), span=block.span
+        )
+        decl.count = block.body.attr_expr("count")
+        decl.for_each = block.body.attr_expr("for_each")
+        if decl.count is not None and decl.for_each is not None:
+            self.diagnostics.error(
+                f"{decl.address}: 'count' and 'for_each' are mutually exclusive",
+                block.span,
+                "CLC007",
+            )
+        depends = block.body.attr_expr("depends_on")
+        if depends is not None:
+            decl.depends_on = _parse_depends_on(depends, self.diagnostics)
+        provider_expr = block.body.attr_expr("provider")
+        if provider_expr is not None:
+            decl.provider = _provider_ref_text(provider_expr) or ""
+            if not decl.provider:
+                self.diagnostics.error(
+                    f"{decl.address}: invalid provider reference",
+                    provider_expr.span,
+                    "CLC008",
+                )
+        # copy non-meta attributes & blocks into the decl body
+        for name_, attr in block.body.attributes.items():
+            if name_ not in _RESOURCE_META:
+                decl.body.attributes[name_] = attr
+        for sub in block.body.blocks:
+            if sub.type == "lifecycle":
+                decl.lifecycle = _parse_lifecycle(sub, self.diagnostics)
+            else:
+                decl.body.blocks.append(sub)
+        self.resources[key] = decl
+
+    def _add_module(self, block: Block) -> None:
+        name = block.label(0)
+        if not name or len(block.labels) != 1:
+            self.diagnostics.error(
+                "module block wants exactly one label", block.span, "CLC003"
+            )
+            return
+        if name in self.module_calls:
+            self.diagnostics.error(f"duplicate module {name!r}", block.span, "CLC004")
+            return
+        source = _literal_str(block.body.attr_expr("source"))
+        if source is None:
+            self.diagnostics.error(
+                f"module {name!r} is missing a literal 'source'", block.span, "CLC009"
+            )
+            return
+        call = ModuleCall(name=name, source=source, body=Body(), span=block.span)
+        call.count = block.body.attr_expr("count")
+        call.for_each = block.body.attr_expr("for_each")
+        depends = block.body.attr_expr("depends_on")
+        if depends is not None:
+            call.depends_on = _parse_depends_on(depends, self.diagnostics)
+        for name_, attr in block.body.attributes.items():
+            if name_ not in _MODULE_META:
+                call.body.attributes[name_] = attr
+        self.module_calls[name] = call
+
+    def _add_provider(self, block: Block) -> None:
+        name = block.label(0)
+        if not name or len(block.labels) != 1:
+            self.diagnostics.error(
+                "provider block wants exactly one label", block.span, "CLC003"
+            )
+            return
+        alias = _literal_str(block.body.attr_expr("alias")) or ""
+        pc = ProviderConfig(name=name, alias=alias, body=Body(), span=block.span)
+        for name_, attr in block.body.attributes.items():
+            if name_ != "alias":
+                pc.body.attributes[name_] = attr
+        pc.body.blocks = list(block.body.blocks)
+        if pc.key in self.providers:
+            self.diagnostics.error(
+                f"duplicate provider {pc.key!r}", block.span, "CLC004"
+            )
+            return
+        self.providers[pc.key] = pc
+
+
+# -- small extraction helpers -------------------------------------------------
+
+
+def _literal_str(expr: Optional[Expr]) -> Optional[str]:
+    if isinstance(expr, Literal) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _type_constraint_from_expr(expr: Expr) -> Optional[str]:
+    """Render a type-constraint expression (``list(string)``) to text."""
+    if isinstance(expr, ScopeRef):
+        return expr.name if expr.name in _PRIMITIVE_TYPES else None
+    if isinstance(expr, Literal) and isinstance(expr.value, str):
+        return expr.value if expr.value in _PRIMITIVE_TYPES else None
+    if isinstance(expr, FunctionCall) and expr.name in _TYPE_CONSTRUCTORS:
+        if not expr.args:
+            return expr.name
+        inner = _type_constraint_from_expr(expr.args[0])
+        if inner is None:
+            return f"{expr.name}(any)"
+        return f"{expr.name}({inner})"
+    return None
+
+
+def _provider_ref_text(expr: Expr) -> Optional[str]:
+    from .ast_nodes import AttrAccess
+
+    if isinstance(expr, ScopeRef):
+        return expr.name
+    if isinstance(expr, AttrAccess) and isinstance(expr.obj, ScopeRef):
+        return f"{expr.obj.name}.{expr.name}"
+    if isinstance(expr, Literal) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _parse_depends_on(expr: Expr, sink: DiagnosticSink) -> List[Reference]:
+    from .ast_nodes import ListExpr
+
+    refs: List[Reference] = []
+    if not isinstance(expr, ListExpr):
+        sink.error("depends_on wants a list of references", expr.span, "CLC010")
+        return refs
+    for item in expr.items:
+        found = sorted(extract_references(item))
+        if not found:
+            sink.error(
+                "depends_on entries must be resource references", item.span, "CLC010"
+            )
+            continue
+        refs.extend(found)
+    return refs
+
+
+def _parse_lifecycle(block: Block, sink: DiagnosticSink) -> LifecycleOptions:
+    opts = LifecycleOptions()
+    for name, attr in block.body.attributes.items():
+        if name == "prevent_destroy":
+            if isinstance(attr.expr, Literal) and isinstance(attr.expr.value, bool):
+                opts.prevent_destroy = attr.expr.value
+            else:
+                sink.error("prevent_destroy wants a bool literal", attr.span, "CLC011")
+        elif name == "create_before_destroy":
+            if isinstance(attr.expr, Literal) and isinstance(attr.expr.value, bool):
+                opts.create_before_destroy = attr.expr.value
+            else:
+                sink.error(
+                    "create_before_destroy wants a bool literal", attr.span, "CLC011"
+                )
+        elif name == "ignore_changes":
+            from .ast_nodes import ListExpr
+
+            if isinstance(attr.expr, ListExpr):
+                for item in attr.expr.items:
+                    refs = sorted(extract_references(item))
+                    if isinstance(item, Literal) and isinstance(item.value, str):
+                        opts.ignore_changes.append(item.value)
+                    elif isinstance(item, ScopeRef):
+                        opts.ignore_changes.append(item.name)
+                    elif refs:
+                        opts.ignore_changes.append(str(refs[0]))
+            else:
+                sink.error("ignore_changes wants a list", attr.span, "CLC011")
+        else:
+            sink.error(
+                f"unknown lifecycle argument {name!r}", attr.span, "CLC011"
+            )
+    return opts

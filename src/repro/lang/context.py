@@ -1,0 +1,299 @@
+"""Module-level evaluation context.
+
+A :class:`ModuleContext` wires together everything an expression needs
+to evaluate inside one module instance: variable values (defaults
+applied, types coerced), lazily-evaluated locals with cycle detection,
+resource/data values supplied by a :class:`ResourceResolver` (the
+planner or applier), and child-module outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .config import Configuration, ModuleCall
+from .diagnostics import CLCEvalError, SourceSpan
+from .evaluator import Evaluator, Scope
+from .module_loader import ModuleLoader, NullModuleLoader
+from .values import UNKNOWN, Unknown, coerce_to_type
+
+ModulePath = Tuple[str, ...]
+
+
+class ResourceResolver:
+    """Supplies resource/data values during evaluation.
+
+    The default implementation returns :class:`Unknown` for everything,
+    which is exactly what expression-level validation wants. Planners
+    and appliers override :meth:`resolve`.
+    """
+
+    def resolve(
+        self,
+        module_path: ModulePath,
+        mode: str,
+        rtype: str,
+        name: str,
+        span: Optional[SourceSpan] = None,
+    ) -> Any:
+        prefix = "data." if mode == "data" else ""
+        mods = "".join(f"module.{m}." for m in module_path)
+        return Unknown(f"{mods}{prefix}{rtype}.{name}")
+
+
+class DeferredResolver(ResourceResolver):
+    """Indirection slot: the graph builder installs this into module
+    contexts, and the planner/applier later points ``target`` at a
+    state-backed resolver. Until then everything is Unknown."""
+
+    def __init__(self) -> None:
+        self.target: Optional[ResourceResolver] = None
+
+    def resolve(self, module_path, mode, rtype, name, span=None):
+        if self.target is not None:
+            return self.target.resolve(module_path, mode, rtype, name, span)
+        return super().resolve(module_path, mode, rtype, name, span)
+
+
+class StaticResolver(ResourceResolver):
+    """Resolver backed by a plain dict of ``address text -> value``."""
+
+    def __init__(self, values: Dict[str, Any]):
+        self.values = dict(values)
+
+    def resolve(self, module_path, mode, rtype, name, span=None):
+        prefix = "data." if mode == "data" else ""
+        mods = "".join(f"module.{m}." for m in module_path)
+        key = f"{mods}{prefix}{rtype}.{name}"
+        if key in self.values:
+            return self.values[key]
+        return Unknown(key)
+
+
+class _KeyedMapping(Mapping):
+    """Read-only mapping that computes values on access."""
+
+    def __init__(self, keys: List[str], fetch: Callable[[str], Any], what: str):
+        self._keys = list(keys)
+        self._fetch = fetch
+        self._what = what
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self._keys:
+            raise KeyError(key)
+        return self._fetch(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self._what} {self._keys!r}>"
+
+
+class _LazyLocals(Mapping):
+    """Locals evaluated on first access, with cycle detection."""
+
+    def __init__(self, ctx: "ModuleContext"):
+        self._ctx = ctx
+        self._cache: Dict[str, Any] = {}
+        self._in_progress: set = set()
+
+    def __getitem__(self, name: str) -> Any:
+        cfg = self._ctx.config
+        if name not in cfg.locals:
+            raise KeyError(name)
+        if name in self._cache:
+            return self._cache[name]
+        if name in self._in_progress:
+            raise CLCEvalError(
+                f"local.{name} is self-referential (dependency cycle)",
+                cfg.locals[name].span,
+            )
+        self._in_progress.add(name)
+        try:
+            value = Evaluator(self._ctx.scope()).evaluate(cfg.locals[name].expr)
+        finally:
+            self._in_progress.discard(name)
+        self._cache[name] = value
+        return value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ctx.config.locals)
+
+    def __len__(self) -> int:
+        return len(self._ctx.config.locals)
+
+
+class ModuleContext:
+    """Evaluation context for one module instance."""
+
+    def __init__(
+        self,
+        config: Configuration,
+        variables: Optional[Dict[str, Any]] = None,
+        module_path: ModulePath = (),
+        loader: Optional[ModuleLoader] = None,
+        resolver: Optional[ResourceResolver] = None,
+    ):
+        self.config = config
+        self.module_path = module_path
+        self.loader = loader or NullModuleLoader()
+        self.resolver = resolver or ResourceResolver()
+        self.variables = self._finalize_variables(variables or {})
+        self._locals = _LazyLocals(self)
+        self._module_outputs: Dict[str, Any] = {}
+        self._children: Dict[str, ModuleContext] = {}
+
+    # -- variables ----------------------------------------------------------
+
+    def _finalize_variables(self, given: Dict[str, Any]) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        for name, decl in self.config.variables.items():
+            if name in given:
+                raw = given[name]
+            elif decl.default is not None:
+                raw = Evaluator(Scope(bindings={})).evaluate(decl.default)
+            else:
+                raise CLCEvalError(
+                    f"required variable {name!r} was not provided", decl.span
+                )
+            try:
+                values[name] = coerce_to_type(
+                    raw, decl.type_constraint, path=f"var.{name}"
+                )
+            except TypeError as exc:
+                raise CLCEvalError(str(exc), decl.span)
+        extra = set(given) - set(self.config.variables)
+        if extra:
+            raise CLCEvalError(
+                f"unknown variable(s) provided: {', '.join(sorted(extra))}"
+            )
+        # custom validation rules (variable { validation { ... } })
+        scope = Scope(bindings={"var": values})
+        for name, decl in self.config.variables.items():
+            for rule in decl.validations:
+                verdict = Evaluator(scope).evaluate(rule.condition)
+                if verdict is False:
+                    raise CLCEvalError(
+                        f"var.{name}: {rule.error_message}", rule.span
+                    )
+        return values
+
+    # -- scope / root resolution ---------------------------------------------
+
+    def scope(self, bindings: Optional[Dict[str, Any]] = None) -> Scope:
+        base = Scope(resolver=self._resolve_root)
+        if bindings:
+            return base.child(bindings)
+        return base
+
+    def evaluator(self, bindings: Optional[Dict[str, Any]] = None) -> Evaluator:
+        return Evaluator(self.scope(bindings))
+
+    def _resolve_root(self, name: str, span: Optional[SourceSpan]) -> Any:
+        if name == "var":
+            return self.variables
+        if name == "local":
+            return self._locals
+        if name == "data":
+            return self._data_root()
+        if name == "module":
+            return self._module_root()
+        if name == "path":
+            return {"module": ".", "root": ".", "cwd": "."}
+        managed_names = sorted(
+            r.name
+            for r in self.config.resources.values()
+            if r.mode == "managed" and r.type == name
+        )
+        if managed_names:
+            return _KeyedMapping(
+                managed_names,
+                lambda n, t=name: self.resolver.resolve(
+                    self.module_path, "managed", t, n, span
+                ),
+                f"resources:{name}",
+            )
+        raise CLCEvalError(f"unknown identifier {name!r}", span)
+
+    def _data_root(self) -> Mapping:
+        types = sorted(
+            {r.type for r in self.config.resources.values() if r.mode == "data"}
+        )
+
+        def fetch_type(rtype: str) -> Mapping:
+            names = sorted(
+                r.name
+                for r in self.config.resources.values()
+                if r.mode == "data" and r.type == rtype
+            )
+            return _KeyedMapping(
+                names,
+                lambda n: self.resolver.resolve(
+                    self.module_path, "data", rtype, n, None
+                ),
+                f"data:{rtype}",
+            )
+
+        return _KeyedMapping(types, fetch_type, "data")
+
+    def _module_root(self) -> Mapping:
+        names = sorted(self.config.module_calls)
+        return _KeyedMapping(names, self._module_outputs_for, "modules")
+
+    # -- child modules -----------------------------------------------------
+
+    def child_context(self, call_name: str) -> "ModuleContext":
+        """The evaluation context of a (cached) child module instance."""
+        if call_name in self._children:
+            return self._children[call_name]
+        call = self.config.module_calls.get(call_name)
+        if call is None:
+            raise CLCEvalError(f"unknown module call {call_name!r}")
+        if call.count is not None or call.for_each is not None:
+            raise CLCEvalError(
+                f"module {call_name!r}: count/for_each on modules is not supported",
+                call.span,
+            )
+        child_cfg = self.loader.load(call.source)
+        if child_cfg.diagnostics.has_errors():
+            raise CLCEvalError(
+                f"module {call_name!r} has configuration errors: "
+                f"{child_cfg.diagnostics.errors[0].message}",
+                call.span,
+            )
+        args = {
+            name: Evaluator(self.scope()).evaluate(attr.expr)
+            for name, attr in call.body.attributes.items()
+        }
+        ctx = ModuleContext(
+            child_cfg,
+            variables=args,
+            module_path=self.module_path + (call_name,),
+            loader=self.loader,
+            resolver=self.resolver,
+        )
+        self._children[call_name] = ctx
+        return ctx
+
+    def _module_outputs_for(self, call_name: str) -> Mapping:
+        ctx = self.child_context(call_name)
+
+        def fetch(output_name: str) -> Any:
+            decl = ctx.config.outputs[output_name]
+            return Evaluator(ctx.scope()).evaluate(decl.value)
+
+        return _KeyedMapping(sorted(ctx.config.outputs), fetch, f"module.{call_name}")
+
+    # -- outputs of *this* module -------------------------------------------
+
+    def output_values(self) -> Dict[str, Any]:
+        """Evaluate every output declared by this module."""
+        out: Dict[str, Any] = {}
+        for name, decl in self.config.outputs.items():
+            out[name] = Evaluator(self.scope()).evaluate(decl.value)
+        return out

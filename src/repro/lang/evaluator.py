@@ -1,0 +1,373 @@
+"""Expression evaluation for CLC.
+
+The evaluator walks AST expression nodes against a :class:`Scope`: any
+object exposing ``resolve_root(name, span) -> value``. Unknown values
+(attributes of not-yet-created resources) propagate through every
+operator and function so that plans can be computed before deployment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Callable, Dict, List, Optional
+
+from .ast_nodes import (
+    AttrAccess,
+    BinaryOp,
+    Conditional,
+    Expr,
+    ForExpr,
+    FunctionCall,
+    IndexAccess,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ScopeRef,
+    SplatExpr,
+    TemplateExpr,
+    UnaryOp,
+)
+from .diagnostics import CLCEvalError, SourceSpan
+from .functions import call_function
+from .values import UNKNOWN, Unknown, is_unknown, to_string, type_name
+
+
+class Scope:
+    """Resolution environment for root identifiers.
+
+    ``parent`` chains let per-instance bindings (``count``, ``each``,
+    ``for`` loop variables) overlay a module-level scope.
+    """
+
+    def __init__(
+        self,
+        bindings: Optional[Dict[str, Any]] = None,
+        parent: Optional["Scope"] = None,
+        resolver: Optional[Callable[[str, Optional[SourceSpan]], Any]] = None,
+    ):
+        self._bindings = bindings or {}
+        self._parent = parent
+        self._resolver = resolver
+
+    def child(self, bindings: Dict[str, Any]) -> "Scope":
+        """A new scope overlaying ``bindings`` on top of this one."""
+        return Scope(bindings=bindings, parent=self)
+
+    def resolve_root(self, name: str, span: Optional[SourceSpan] = None) -> Any:
+        if name in self._bindings:
+            return self._bindings[name]
+        if self._parent is not None:
+            return self._parent.resolve_root(name, span)
+        if self._resolver is not None:
+            return self._resolver(name, span)
+        raise CLCEvalError(f"unknown identifier {name!r}", span)
+
+
+class Evaluator:
+    """Evaluates CLC expressions within a :class:`Scope`."""
+
+    def __init__(self, scope: Scope):
+        self.scope = scope
+
+    def evaluate(self, expr: Expr) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:  # pragma: no cover - exhaustive dispatch
+            raise CLCEvalError(f"cannot evaluate {type(expr).__name__}", expr.span)
+        return method(expr)
+
+    # -- leaf nodes ------------------------------------------------------
+
+    def _eval_Literal(self, expr: Literal) -> Any:
+        return expr.value
+
+    def _eval_ScopeRef(self, expr: ScopeRef) -> Any:
+        return self.scope.resolve_root(expr.name, expr.span)
+
+    def _eval_TemplateExpr(self, expr: TemplateExpr) -> Any:
+        parts = [self.evaluate(p) for p in expr.parts]
+        if any(is_unknown(p) for p in parts):
+            origins = [p.origin for p in parts if isinstance(p, Unknown) and p.origin]
+            return Unknown(origins[0]) if origins else UNKNOWN
+        return "".join(to_string(p) for p in parts)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _eval_AttrAccess(self, expr: AttrAccess) -> Any:
+        obj = self.evaluate(expr.obj)
+        return access_attr(obj, expr.name, expr.span)
+
+    def _eval_IndexAccess(self, expr: IndexAccess) -> Any:
+        obj = self.evaluate(expr.obj)
+        index = self.evaluate(expr.index)
+        if isinstance(obj, Unknown):
+            return obj
+        if isinstance(index, Unknown):
+            return index
+        if isinstance(obj, list):
+            if not isinstance(index, (int, float)) or isinstance(index, bool):
+                raise CLCEvalError(
+                    f"list index must be a number, got {type_name(index)}", expr.span
+                )
+            i = int(index)
+            if not 0 <= i < len(obj):
+                raise CLCEvalError(
+                    f"list index {i} out of range (length {len(obj)})", expr.span
+                )
+            return obj[i]
+        if isinstance(obj, Mapping):
+            if not isinstance(index, str):
+                raise CLCEvalError(
+                    f"map key must be a string, got {type_name(index)}", expr.span
+                )
+            if index not in obj:
+                raise CLCEvalError(f"map has no key {index!r}", expr.span)
+            return obj[index]
+        raise CLCEvalError(f"cannot index a {type_name(obj)}", expr.span)
+
+    def _eval_SplatExpr(self, expr: SplatExpr) -> Any:
+        obj = self.evaluate(expr.obj)
+        if isinstance(obj, Unknown):
+            return obj
+        if obj is None:
+            return []
+        items = obj if isinstance(obj, list) else [obj]
+        out = []
+        for item in items:
+            value = item
+            for name in expr.attrs:
+                value = access_attr(value, name, expr.span)
+            out.append(value)
+        return out
+
+    # -- operators -----------------------------------------------------------
+
+    def _eval_UnaryOp(self, expr: UnaryOp) -> Any:
+        operand = self.evaluate(expr.operand)
+        if isinstance(operand, Unknown):
+            return operand
+        if expr.op == "!":
+            if not isinstance(operand, bool):
+                raise CLCEvalError(
+                    f"'!' wants bool, got {type_name(operand)}", expr.span
+                )
+            return not operand
+        if expr.op == "-":
+            if not isinstance(operand, (int, float)) or isinstance(operand, bool):
+                raise CLCEvalError(
+                    f"unary '-' wants number, got {type_name(operand)}", expr.span
+                )
+            return -operand
+        raise CLCEvalError(f"unknown unary operator {expr.op!r}", expr.span)
+
+    def _eval_BinaryOp(self, expr: BinaryOp) -> Any:
+        op = expr.op
+        left = self.evaluate(expr.left)
+        # short-circuit logic operators
+        if op == "&&":
+            if left is False:
+                return False
+            right = self.evaluate(expr.right)
+            if right is False:
+                return False
+            if isinstance(left, Unknown) or isinstance(right, Unknown):
+                return UNKNOWN
+            self._want_bool(left, expr)
+            self._want_bool(right, expr)
+            return left and right
+        if op == "||":
+            if left is True:
+                return True
+            right = self.evaluate(expr.right)
+            if right is True:
+                return True
+            if isinstance(left, Unknown) or isinstance(right, Unknown):
+                return UNKNOWN
+            self._want_bool(left, expr)
+            self._want_bool(right, expr)
+            return left or right
+
+        right = self.evaluate(expr.right)
+        if isinstance(left, Unknown) or isinstance(right, Unknown):
+            return UNKNOWN
+        if op == "==":
+            return _loose_equal(left, right)
+        if op == "!=":
+            return not _loose_equal(left, right)
+        if op in ("<", ">", "<=", ">="):
+            self._want_number(left, expr)
+            self._want_number(right, expr)
+            return {
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+            }[op]
+        if op in ("+", "-", "*", "/", "%"):
+            self._want_number(left, expr)
+            self._want_number(right, expr)
+            if op == "/" and right == 0:
+                raise CLCEvalError("division by zero", expr.span)
+            if op == "%" and right == 0:
+                raise CLCEvalError("modulo by zero", expr.span)
+            result = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left / right,
+                "%": lambda: left % right,
+            }[op]()
+            if isinstance(result, float) and result.is_integer() and op != "/":
+                return int(result)
+            return result
+        raise CLCEvalError(f"unknown operator {op!r}", expr.span)
+
+    def _want_bool(self, value: Any, expr: Expr) -> None:
+        if not isinstance(value, bool):
+            raise CLCEvalError(
+                f"operator {expr.op!r} wants bool, got {type_name(value)}", expr.span
+            )
+
+    def _want_number(self, value: Any, expr: Expr) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CLCEvalError(
+                f"operator {expr.op!r} wants numbers, got {type_name(value)}",
+                expr.span,
+            )
+
+    # -- compound constructors ---------------------------------------------
+
+    def _eval_Conditional(self, expr: Conditional) -> Any:
+        cond = self.evaluate(expr.cond)
+        if isinstance(cond, Unknown):
+            return UNKNOWN
+        if not isinstance(cond, bool):
+            raise CLCEvalError(
+                f"condition must be bool, got {type_name(cond)}", expr.span
+            )
+        return self.evaluate(expr.then if cond else expr.otherwise)
+
+    def _eval_ListExpr(self, expr: ListExpr) -> List[Any]:
+        return [self.evaluate(item) for item in expr.items]
+
+    def _eval_ObjectExpr(self, expr: ObjectExpr) -> Any:
+        out: Dict[str, Any] = {}
+        for key_expr, value_expr in expr.entries:
+            key = self.evaluate(key_expr)
+            if isinstance(key, Unknown):
+                return UNKNOWN
+            if not isinstance(key, str):
+                raise CLCEvalError(
+                    f"object key must be string, got {type_name(key)}", key_expr.span
+                )
+            out[key] = self.evaluate(value_expr)
+        return out
+
+    def _eval_FunctionCall(self, expr: FunctionCall) -> Any:
+        args = [self.evaluate(a) for a in expr.args]
+        if expr.expand_final:
+            if not args:
+                raise CLCEvalError("'...' needs a final argument", expr.span)
+            final = args.pop()
+            if isinstance(final, Unknown):
+                return UNKNOWN
+            if not isinstance(final, list):
+                raise CLCEvalError("'...' wants a list argument", expr.span)
+            args.extend(final)
+        try:
+            return call_function(expr.name, args)
+        except CLCEvalError as exc:
+            if exc.span is None:
+                raise CLCEvalError(exc.message, expr.span)
+            raise
+
+    def _eval_ForExpr(self, expr: ForExpr) -> Any:
+        collection = self.evaluate(expr.collection)
+        if isinstance(collection, Unknown):
+            return UNKNOWN
+        if isinstance(collection, list):
+            pairs = list(enumerate(collection))
+        elif isinstance(collection, Mapping):
+            pairs = sorted(collection.items())
+        else:
+            raise CLCEvalError(
+                f"for expression wants list/map, got {type_name(collection)}",
+                expr.span,
+            )
+
+        def iteration_scope(k: Any, v: Any) -> Evaluator:
+            bindings: Dict[str, Any] = {expr.value_var: v}
+            if expr.key_var:
+                bindings[expr.key_var] = k
+            return Evaluator(self.scope.child(bindings))
+
+        if not expr.is_object:
+            out_list: List[Any] = []
+            for k, v in pairs:
+                ev = iteration_scope(k, v)
+                if expr.condition is not None:
+                    keep = ev.evaluate(expr.condition)
+                    if isinstance(keep, Unknown):
+                        return UNKNOWN
+                    if not isinstance(keep, bool):
+                        raise CLCEvalError("for 'if' must be bool", expr.span)
+                    if not keep:
+                        continue
+                out_list.append(ev.evaluate(expr.result_value))
+            return out_list
+
+        out_map: Dict[str, Any] = {}
+        grouped: Dict[str, List[Any]] = {}
+        for k, v in pairs:
+            ev = iteration_scope(k, v)
+            if expr.condition is not None:
+                keep = ev.evaluate(expr.condition)
+                if isinstance(keep, Unknown):
+                    return UNKNOWN
+                if not isinstance(keep, bool):
+                    raise CLCEvalError("for 'if' must be bool", expr.span)
+                if not keep:
+                    continue
+            assert expr.result_key is not None
+            key = ev.evaluate(expr.result_key)
+            if isinstance(key, Unknown):
+                return UNKNOWN
+            if not isinstance(key, str):
+                raise CLCEvalError(
+                    f"for key must be string, got {type_name(key)}", expr.span
+                )
+            value = ev.evaluate(expr.result_value)
+            if expr.grouping:
+                grouped.setdefault(key, []).append(value)
+            else:
+                if key in out_map:
+                    raise CLCEvalError(
+                        f"duplicate key {key!r} in for expression "
+                        "(use '...' to group)",
+                        expr.span,
+                    )
+                out_map[key] = value
+        return grouped if expr.grouping else out_map
+
+
+def access_attr(obj: Any, name: str, span: Optional[SourceSpan] = None) -> Any:
+    """Resolve ``obj.name`` with unknown propagation."""
+    if isinstance(obj, Unknown):
+        return obj
+    if isinstance(obj, Mapping):
+        if name not in obj:
+            raise CLCEvalError(f"object has no attribute {name!r}", span)
+        return obj[name]
+    raise CLCEvalError(f"cannot access attribute {name!r} on {type_name(obj)}", span)
+
+
+def _loose_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return float(a) == float(b)
+    return a == b
+
+
+def evaluate(expr: Expr, scope: Scope) -> Any:
+    """Convenience wrapper: evaluate ``expr`` in ``scope``."""
+    return Evaluator(scope).evaluate(expr)

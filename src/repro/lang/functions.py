@@ -1,0 +1,659 @@
+"""Built-in expression functions for CLC.
+
+A pragmatic subset of the Terraform/HCL standard library, covering
+string, collection, numeric, encoding, and network (CIDR) helpers. All
+functions are pure; any function receiving an :class:`Unknown` argument
+returns ``UNKNOWN`` (values flow through plans before resources exist).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import ipaddress
+import json
+import re
+from typing import Any, Callable, Dict, List
+
+from .diagnostics import CLCEvalError
+from .values import UNKNOWN, Unknown, is_unknown, to_string, type_name
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise CLCEvalError(message)
+
+
+def _as_int(value: Any, what: str) -> int:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{what} must be a number, got {type_name(value)}",
+    )
+    _require(float(value).is_integer(), f"{what} must be a whole number")
+    return int(value)
+
+
+# -- string functions ---------------------------------------------------
+
+
+def fn_upper(s: str) -> str:
+    _require(isinstance(s, str), "upper() wants a string")
+    return s.upper()
+
+
+def fn_lower(s: str) -> str:
+    _require(isinstance(s, str), "lower() wants a string")
+    return s.lower()
+
+
+def fn_title(s: str) -> str:
+    _require(isinstance(s, str), "title() wants a string")
+    return " ".join(w[:1].upper() + w[1:] for w in s.split(" "))
+
+
+def fn_trimspace(s: str) -> str:
+    _require(isinstance(s, str), "trimspace() wants a string")
+    return s.strip()
+
+
+def fn_trim(s: str, cutset: str) -> str:
+    _require(isinstance(s, str), "trim() wants a string")
+    return s.strip(cutset)
+
+
+def fn_trimprefix(s: str, prefix: str) -> str:
+    _require(isinstance(s, str), "trimprefix() wants a string")
+    return s[len(prefix) :] if s.startswith(prefix) else s
+
+
+def fn_trimsuffix(s: str, suffix: str) -> str:
+    _require(isinstance(s, str), "trimsuffix() wants a string")
+    return s[: -len(suffix)] if suffix and s.endswith(suffix) else s
+
+
+def fn_join(sep: str, items: List[Any]) -> str:
+    _require(isinstance(items, list), "join() wants a list")
+    return sep.join(to_string(i) for i in items)
+
+
+def fn_split(sep: str, s: str) -> List[str]:
+    _require(isinstance(s, str), "split() wants a string")
+    if s == "":
+        return []
+    return s.split(sep)
+
+
+def fn_replace(s: str, old: str, new: str) -> str:
+    _require(isinstance(s, str), "replace() wants a string")
+    if len(old) > 1 and old.startswith("/") and old.endswith("/"):
+        return re.sub(old[1:-1], new, s)
+    return s.replace(old, new)
+
+def fn_substr(s: str, offset: Any, length: Any) -> str:
+    _require(isinstance(s, str), "substr() wants a string")
+    off = _as_int(offset, "substr offset")
+    ln = _as_int(length, "substr length")
+    if ln < 0:
+        return s[off:]
+    return s[off : off + ln]
+
+
+def fn_format(fmt: str, *args: Any) -> str:
+    _require(isinstance(fmt, str), "format() wants a format string")
+    # translate %s/%d/%f/%q/%% to Python formatting
+    out: List[str] = []
+    arg_iter = iter(args)
+    i = 0
+    while i < len(fmt):
+        ch = fmt[i]
+        if ch != "%":
+            out.append(ch)
+            i += 1
+            continue
+        _require(i + 1 < len(fmt), "format(): dangling %")
+        spec = fmt[i + 1]
+        i += 2
+        if spec == "%":
+            out.append("%")
+            continue
+        try:
+            arg = next(arg_iter)
+        except StopIteration:
+            raise CLCEvalError("format(): not enough arguments")
+        if spec == "s":
+            out.append(to_string(arg))
+        elif spec == "d":
+            out.append(str(_as_int(arg, "format %d argument")))
+        elif spec == "f":
+            out.append(f"{float(arg):f}")
+        elif spec == "q":
+            out.append(json.dumps(to_string(arg)))
+        else:
+            raise CLCEvalError(f"format(): unsupported verb %{spec}")
+    return "".join(out)
+
+
+def fn_formatlist(fmt: str, *args: Any) -> List[str]:
+    lists = [a for a in args if isinstance(a, list)]
+    length = max((len(l) for l in lists), default=1)
+    for l in lists:
+        _require(len(l) == length, "formatlist(): list lengths differ")
+    result = []
+    for i in range(length):
+        row = [a[i] if isinstance(a, list) else a for a in args]
+        result.append(fn_format(fmt, *row))
+    return result
+
+
+def fn_startswith(s: str, prefix: str) -> bool:
+    _require(isinstance(s, str), "startswith() wants a string")
+    return s.startswith(prefix)
+
+
+def fn_endswith(s: str, suffix: str) -> bool:
+    _require(isinstance(s, str), "endswith() wants a string")
+    return s.endswith(suffix)
+
+
+def fn_strcontains(s: str, sub: str) -> bool:
+    _require(isinstance(s, str), "strcontains() wants a string")
+    return sub in s
+
+
+def fn_regex(pattern: str, s: str) -> Any:
+    match = re.search(pattern, s)
+    _require(match is not None, f"regex(): pattern {pattern!r} did not match")
+    assert match is not None
+    if match.groupdict():
+        return dict(match.groupdict())
+    if match.groups():
+        groups = list(match.groups())
+        return groups if len(groups) > 1 else groups[0]
+    return match.group(0)
+
+
+def fn_regexall(pattern: str, s: str) -> List[Any]:
+    out = []
+    for match in re.finditer(pattern, s):
+        if match.groups():
+            groups = list(match.groups())
+            out.append(groups if len(groups) > 1 else groups[0])
+        else:
+            out.append(match.group(0))
+    return out
+
+
+# -- numeric functions ----------------------------------------------------
+
+
+def fn_abs(x: Any) -> Any:
+    _require(isinstance(x, (int, float)), "abs() wants a number")
+    return abs(x)
+
+
+def fn_ceil(x: Any) -> int:
+    import math
+
+    _require(isinstance(x, (int, float)), "ceil() wants a number")
+    return math.ceil(x)
+
+
+def fn_floor(x: Any) -> int:
+    import math
+
+    _require(isinstance(x, (int, float)), "floor() wants a number")
+    return math.floor(x)
+
+
+def fn_min(*args: Any) -> Any:
+    _require(len(args) > 0, "min() wants at least one argument")
+    return min(args)
+
+
+def fn_max(*args: Any) -> Any:
+    _require(len(args) > 0, "max() wants at least one argument")
+    return max(args)
+
+
+def fn_pow(base: Any, exp: Any) -> Any:
+    return float(base) ** float(exp)
+
+
+def fn_signum(x: Any) -> int:
+    _require(isinstance(x, (int, float)), "signum() wants a number")
+    return (x > 0) - (x < 0)
+
+
+def fn_parseint(s: Any, base: Any = 10) -> int:
+    _require(isinstance(s, str), "parseint() wants a string")
+    try:
+        return int(s, _as_int(base, "parseint base"))
+    except ValueError:
+        raise CLCEvalError(f"parseint(): cannot parse {s!r}")
+
+
+# -- collection functions ---------------------------------------------------
+
+
+def fn_length(x: Any) -> int:
+    _require(isinstance(x, (str, list, dict)), "length() wants string/list/map")
+    return len(x)
+
+
+def fn_element(items: List[Any], index: Any) -> Any:
+    _require(isinstance(items, list), "element() wants a list")
+    _require(len(items) > 0, "element() on empty list")
+    return items[_as_int(index, "element index") % len(items)]
+
+
+def fn_concat(*lists: Any) -> List[Any]:
+    out: List[Any] = []
+    for l in lists:
+        _require(isinstance(l, list), "concat() wants lists")
+        out.extend(l)
+    return out
+
+
+def fn_contains(collection: Any, value: Any) -> bool:
+    _require(isinstance(collection, (list, dict)), "contains() wants list/map")
+    if isinstance(collection, dict):
+        return value in collection
+    return value in collection
+
+
+def fn_index(items: List[Any], value: Any) -> int:
+    _require(isinstance(items, list), "index() wants a list")
+    try:
+        return items.index(value)
+    except ValueError:
+        raise CLCEvalError(f"index(): {value!r} not found")
+
+
+def fn_keys(m: Dict[str, Any]) -> List[str]:
+    _require(isinstance(m, dict), "keys() wants a map")
+    return sorted(m.keys())
+
+
+def fn_values(m: Dict[str, Any]) -> List[Any]:
+    _require(isinstance(m, dict), "values() wants a map")
+    return [m[k] for k in sorted(m.keys())]
+
+
+def fn_lookup(m: Dict[str, Any], key: str, default: Any = None) -> Any:
+    _require(isinstance(m, dict), "lookup() wants a map")
+    if key in m:
+        return m[key]
+    if default is not None:
+        return default
+    raise CLCEvalError(f"lookup(): key {key!r} not found and no default given")
+
+
+def fn_merge(*maps: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for m in maps:
+        _require(isinstance(m, dict), "merge() wants maps")
+        out.update(m)
+    return out
+
+
+def fn_flatten(items: Any) -> List[Any]:
+    _require(isinstance(items, list), "flatten() wants a list")
+    out: List[Any] = []
+    for item in items:
+        if isinstance(item, list):
+            out.extend(fn_flatten(item))
+        else:
+            out.append(item)
+    return out
+
+
+def fn_distinct(items: List[Any]) -> List[Any]:
+    _require(isinstance(items, list), "distinct() wants a list")
+    out: List[Any] = []
+    for item in items:
+        if item not in out:
+            out.append(item)
+    return out
+
+
+def fn_sort(items: List[Any]) -> List[Any]:
+    _require(isinstance(items, list), "sort() wants a list")
+    _require(all(isinstance(i, str) for i in items), "sort() wants strings")
+    return sorted(items)
+
+
+def fn_reverse(items: List[Any]) -> List[Any]:
+    _require(isinstance(items, list), "reverse() wants a list")
+    return list(reversed(items))
+
+
+def fn_slice(items: List[Any], start: Any, end: Any) -> List[Any]:
+    _require(isinstance(items, list), "slice() wants a list")
+    s = _as_int(start, "slice start")
+    e = _as_int(end, "slice end")
+    _require(0 <= s <= e <= len(items), "slice(): index out of range")
+    return items[s:e]
+
+
+def fn_range(*args: Any) -> List[int]:
+    ints = [_as_int(a, "range argument") for a in args]
+    _require(1 <= len(ints) <= 3, "range() wants 1-3 arguments")
+    return list(range(*ints))
+
+
+def fn_zipmap(keys: List[str], values: List[Any]) -> Dict[str, Any]:
+    _require(isinstance(keys, list) and isinstance(values, list), "zipmap() wants lists")
+    _require(len(keys) == len(values), "zipmap(): length mismatch")
+    return dict(zip(keys, values))
+
+
+def fn_coalesce(*args: Any) -> Any:
+    for a in args:
+        if a is not None and a != "":
+            return a
+    raise CLCEvalError("coalesce(): all arguments are null/empty")
+
+
+def fn_coalescelist(*args: Any) -> Any:
+    for a in args:
+        if isinstance(a, list) and a:
+            return a
+    raise CLCEvalError("coalescelist(): all lists empty")
+
+
+def fn_compact(items: List[Any]) -> List[str]:
+    _require(isinstance(items, list), "compact() wants a list")
+    return [i for i in items if isinstance(i, str) and i != ""]
+
+
+def fn_setunion(*sets: Any) -> List[Any]:
+    out: List[Any] = []
+    for s in sets:
+        _require(isinstance(s, list), "setunion() wants lists")
+        for item in s:
+            if item not in out:
+                out.append(item)
+    return out
+
+
+def fn_setintersection(*sets: Any) -> List[Any]:
+    _require(len(sets) > 0, "setintersection() wants at least one list")
+    out = [i for i in sets[0]]
+    for s in sets[1:]:
+        out = [i for i in out if i in s]
+    return fn_distinct(out)
+
+
+def fn_setsubtract(a: List[Any], b: List[Any]) -> List[Any]:
+    return [i for i in fn_distinct(a) if i not in b]
+
+
+def fn_chunklist(items: List[Any], size: Any) -> List[List[Any]]:
+    n = _as_int(size, "chunklist size")
+    _require(n > 0, "chunklist(): size must be positive")
+    return [items[i : i + n] for i in range(0, len(items), n)]
+
+
+def fn_one(items: Any) -> Any:
+    if isinstance(items, list):
+        _require(len(items) <= 1, "one(): list has more than one element")
+        return items[0] if items else None
+    return items
+
+
+def fn_tolist(x: Any) -> List[Any]:
+    if isinstance(x, list):
+        return x
+    raise CLCEvalError(f"tolist(): cannot convert {type_name(x)}")
+
+
+def fn_tomap(x: Any) -> Dict[str, Any]:
+    if isinstance(x, dict):
+        return x
+    raise CLCEvalError(f"tomap(): cannot convert {type_name(x)}")
+
+
+def fn_toset(x: Any) -> List[Any]:
+    _require(isinstance(x, list), "toset() wants a list")
+    return fn_distinct(x)
+
+
+def fn_tostring(x: Any) -> str:
+    _require(
+        x is None or isinstance(x, (str, bool, int, float)),
+        "tostring() wants a primitive",
+    )
+    return to_string(x)
+
+
+def fn_tonumber(x: Any) -> Any:
+    if isinstance(x, bool):
+        raise CLCEvalError("tonumber(): cannot convert bool")
+    if isinstance(x, (int, float)):
+        return x
+    if isinstance(x, str):
+        try:
+            return int(x)
+        except ValueError:
+            try:
+                return float(x)
+            except ValueError:
+                raise CLCEvalError(f"tonumber(): cannot parse {x!r}")
+    raise CLCEvalError(f"tonumber(): cannot convert {type_name(x)}")
+
+
+def fn_tobool(x: Any) -> bool:
+    if isinstance(x, bool):
+        return x
+    if x == "true":
+        return True
+    if x == "false":
+        return False
+    raise CLCEvalError(f"tobool(): cannot convert {x!r}")
+
+
+# -- encoding functions -------------------------------------------------------
+
+
+def fn_jsonencode(x: Any) -> str:
+    return json.dumps(x, sort_keys=True, separators=(",", ":"))
+
+
+def fn_jsondecode(s: str) -> Any:
+    _require(isinstance(s, str), "jsondecode() wants a string")
+    try:
+        return json.loads(s)
+    except json.JSONDecodeError as exc:
+        raise CLCEvalError(f"jsondecode(): {exc}")
+
+
+def fn_base64encode(s: str) -> str:
+    _require(isinstance(s, str), "base64encode() wants a string")
+    return base64.b64encode(s.encode()).decode()
+
+
+def fn_base64decode(s: str) -> str:
+    _require(isinstance(s, str), "base64decode() wants a string")
+    try:
+        return base64.b64decode(s.encode()).decode()
+    except Exception:
+        raise CLCEvalError("base64decode(): invalid input")
+
+
+def fn_md5(s: str) -> str:
+    return hashlib.md5(s.encode()).hexdigest()
+
+
+def fn_sha1(s: str) -> str:
+    return hashlib.sha1(s.encode()).hexdigest()
+
+
+def fn_sha256(s: str) -> str:
+    return hashlib.sha256(s.encode()).hexdigest()
+
+
+def fn_uuidv5(namespace: str, name: str) -> str:
+    import uuid
+
+    ns = uuid.UUID(namespace) if "-" in namespace else uuid.NAMESPACE_DNS
+    return str(uuid.uuid5(ns, name))
+
+
+# -- network (CIDR) functions ---------------------------------------------
+
+
+def fn_cidrsubnet(prefix: str, newbits: Any, netnum: Any) -> str:
+    _require(isinstance(prefix, str), "cidrsubnet() wants a CIDR string")
+    try:
+        net = ipaddress.ip_network(prefix, strict=False)
+    except ValueError as exc:
+        raise CLCEvalError(f"cidrsubnet(): {exc}")
+    bits = _as_int(newbits, "cidrsubnet newbits")
+    num = _as_int(netnum, "cidrsubnet netnum")
+    new_prefix = net.prefixlen + bits
+    _require(new_prefix <= net.max_prefixlen, "cidrsubnet(): prefix too long")
+    _require(0 <= num < 2**bits, "cidrsubnet(): netnum out of range")
+    try:
+        subnet = list(net.subnets(new_prefix=new_prefix))[num]
+    except (ValueError, IndexError) as exc:
+        raise CLCEvalError(f"cidrsubnet(): {exc}")
+    return str(subnet)
+
+
+def fn_cidrhost(prefix: str, hostnum: Any) -> str:
+    _require(isinstance(prefix, str), "cidrhost() wants a CIDR string")
+    try:
+        net = ipaddress.ip_network(prefix, strict=False)
+    except ValueError as exc:
+        raise CLCEvalError(f"cidrhost(): {exc}")
+    num = _as_int(hostnum, "cidrhost hostnum")
+    try:
+        return str(net[num])
+    except IndexError:
+        raise CLCEvalError("cidrhost(): host number out of range")
+
+
+def fn_cidrnetmask(prefix: str) -> str:
+    try:
+        net = ipaddress.ip_network(prefix, strict=False)
+    except ValueError as exc:
+        raise CLCEvalError(f"cidrnetmask(): {exc}")
+    return str(net.netmask)
+
+
+def fn_cidrsubnets(prefix: str, *newbits: Any) -> List[str]:
+    out: List[str] = []
+    try:
+        net = ipaddress.ip_network(prefix, strict=False)
+    except ValueError as exc:
+        raise CLCEvalError(f"cidrsubnets(): {exc}")
+    cursor = int(net.network_address)
+    for nb in newbits:
+        bits = _as_int(nb, "cidrsubnets newbits")
+        new_prefix = net.prefixlen + bits
+        _require(new_prefix <= net.max_prefixlen, "cidrsubnets(): prefix too long")
+        size = 2 ** (net.max_prefixlen - new_prefix)
+        if cursor % size:
+            cursor += size - (cursor % size)
+        subnet = ipaddress.ip_network((cursor, new_prefix))
+        _require(
+            subnet.subnet_of(net), "cidrsubnets(): ran out of space in prefix"
+        )
+        out.append(str(subnet))
+        cursor += size
+    return out
+
+
+# -- registry ---------------------------------------------------------------
+
+FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    # strings
+    "upper": fn_upper,
+    "lower": fn_lower,
+    "title": fn_title,
+    "trimspace": fn_trimspace,
+    "trim": fn_trim,
+    "trimprefix": fn_trimprefix,
+    "trimsuffix": fn_trimsuffix,
+    "join": fn_join,
+    "split": fn_split,
+    "replace": fn_replace,
+    "substr": fn_substr,
+    "format": fn_format,
+    "formatlist": fn_formatlist,
+    "startswith": fn_startswith,
+    "endswith": fn_endswith,
+    "strcontains": fn_strcontains,
+    "regex": fn_regex,
+    "regexall": fn_regexall,
+    # numbers
+    "abs": fn_abs,
+    "ceil": fn_ceil,
+    "floor": fn_floor,
+    "min": fn_min,
+    "max": fn_max,
+    "pow": fn_pow,
+    "signum": fn_signum,
+    "parseint": fn_parseint,
+    # collections
+    "length": fn_length,
+    "element": fn_element,
+    "concat": fn_concat,
+    "contains": fn_contains,
+    "index": fn_index,
+    "keys": fn_keys,
+    "values": fn_values,
+    "lookup": fn_lookup,
+    "merge": fn_merge,
+    "flatten": fn_flatten,
+    "distinct": fn_distinct,
+    "sort": fn_sort,
+    "reverse": fn_reverse,
+    "slice": fn_slice,
+    "range": fn_range,
+    "zipmap": fn_zipmap,
+    "coalesce": fn_coalesce,
+    "coalescelist": fn_coalescelist,
+    "compact": fn_compact,
+    "setunion": fn_setunion,
+    "setintersection": fn_setintersection,
+    "setsubtract": fn_setsubtract,
+    "chunklist": fn_chunklist,
+    "one": fn_one,
+    # conversion
+    "tolist": fn_tolist,
+    "tomap": fn_tomap,
+    "toset": fn_toset,
+    "tostring": fn_tostring,
+    "tonumber": fn_tonumber,
+    "tobool": fn_tobool,
+    # encoding
+    "jsonencode": fn_jsonencode,
+    "jsondecode": fn_jsondecode,
+    "base64encode": fn_base64encode,
+    "base64decode": fn_base64decode,
+    "md5": fn_md5,
+    "sha1": fn_sha1,
+    "sha256": fn_sha256,
+    "uuidv5": fn_uuidv5,
+    # network
+    "cidrsubnet": fn_cidrsubnet,
+    "cidrhost": fn_cidrhost,
+    "cidrnetmask": fn_cidrnetmask,
+    "cidrsubnets": fn_cidrsubnets,
+}
+
+
+def call_function(name: str, args: List[Any]) -> Any:
+    """Dispatch a CLC function call, with unknown-propagation."""
+    fn = FUNCTIONS.get(name)
+    if fn is None:
+        raise CLCEvalError(f"unknown function {name!r}")
+    if any(is_unknown(a) for a in args):
+        return UNKNOWN
+    try:
+        return fn(*args)
+    except CLCEvalError:
+        raise
+    except TypeError as exc:
+        raise CLCEvalError(f"{name}(): {exc}")

@@ -1,0 +1,116 @@
+"""Ready-made policies for common enterprise requirements (3.6)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..graph.plan import Action as PlanAction
+from ..lang.values import is_unknown
+from .language import Deny, Notify, PHASE_DRIFT, PHASE_PLAN, Policy, Warn
+
+
+def budget_policy(max_monthly_usd: float, name: str = "budget") -> Policy:
+    """Deny plans whose post-apply estate would exceed the budget."""
+    return Policy(
+        name=name,
+        phase=PHASE_PLAN,
+        observe=lambda ctx: ctx.estimated_monthly_cost(),
+        condition=lambda cost: cost > max_monthly_usd,
+        actions=[
+            Deny(
+                f"estimated monthly cost {{observation:.2f}} USD exceeds the "
+                f"budget of {max_monthly_usd:.2f} USD"
+            )
+        ],
+        description=f"monthly spend must stay under {max_monthly_usd} USD",
+    )
+
+
+def allowed_regions_policy(
+    regions: Iterable[str], name: str = "allowed-regions"
+) -> Policy:
+    """Deny plans that place resources outside an approved region list."""
+    allowed = set(regions)
+
+    def offending(ctx: Any) -> List[str]:
+        out = []
+        for change in ctx.planned_instances():
+            region = change.region
+            if region and region not in allowed:
+                out.append(f"{change.id} in {region}")
+        return out
+
+    return Policy(
+        name=name,
+        phase=PHASE_PLAN,
+        observe=offending,
+        condition=lambda bad: bool(bad),
+        actions=[Deny("resources outside approved regions: {observation}")],
+        description=f"resources restricted to {sorted(allowed)}",
+    )
+
+
+def required_tag_policy(tag: str, name: str = "required-tags") -> Policy:
+    """Warn when taggable resources are created without a required tag."""
+
+    def untagged(ctx: Any) -> List[str]:
+        out = []
+        for change in ctx.planned_instances():
+            if change.action is not PlanAction.CREATE:
+                continue
+            if "tags" not in (change.desired or {}):
+                continue
+            tags = change.desired.get("tags")
+            if is_unknown(tags):
+                continue
+            if not isinstance(tags, dict) or tag not in tags:
+                out.append(change.id)
+        return out
+
+    return Policy(
+        name=name,
+        phase=PHASE_PLAN,
+        observe=untagged,
+        condition=lambda bad: bool(bad),
+        actions=[Warn(f"missing required tag {tag!r} on: {{observation}}")],
+        description=f"all taggable resources must carry the {tag!r} tag",
+    )
+
+
+def required_engine_policy(
+    engine: str, db_types: Iterable[str] = ("aws_database_instance", "azure_database"),
+    name: str = "db-engine",
+) -> Policy:
+    """Deny database instances not running the mandated engine."""
+    types = set(db_types)
+
+    def offending(ctx: Any) -> List[str]:
+        out = []
+        for change in ctx.planned_instances():
+            if change.rtype not in types:
+                continue
+            value = (change.desired or {}).get("engine")
+            if isinstance(value, str) and value != engine:
+                out.append(f"{change.id} ({value})")
+        return out
+
+    return Policy(
+        name=name,
+        phase=PHASE_PLAN,
+        observe=offending,
+        condition=lambda bad: bool(bad),
+        actions=[Deny(f"databases must use {engine!r}: {{observation}}")],
+        description=f"database engine standardized on {engine}",
+    )
+
+
+def drift_notification_policy(name: str = "drift-notify") -> Policy:
+    """Notify operators whenever external drift is observed."""
+    return Policy(
+        name=name,
+        phase=PHASE_DRIFT,
+        observe=lambda ctx: [str(f.resource_id) for f in ctx.findings],
+        condition=lambda ids: bool(ids),
+        actions=[Notify("external drift detected on: {observation}")],
+        description="page on any out-of-band change",
+    )

@@ -1,0 +1,126 @@
+"""The infrastructure controller (3.6).
+
+"Analogous to an SDN controller": one component that holds every
+registered policy and evaluates the right subset at each lifecycle
+phase -- plan admission before anything deploys, metric evaluation
+while the estate runs, drift handling when the observability layer
+reports trouble. Program-evolving actions (``set_variable``) are
+returned to the engine, which re-plans with the new inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from .language import (
+    ActionRequest,
+    DriftContext,
+    MetricsContext,
+    PHASE_DRIFT,
+    PHASE_METRICS,
+    PHASE_PLAN,
+    PlanContext,
+    Policy,
+)
+
+
+@dataclasses.dataclass
+class AdmissionDecision:
+    """Outcome of plan admission."""
+
+    allowed: bool
+    denials: List[ActionRequest]
+    warnings: List[ActionRequest]
+    notifications: List[ActionRequest]
+
+    def __str__(self) -> str:
+        verdict = "allowed" if self.allowed else "DENIED"
+        parts = [f"plan {verdict}"]
+        for req in self.denials + self.warnings:
+            parts.append(f"  {req}")
+        return "\n".join(parts)
+
+
+class InfrastructureController:
+    """Registers policies and evaluates them per phase."""
+
+    def __init__(self) -> None:
+        self._policies: Dict[str, List[Policy]] = {
+            PHASE_PLAN: [],
+            PHASE_METRICS: [],
+            PHASE_DRIFT: [],
+        }
+
+    def register(self, policy: Policy) -> None:
+        self._policies[policy.phase].append(policy)
+
+    def policies(self, phase: str) -> List[Policy]:
+        return list(self._policies.get(phase, []))
+
+    # -- plan admission ---------------------------------------------------------
+
+    def admit(
+        self,
+        plan: Any,
+        state: Any,
+        cost_estimator: Optional[Any] = None,
+        variables: Optional[Dict[str, Any]] = None,
+    ) -> AdmissionDecision:
+        ctx = PlanContext(plan, state, cost_estimator, variables)
+        denials: List[ActionRequest] = []
+        warnings: List[ActionRequest] = []
+        notifications: List[ActionRequest] = []
+        for policy in self._policies[PHASE_PLAN]:
+            for request in policy.evaluate(ctx):
+                if request.kind == "deny":
+                    denials.append(request)
+                elif request.kind == "warn":
+                    warnings.append(request)
+                elif request.kind == "notify":
+                    notifications.append(request)
+        return AdmissionDecision(
+            allowed=not denials,
+            denials=denials,
+            warnings=warnings,
+            notifications=notifications,
+        )
+
+    # -- runtime metrics ------------------------------------------------------------
+
+    def evaluate_metrics(
+        self,
+        metrics: Any,
+        state: Any,
+        variables: Dict[str, Any],
+        now: float,
+    ) -> List[ActionRequest]:
+        ctx = MetricsContext(metrics, state, variables, now)
+        out: List[ActionRequest] = []
+        for policy in self._policies[PHASE_METRICS]:
+            out.extend(policy.evaluate(ctx))
+        return out
+
+    # -- drift handling ---------------------------------------------------------------
+
+    def evaluate_drift(
+        self, findings: List[Any], state: Any, now: float
+    ) -> List[ActionRequest]:
+        ctx = DriftContext(findings, state, now)
+        out: List[ActionRequest] = []
+        for policy in self._policies[PHASE_DRIFT]:
+            out.extend(policy.evaluate(ctx))
+        return out
+
+    # -- applying program-evolving actions ---------------------------------------------
+
+    @staticmethod
+    def apply_variable_actions(
+        requests: List[ActionRequest], variables: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """New variable values after every ``set_variable`` request."""
+        out = dict(variables)
+        for request in requests:
+            if request.kind == "set_variable":
+                out[request.variable] = request.value
+        return out

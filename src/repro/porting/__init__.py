@@ -1,0 +1,37 @@
+"""Porting non-IaC estates to IaC programs (paper 3.1)."""
+
+from .emitter import (
+    EmittedBlock,
+    RawExpr,
+    emit_block,
+    emit_config,
+    module_block,
+    render_value,
+    resource_block,
+    variable_block,
+)
+from .importer import NaiveExporter, PortedProject, StructuredImporter
+from .metrics import (
+    FidelityResult,
+    QualityMetrics,
+    measure_quality,
+    verify_fidelity,
+)
+
+__all__ = [
+    "EmittedBlock",
+    "FidelityResult",
+    "NaiveExporter",
+    "PortedProject",
+    "QualityMetrics",
+    "RawExpr",
+    "StructuredImporter",
+    "emit_block",
+    "emit_config",
+    "measure_quality",
+    "module_block",
+    "render_value",
+    "resource_block",
+    "variable_block",
+    "verify_fidelity",
+]

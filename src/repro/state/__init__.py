@@ -1,0 +1,42 @@
+"""State management: golden-state document, stores, snapshots ("time
+machine"), lock managers, and transactions (paper 3.4)."""
+
+from .document import ResourceState, StateDocument
+from .locks import (
+    GLOBAL_KEY,
+    GlobalLockManager,
+    LockGrant,
+    LockManager,
+    ResourceLockManager,
+)
+from .snapshots import Snapshot, SnapshotDiff, SnapshotHistory
+from .store import FileStateStore, MemoryStateStore, StaleStateError, StateStore
+from .transactions import (
+    CommittedTransaction,
+    SerializabilityChecker,
+    StateDatabase,
+    StateTransaction,
+    TransactionError,
+)
+
+__all__ = [
+    "CommittedTransaction",
+    "FileStateStore",
+    "GLOBAL_KEY",
+    "GlobalLockManager",
+    "LockGrant",
+    "LockManager",
+    "MemoryStateStore",
+    "ResourceLockManager",
+    "ResourceState",
+    "SerializabilityChecker",
+    "Snapshot",
+    "SnapshotDiff",
+    "SnapshotHistory",
+    "StaleStateError",
+    "StateDatabase",
+    "StateDocument",
+    "StateStore",
+    "StateTransaction",
+    "TransactionError",
+]

@@ -1,0 +1,163 @@
+"""The IaC state document -- the "golden state" of the infrastructure.
+
+Maps resource addresses to cloud-level identities and the attribute
+snapshot observed at last apply. The paper calls for "an IaC database
+that reflects the golden state of the cloud infrastructure" (3.4);
+:class:`StateDocument` is that record, and the snapshot history in
+:mod:`repro.state.snapshots` is its time machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..addressing import ResourceAddress
+
+
+@dataclasses.dataclass
+class ResourceState:
+    """State entry for one deployed resource instance."""
+
+    address: ResourceAddress
+    resource_id: str
+    provider: str
+    attrs: Dict[str, Any]
+    region: str = ""
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    dependencies: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def type(self) -> str:
+        return self.address.type
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "address": str(self.address),
+            "resource_id": self.resource_id,
+            "provider": self.provider,
+            "attrs": self.attrs,
+            "region": self.region,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "dependencies": list(self.dependencies),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResourceState":
+        return cls(
+            address=ResourceAddress.parse(data["address"]),
+            resource_id=data["resource_id"],
+            provider=data["provider"],
+            attrs=dict(data["attrs"]),
+            region=data.get("region", ""),
+            created_at=data.get("created_at", 0.0),
+            updated_at=data.get("updated_at", 0.0),
+            dependencies=list(data.get("dependencies", [])),
+        )
+
+    def copy(self) -> "ResourceState":
+        return ResourceState(
+            address=self.address,
+            resource_id=self.resource_id,
+            provider=self.provider,
+            attrs=json.loads(json.dumps(self.attrs)),
+            region=self.region,
+            created_at=self.created_at,
+            updated_at=self.updated_at,
+            dependencies=list(self.dependencies),
+        )
+
+
+class StateDocument:
+    """All resource states plus outputs, with a monotonically
+    increasing ``serial`` for optimistic concurrency."""
+
+    def __init__(self, serial: int = 0, lineage: str = "root"):
+        self.serial = serial
+        self.lineage = lineage
+        self._resources: Dict[str, ResourceState] = {}
+        self.outputs: Dict[str, Any] = {}
+
+    # -- resource access --------------------------------------------------
+
+    def get(self, address: ResourceAddress) -> Optional[ResourceState]:
+        return self._resources.get(str(address))
+
+    def set(self, entry: ResourceState) -> None:
+        self._resources[str(entry.address)] = entry
+
+    def remove(self, address: ResourceAddress) -> Optional[ResourceState]:
+        return self._resources.pop(str(address), None)
+
+    def addresses(self) -> List[ResourceAddress]:
+        return sorted(r.address for r in self._resources.values())
+
+    def resources(self) -> List[ResourceState]:
+        return [self._resources[str(a)] for a in self.addresses()]
+
+    def instances_of(
+        self, rtype: str, name: str, module_path: tuple = (), mode: str = "managed"
+    ) -> List[ResourceState]:
+        """Every instance of one declaration, sorted by instance key."""
+        out = [
+            r
+            for r in self._resources.values()
+            if r.address.type == rtype
+            and r.address.name == name
+            and r.address.module_path == module_path
+            and r.address.mode == mode
+        ]
+        return sorted(out, key=lambda r: r.address)
+
+    def by_resource_id(self, resource_id: str) -> Optional[ResourceState]:
+        for entry in self._resources.values():
+            if entry.resource_id == resource_id:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __contains__(self, address: ResourceAddress) -> bool:
+        return str(address) in self._resources
+
+    def __iter__(self) -> Iterator[ResourceState]:
+        return iter(self.resources())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bump(self) -> None:
+        self.serial += 1
+
+    def copy(self) -> "StateDocument":
+        out = StateDocument(serial=self.serial, lineage=self.lineage)
+        for entry in self._resources.values():
+            out.set(entry.copy())
+        out.outputs = json.loads(json.dumps(self.outputs))
+        return out
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "serial": self.serial,
+                "lineage": self.lineage,
+                "outputs": self.outputs,
+                "resources": [r.to_dict() for r in self.resources()],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "StateDocument":
+        data = json.loads(text)
+        doc = cls(serial=data.get("serial", 0), lineage=data.get("lineage", "root"))
+        doc.outputs = dict(data.get("outputs", {}))
+        for entry in data.get("resources", []):
+            doc.set(ResourceState.from_dict(entry))
+        return doc

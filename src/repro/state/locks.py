@@ -1,0 +1,115 @@
+"""Lock managers for concurrent infrastructure updates (3.4).
+
+Two implementations of one interface:
+
+* :class:`GlobalLockManager` -- today's practice: any update locks the
+  entire state ("existing tools simply lock the entire cloud
+  infrastructure for modifications at any scale").
+* :class:`ResourceLockManager` -- the cloudless design: per-resource
+  locks; mutual exclusion arises only when two teams touch the same
+  resource. Lock sets are acquired atomically (all-or-nothing) so
+  deadlock is impossible by construction.
+
+Lock managers are pure bookkeeping over simulated time; the update
+coordinator (:mod:`repro.update.coordinator`) drives waiting/retry as
+discrete events and records wait statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set
+
+GLOBAL_KEY = "__entire_infrastructure__"
+
+
+@dataclasses.dataclass
+class LockGrant:
+    """A currently-held lock set."""
+
+    holder: str
+    keys: FrozenSet[str]
+    acquired_at: float
+
+
+class LockManager:
+    """Interface both lock managers implement."""
+
+    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
+        """Atomically acquire every key (or nothing). False on conflict."""
+        raise NotImplementedError
+
+    def release(self, holder: str) -> None:
+        raise NotImplementedError
+
+    def holders(self) -> List[str]:
+        raise NotImplementedError
+
+    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+        """Which current holders block an acquisition of ``keys``."""
+        raise NotImplementedError
+
+
+class GlobalLockManager(LockManager):
+    """One big lock: a second holder always waits."""
+
+    def __init__(self) -> None:
+        self._grant: Optional[LockGrant] = None
+
+    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
+        if self._grant is not None:
+            return False
+        self._grant = LockGrant(
+            holder=holder, keys=frozenset([GLOBAL_KEY]), acquired_at=now
+        )
+        return True
+
+    def release(self, holder: str) -> None:
+        if self._grant is not None and self._grant.holder == holder:
+            self._grant = None
+
+    def holders(self) -> List[str]:
+        return [self._grant.holder] if self._grant else []
+
+    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+        return {self._grant.holder} if self._grant else set()
+
+
+class ResourceLockManager(LockManager):
+    """Per-resource locks with atomic multi-key acquisition."""
+
+    def __init__(self) -> None:
+        self._owner_of: Dict[str, str] = {}  # key -> holder
+        self._grants: Dict[str, LockGrant] = {}  # holder -> grant
+
+    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
+        if holder in self._grants:
+            raise RuntimeError(f"{holder!r} already holds a lock set")
+        if any(key in self._owner_of for key in keys):
+            return False
+        for key in keys:
+            self._owner_of[key] = holder
+        self._grants[holder] = LockGrant(
+            holder=holder, keys=frozenset(keys), acquired_at=now
+        )
+        return True
+
+    def release(self, holder: str) -> None:
+        grant = self._grants.pop(holder, None)
+        if grant is None:
+            return
+        for key in grant.keys:
+            if self._owner_of.get(key) == holder:
+                del self._owner_of[key]
+
+    def holders(self) -> List[str]:
+        return sorted(self._grants)
+
+    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+        return {
+            self._owner_of[key] for key in keys if key in self._owner_of
+        }
+
+    def held_keys(self, holder: str) -> FrozenSet[str]:
+        grant = self._grants.get(holder)
+        return grant.keys if grant else frozenset()

@@ -1,0 +1,105 @@
+"""State snapshot history -- the "time machine" (3.4).
+
+Every apply/update checkpoints the state document together with the
+configuration source that produced it, so rollback planning can pair
+"the config I want to return to" with "the state the world was in".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from .document import StateDocument
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """One checkpoint of (configuration, state) at a point in time."""
+
+    version: int
+    timestamp: float
+    state: StateDocument
+    config_sources: Dict[str, str]
+    description: str = ""
+
+    @property
+    def config_hash(self) -> str:
+        digest = hashlib.sha256()
+        for fname in sorted(self.config_sources):
+            digest.update(fname.encode())
+            digest.update(self.config_sources[fname].encode())
+        return digest.hexdigest()[:12]
+
+
+class SnapshotHistory:
+    """Append-only version history with diff and checkout."""
+
+    def __init__(self) -> None:
+        self._snapshots: List[Snapshot] = []
+
+    def checkpoint(
+        self,
+        state: StateDocument,
+        config_sources: Dict[str, str],
+        timestamp: float,
+        description: str = "",
+    ) -> Snapshot:
+        snap = Snapshot(
+            version=len(self._snapshots) + 1,
+            timestamp=timestamp,
+            state=state.copy(),
+            config_sources=dict(config_sources),
+            description=description,
+        )
+        self._snapshots.append(snap)
+        return snap
+
+    def latest(self) -> Optional[Snapshot]:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def get(self, version: int) -> Snapshot:
+        if not 1 <= version <= len(self._snapshots):
+            raise KeyError(f"no snapshot version {version}")
+        return self._snapshots[version - 1]
+
+    def versions(self) -> List[int]:
+        return [s.version for s in self._snapshots]
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def diff(self, old_version: int, new_version: int) -> "SnapshotDiff":
+        """Addresses added/removed/changed between two checkpoints."""
+        old = self.get(old_version).state
+        new = self.get(new_version).state
+        old_addrs = {str(a) for a in old.addresses()}
+        new_addrs = {str(a) for a in new.addresses()}
+        added = sorted(new_addrs - old_addrs)
+        removed = sorted(old_addrs - new_addrs)
+        changed = []
+        for addr in sorted(old_addrs & new_addrs):
+            old_entry = old.get(_parse(addr))
+            new_entry = new.get(_parse(addr))
+            assert old_entry is not None and new_entry is not None
+            if old_entry.attrs != new_entry.attrs:
+                changed.append(addr)
+        return SnapshotDiff(added=added, removed=removed, changed=changed)
+
+
+@dataclasses.dataclass
+class SnapshotDiff:
+    added: List[str]
+    removed: List[str]
+    changed: List[str]
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+
+def _parse(addr: str):
+    from ..addressing import ResourceAddress
+
+    return ResourceAddress.parse(addr)

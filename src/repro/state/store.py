@@ -1,0 +1,71 @@
+"""State storage backends."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+from .document import StateDocument
+
+
+class StateStore:
+    """Abstract persistent home of the state document."""
+
+    def read(self) -> StateDocument:
+        raise NotImplementedError
+
+    def write(self, doc: StateDocument) -> None:
+        raise NotImplementedError
+
+
+class MemoryStateStore(StateStore):
+    """In-memory backend (default for simulations and tests)."""
+
+    def __init__(self, doc: Optional[StateDocument] = None):
+        self._doc = doc or StateDocument()
+
+    def read(self) -> StateDocument:
+        return self._doc.copy()
+
+    def write(self, doc: StateDocument) -> None:
+        if doc.serial < self._doc.serial:
+            raise StaleStateError(
+                f"serial {doc.serial} is older than stored {self._doc.serial}"
+            )
+        self._doc = doc.copy()
+
+
+class FileStateStore(StateStore):
+    """JSON-file backend with atomic replace."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def read(self) -> StateDocument:
+        if not os.path.exists(self.path):
+            return StateDocument()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return StateDocument.from_json(handle.read())
+
+    def write(self, doc: StateDocument) -> None:
+        current = self.read()
+        if doc.serial < current.serial:
+            raise StaleStateError(
+                f"serial {doc.serial} is older than stored {current.serial}"
+            )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(doc.to_json())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+class StaleStateError(RuntimeError):
+    """Write rejected because a newer state already exists."""

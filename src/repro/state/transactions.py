@@ -1,0 +1,193 @@
+"""Transactional state updates (3.4).
+
+An update is staged as a :class:`StateTransaction`: it declares the
+addresses it will read/write, acquires them through a lock manager,
+applies mutations to a private working copy, and commits atomically to
+the shared document. A :class:`SerializabilityChecker` verifies (for the
+experiments) that the interleaved history is conflict-serializable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..addressing import ResourceAddress
+from .document import ResourceState, StateDocument
+from .locks import LockManager
+
+
+class TransactionError(RuntimeError):
+    """Raised on commit/usage protocol violations."""
+
+
+@dataclasses.dataclass
+class _Op:
+    kind: str  # "set" | "remove" | "output"
+    address: Optional[ResourceAddress] = None
+    entry: Optional[ResourceState] = None
+    output_name: str = ""
+    output_value: Any = None
+
+
+class StateTransaction:
+    """One atomic, isolated batch of state mutations."""
+
+    def __init__(self, txn_id: str, database: "StateDatabase", keys: Set[str]):
+        self.txn_id = txn_id
+        self._db = database
+        self.keys = set(keys)
+        self._ops: List[_Op] = []
+        self._reads: Set[str] = set()
+        self.status = "active"  # active | committed | aborted
+
+    # -- staged operations ----------------------------------------------------
+
+    def read(self, address: ResourceAddress) -> Optional[ResourceState]:
+        self._require_active()
+        self._require_key(str(address))
+        self._reads.add(str(address))
+        entry = self._db.document.get(address)
+        return entry.copy() if entry else None
+
+    def set(self, entry: ResourceState) -> None:
+        self._require_active()
+        self._require_key(str(entry.address))
+        self._ops.append(_Op("set", address=entry.address, entry=entry.copy()))
+
+    def remove(self, address: ResourceAddress) -> None:
+        self._require_active()
+        self._require_key(str(address))
+        self._ops.append(_Op("remove", address=address))
+
+    def set_output(self, name: str, value: Any) -> None:
+        self._require_active()
+        self._ops.append(_Op("output", output_name=name, output_value=value))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def commit(self, now: float = 0.0) -> None:
+        self._require_active()
+        self._db._apply(self, now)
+        self.status = "committed"
+
+    def abort(self) -> None:
+        self._require_active()
+        self._db._abort(self)
+        self.status = "aborted"
+
+    @property
+    def write_set(self) -> Set[str]:
+        return {
+            str(op.address)
+            for op in self._ops
+            if op.kind in ("set", "remove") and op.address is not None
+        }
+
+    @property
+    def read_set(self) -> Set[str]:
+        return set(self._reads)
+
+    def _require_active(self) -> None:
+        if self.status != "active":
+            raise TransactionError(f"transaction {self.txn_id} is {self.status}")
+
+    def _require_key(self, key: str) -> None:
+        if key not in self.keys:
+            raise TransactionError(
+                f"transaction {self.txn_id} touched {key} without locking it"
+            )
+
+
+@dataclasses.dataclass
+class CommittedTransaction:
+    """History entry for serializability checking."""
+
+    txn_id: str
+    read_set: Set[str]
+    write_set: Set[str]
+    begin_at: float
+    commit_at: float
+
+
+class StateDatabase:
+    """The lock-managed, transactional home of the golden state."""
+
+    def __init__(self, document: StateDocument, lock_manager: LockManager):
+        self.document = document
+        self.locks = lock_manager
+        self.history: List[CommittedTransaction] = []
+        self._active: Dict[str, StateTransaction] = {}
+        self._begin_times: Dict[str, float] = {}
+
+    def begin(
+        self, txn_id: str, keys: Set[str], now: float
+    ) -> Optional[StateTransaction]:
+        """Start a transaction holding ``keys``; None if locks unavailable."""
+        if txn_id in self._active:
+            raise TransactionError(f"transaction id {txn_id} already active")
+        if not self.locks.try_acquire(txn_id, keys, now):
+            return None
+        txn = StateTransaction(txn_id, self, keys)
+        self._active[txn_id] = txn
+        self._begin_times[txn_id] = now
+        return txn
+
+    def _apply(self, txn: StateTransaction, now: float) -> None:
+        for op in txn._ops:
+            if op.kind == "set" and op.entry is not None:
+                self.document.set(op.entry)
+            elif op.kind == "remove" and op.address is not None:
+                self.document.remove(op.address)
+            elif op.kind == "output":
+                self.document.outputs[op.output_name] = op.output_value
+        self.document.bump()
+        self.history.append(
+            CommittedTransaction(
+                txn_id=txn.txn_id,
+                read_set=txn.read_set,
+                write_set=txn.write_set,
+                begin_at=self._begin_times.pop(txn.txn_id, 0.0),
+                commit_at=now,
+            )
+        )
+        self.locks.release(txn.txn_id)
+        del self._active[txn.txn_id]
+
+    def _abort(self, txn: StateTransaction) -> None:
+        self.locks.release(txn.txn_id)
+        self._active.pop(txn.txn_id, None)
+        self._begin_times.pop(txn.txn_id, None)
+
+
+class SerializabilityChecker:
+    """Conflict-serializability check over a committed history.
+
+    Builds the precedence graph: T1 -> T2 if T1 committed before T2
+    began is *not* required; we add an edge whenever T1's writes
+    intersect T2's reads/writes and T1 committed first among overlapping
+    transactions. Acyclic graph => serializable.
+    """
+
+    @staticmethod
+    def is_serializable(history: List[CommittedTransaction]) -> bool:
+        from ..graph.dag import CycleError, Dag
+
+        dag: Dag = Dag()
+        for txn in history:
+            dag.add_node(txn.txn_id)
+        for first in history:
+            for second in history:
+                if first.txn_id == second.txn_id:
+                    return_edge = False
+                else:
+                    overlap = (
+                        first.write_set & (second.read_set | second.write_set)
+                    ) or (first.read_set & second.write_set)
+                    return_edge = bool(overlap) and first.commit_at <= second.begin_at
+                if return_edge:
+                    try:
+                        dag.add_edge(first.txn_id, second.txn_id)
+                    except CycleError:
+                        return False
+        return dag.find_cycle() is None

@@ -1,0 +1,26 @@
+"""IaC program synthesis (paper 3.1)."""
+
+from .generator import ErrorRates, NoisyGenerator
+from .synthesizer import (
+    RetrievalCorpus,
+    SynthesisResult,
+    TypeGuidedSynthesizer,
+)
+from .tasks import (
+    STANDARD_TASKS,
+    ResourceRequest,
+    SynthesisTask,
+    random_task,
+)
+
+__all__ = [
+    "ErrorRates",
+    "NoisyGenerator",
+    "ResourceRequest",
+    "RetrievalCorpus",
+    "STANDARD_TASKS",
+    "SynthesisResult",
+    "SynthesisTask",
+    "TypeGuidedSynthesizer",
+    "random_task",
+]

@@ -1,0 +1,34 @@
+"""Semantic type system for IaC values (paper 3.2)."""
+
+from .checker import TypeChecker, check_types
+from .inference import (
+    InferenceReport,
+    InferredAnnotation,
+    Observation,
+    SemanticInferencer,
+)
+from .schema import SchemaRegistry
+from .semantic import (
+    ANY,
+    SemanticType,
+    compatible,
+    expected_semantic,
+    literal_semantic,
+    produced_by_attr,
+)
+
+__all__ = [
+    "ANY",
+    "InferenceReport",
+    "InferredAnnotation",
+    "Observation",
+    "SchemaRegistry",
+    "SemanticInferencer",
+    "SemanticType",
+    "TypeChecker",
+    "check_types",
+    "compatible",
+    "expected_semantic",
+    "literal_semantic",
+    "produced_by_attr",
+]

@@ -1,0 +1,121 @@
+"""Semantic types for IaC values (3.2).
+
+Today's IaC treats most attributes as plain strings; "one string may
+specifically represent a virtual machine and another specifically a
+subnet". A :class:`SemanticType` recovers that meaning so the checker
+can reject a VM wired to a VPC id where a subnet id belongs -- at
+compile time instead of minutes into a deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import ipaddress
+from typing import Any, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SemanticType:
+    """The meaning of a value, beyond its base type.
+
+    ``kind`` is one of:
+
+    * ``any`` -- nothing known
+    * ``plain`` -- an ordinary value of ``base`` type
+    * ``resource_id`` -- the id of a resource of type ``detail``
+    * ``cidr`` -- a network prefix
+    * ``region`` -- a provider region/location name
+    * ``password`` -- secret material
+    * ``enum`` -- closed vocabulary, values in ``detail`` ("a|b|c")
+    """
+
+    kind: str
+    detail: str = ""
+    base: str = "string"
+
+    def __str__(self) -> str:
+        if self.detail:
+            return f"{self.kind}<{self.detail}>"
+        return self.kind
+
+
+ANY = SemanticType("any")
+
+
+def expected_semantic(attr_spec: Any) -> SemanticType:
+    """The semantic type an attribute *expects*, from its cloud schema."""
+    semantic = getattr(attr_spec, "semantic", "") or ""
+    base = getattr(attr_spec, "type", "string")
+    if semantic.startswith("ref:"):
+        return SemanticType("resource_id", semantic[4:], base)
+    if semantic.startswith("ref_list:"):
+        return SemanticType("resource_id", semantic[9:], base)
+    if semantic in ("cidr", "cidr_list"):
+        return SemanticType("cidr", base=base)
+    if semantic == "region":
+        return SemanticType("region", base=base)
+    if semantic == "password":
+        return SemanticType("password", base=base)
+    if semantic.startswith("enum:"):
+        return SemanticType("enum", semantic[5:], base)
+    return SemanticType("plain", base=base)
+
+
+def produced_by_attr(rtype: str, attr_name: str, attr_spec: Any) -> SemanticType:
+    """The semantic type a traversal like ``T.N.<attr>`` produces."""
+    if attr_name == "id":
+        return SemanticType("resource_id", rtype)
+    if attr_spec is None:
+        return ANY
+    return expected_semantic(attr_spec)
+
+
+def literal_semantic(value: Any) -> SemanticType:
+    """Best-effort semantic classification of a literal value."""
+    if isinstance(value, bool):
+        return SemanticType("plain", base="bool")
+    if isinstance(value, (int, float)):
+        return SemanticType("plain", base="number")
+    if isinstance(value, list):
+        return SemanticType("plain", base="list")
+    if isinstance(value, dict):
+        return SemanticType("plain", base="map")
+    if isinstance(value, str):
+        if _looks_like_cidr(value):
+            return SemanticType("cidr")
+        return SemanticType("plain", base="string")
+    return ANY
+
+
+def _looks_like_cidr(value: str) -> bool:
+    if "/" not in value:
+        return False
+    try:
+        ipaddress.ip_network(value, strict=False)
+        return True
+    except ValueError:
+        return False
+
+
+def compatible(expected: SemanticType, produced: SemanticType) -> bool:
+    """Could a ``produced`` value legally flow into an ``expected`` slot?
+
+    Conservative: only *provable* mismatches return False, so the
+    checker never rejects a valid configuration.
+    """
+    if expected.kind in ("any", "plain") or produced.kind == "any":
+        return True
+    if expected.kind == "resource_id":
+        if produced.kind == "resource_id":
+            return expected.detail == produced.detail
+        # a plain string could be a hand-written id; allow
+        return produced.kind == "plain" and produced.base == "string"
+    if expected.kind == "cidr":
+        return produced.kind in ("cidr", "plain")
+    if expected.kind == "region":
+        return produced.kind in ("region", "plain")
+    if expected.kind == "enum":
+        return produced.kind in ("enum", "plain")
+    if expected.kind == "password":
+        return produced.kind in ("password", "plain")
+    return True

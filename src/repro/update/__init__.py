@@ -1,0 +1,33 @@
+"""Concurrent updates, transactions, and rollback (paper 3.4)."""
+
+from .coordinator import (
+    CoordinationResult,
+    SCHEDULING_POLICIES,
+    UpdateCoordinator,
+    UpdateOutcome,
+    UpdateRequest,
+)
+from .rollback import (
+    NaiveRollback,
+    ReversibilityAwareRollback,
+    RollbackAction,
+    RollbackKind,
+    RollbackPlan,
+    RollbackResult,
+    measure_divergence,
+)
+
+__all__ = [
+    "CoordinationResult",
+    "SCHEDULING_POLICIES",
+    "NaiveRollback",
+    "ReversibilityAwareRollback",
+    "RollbackAction",
+    "RollbackKind",
+    "RollbackPlan",
+    "RollbackResult",
+    "UpdateCoordinator",
+    "UpdateOutcome",
+    "UpdateRequest",
+    "measure_divergence",
+]

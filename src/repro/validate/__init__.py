@@ -1,0 +1,48 @@
+"""Validation: syntax, semantic types, cloud-specific rules, mining
+(paper 3.2)."""
+
+from .mining import (
+    DeploymentExample,
+    MinedEqualityRule,
+    MinedImplicationRule,
+    ResourceObservation,
+    SpecificationMiner,
+)
+from .pipeline import (
+    LEVEL_RULES,
+    LEVEL_SYNTAX,
+    LEVEL_TYPES,
+    LEVELS,
+    ValidationPipeline,
+    ValidationReport,
+    validate,
+)
+from .rules import (
+    DanglingReferenceRule,
+    DuplicateNameRule,
+    Rule,
+    RuleEngine,
+    RuleInfo,
+    ValidationContext,
+)
+
+__all__ = [
+    "DanglingReferenceRule",
+    "DeploymentExample",
+    "DuplicateNameRule",
+    "LEVEL_RULES",
+    "LEVEL_SYNTAX",
+    "LEVEL_TYPES",
+    "LEVELS",
+    "MinedEqualityRule",
+    "MinedImplicationRule",
+    "ResourceObservation",
+    "Rule",
+    "RuleEngine",
+    "RuleInfo",
+    "SpecificationMiner",
+    "ValidationContext",
+    "ValidationPipeline",
+    "ValidationReport",
+    "validate",
+]

@@ -1,0 +1,6 @@
+"""Provider-specific compile-time constraint rules."""
+
+from .aws import AWS_RULES
+from .azure import AZURE_RULES
+
+__all__ = ["AWS_RULES", "AZURE_RULES"]

@@ -1,0 +1,95 @@
+"""AWS-specific compile-time constraint rules (3.2)."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, List
+
+from ...lang.diagnostics import DiagnosticSink
+from ..rules import Rule, RuleInfo, ValidationContext
+
+
+class AwsSubnetWithinVpcRule(Rule):
+    """Subnet CIDR must sit inside its VPC CIDR and not overlap
+    siblings -- the compile-time twin of InvalidSubnet.Range/Conflict."""
+
+    info = RuleInfo(
+        "AWS001",
+        "subnet cidr_block must be inside the VPC and not overlap siblings",
+        "aws",
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        by_vpc: Dict[str, List] = {}
+        for subnet in ctx.instances_of_type("aws_subnet"):
+            cidr = ctx.known_attr(subnet, "cidr_block")
+            vpcs = [
+                n
+                for n in ctx.referenced_instances(subnet, "vpc_id")
+                if n.address.type == "aws_vpc"
+            ]
+            if not isinstance(cidr, str) or not vpcs:
+                continue
+            vpc = vpcs[0]
+            try:
+                subnet_net = ipaddress.ip_network(cidr, strict=True)
+            except ValueError:
+                sink.error(
+                    f"{subnet.id}: {cidr!r} is not a valid CIDR block",
+                    ctx.span_of(subnet, "cidr_block"),
+                    self.info.rule_id,
+                )
+                continue
+            vpc_cidr = ctx.known_attr(vpc, "cidr_block")
+            if isinstance(vpc_cidr, str):
+                try:
+                    vpc_net = ipaddress.ip_network(vpc_cidr, strict=True)
+                except ValueError:
+                    vpc_net = None
+                if vpc_net is not None and not subnet_net.subnet_of(vpc_net):
+                    sink.error(
+                        f"{subnet.id}: cidr_block {cidr} is outside "
+                        f"{vpc.id}'s range {vpc_cidr}",
+                        ctx.span_of(subnet, "cidr_block"),
+                        self.info.rule_id,
+                    )
+            by_vpc.setdefault(vpc.id, []).append((subnet, subnet_net))
+        for vpc_id, members in by_vpc.items():
+            for i, (subnet_a, net_a) in enumerate(members):
+                for subnet_b, net_b in members[i + 1 :]:
+                    if net_a.overlaps(net_b):
+                        sink.error(
+                            f"{subnet_b.id}: cidr_block {net_b} overlaps "
+                            f"{subnet_a.id} ({net_a}) in {vpc_id}",
+                            ctx.span_of(subnet_b, "cidr_block"),
+                            self.info.rule_id,
+                        )
+
+
+class AwsVpnTunnelGatewayRule(Rule):
+    """VPN tunnels must attach to a VPN gateway, not another type."""
+
+    info = RuleInfo(
+        "AWS002", "aws_vpn_tunnel.gateway_id must reference aws_vpn_gateway", "aws"
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        for tunnel in ctx.instances_of_type("aws_vpn_tunnel"):
+            for target in ctx.referenced_instances(tunnel, "gateway_id"):
+                if (
+                    target.address.mode == "managed"
+                    and target.address.type != "aws_vpn_gateway"
+                ):
+                    sink.error(
+                        f"{tunnel.id}: gateway_id references "
+                        f"{target.id}, which is a {target.address.type}, "
+                        f"not an aws_vpn_gateway",
+                        ctx.span_of(tunnel, "gateway_id"),
+                        self.info.rule_id,
+                    )
+
+
+AWS_RULES = [
+    AwsSubnetWithinVpcRule(),
+    AwsVpnTunnelGatewayRule(),
+]

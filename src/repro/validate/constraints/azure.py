@@ -1,0 +1,198 @@
+"""Azure-specific compile-time constraint rules (3.2).
+
+Each rule is the IaC-level twin of a control-plane check in
+:mod:`repro.cloud.azure.provider` -- the transformation of cloud-level
+constraints into program checks the paper advocates. Where the cloud
+says "the specified network interface was not found", the rule says
+what is actually wrong and points at the line.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Any, Dict, List, Optional
+
+from ...lang.diagnostics import DiagnosticSink
+from ..rules import Rule, RuleInfo, ValidationContext
+
+
+class AzureVmNicSameRegionRule(Rule):
+    """VMs and their attached NICs must share a location.
+
+    The paper's running example: at the cloud level this fails after ~a
+    minute of provisioning with an opaque NotFound; here it is a
+    compile-time error naming both resources and the fix.
+    """
+
+    info = RuleInfo(
+        "AZR001",
+        "azure_virtual_machine and its network interfaces must be in the "
+        "same location",
+        "azure",
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        for vm in ctx.instances_of_type("azure_virtual_machine"):
+            vm_location = ctx.known_attr(vm, "location")
+            if not isinstance(vm_location, str):
+                continue
+            for nic in ctx.referenced_instances(vm, "nic_ids"):
+                if nic.address.type != "azure_network_interface":
+                    continue
+                nic_location = ctx.known_attr(nic, "location")
+                if isinstance(nic_location, str) and nic_location != vm_location:
+                    sink.error(
+                        f"{vm.id}: VM is in {vm_location!r} but its network "
+                        f"interface {nic.id} is in {nic_location!r}; Azure "
+                        f"requires them to be in the same location",
+                        ctx.span_of(vm, "nic_ids"),
+                        self.info.rule_id,
+                    )
+
+
+class AzureVmPasswordRule(Rule):
+    """admin_password requires disable_password_auth = false, and
+    vice versa."""
+
+    info = RuleInfo(
+        "AZR002",
+        "admin_password and disable_password_auth must agree",
+        "azure",
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        for vm in ctx.instances_of_type("azure_virtual_machine"):
+            password = ctx.known_attr(vm, "password") or ctx.known_attr(
+                vm, "admin_password"
+            )
+            disable = ctx.attr_or_default(vm, "disable_password_auth")
+            has_password_attr = "admin_password" in vm.decl.body.attributes
+            if has_password_attr and password and disable is not False:
+                sink.error(
+                    f"{vm.id}: admin_password is set but "
+                    f"disable_password_auth is not false; Azure will reject "
+                    f"this at deploy time",
+                    ctx.span_of(vm, "admin_password"),
+                    self.info.rule_id,
+                )
+            if disable is False and not has_password_attr:
+                sink.error(
+                    f"{vm.id}: disable_password_auth = false requires "
+                    f"admin_password to be set",
+                    ctx.span_of(vm, "disable_password_auth"),
+                    self.info.rule_id,
+                )
+
+
+class AzureSubnetWithinVnetRule(Rule):
+    """Subnet prefixes must sit inside their VNet's address spaces and
+    must not overlap sibling subnets."""
+
+    info = RuleInfo(
+        "AZR003",
+        "subnet address_prefix must be inside the vnet and not overlap "
+        "siblings",
+        "azure",
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        by_vnet: Dict[str, List] = {}
+        for subnet in ctx.instances_of_type("azure_subnet"):
+            prefix = ctx.known_attr(subnet, "address_prefix")
+            vnets = [
+                n
+                for n in ctx.referenced_instances(subnet, "vnet_id")
+                if n.address.type == "azure_virtual_network"
+            ]
+            if not isinstance(prefix, str) or not vnets:
+                continue
+            vnet = vnets[0]
+            try:
+                subnet_net = ipaddress.ip_network(prefix, strict=True)
+            except ValueError:
+                sink.error(
+                    f"{subnet.id}: {prefix!r} is not a valid address prefix",
+                    ctx.span_of(subnet, "address_prefix"),
+                    self.info.rule_id,
+                )
+                continue
+            spaces = ctx.known_attr(vnet, "address_spaces") or []
+            nets = []
+            for space in spaces:
+                try:
+                    nets.append(ipaddress.ip_network(str(space)))
+                except ValueError:
+                    continue
+            if nets and not any(subnet_net.subnet_of(n) for n in nets):
+                sink.error(
+                    f"{subnet.id}: prefix {prefix} is outside the address "
+                    f"spaces of {vnet.id} ({', '.join(map(str, nets))})",
+                    ctx.span_of(subnet, "address_prefix"),
+                    self.info.rule_id,
+                )
+            by_vnet.setdefault(vnet.id, []).append((subnet, subnet_net))
+        for vnet_id, members in by_vnet.items():
+            for i, (subnet_a, net_a) in enumerate(members):
+                for subnet_b, net_b in members[i + 1 :]:
+                    if net_a.overlaps(net_b):
+                        sink.error(
+                            f"{subnet_b.id}: prefix {net_b} overlaps "
+                            f"{subnet_a.id} ({net_a}) in {vnet_id}",
+                            ctx.span_of(subnet_b, "address_prefix"),
+                            self.info.rule_id,
+                        )
+
+
+class AzurePeeringOverlapRule(Rule):
+    """Peered VNets cannot have overlapping address spaces."""
+
+    info = RuleInfo(
+        "AZR004",
+        "peered virtual networks must have disjoint address spaces",
+        "azure",
+    )
+
+    def check(self, ctx: ValidationContext, sink: DiagnosticSink) -> None:
+        for peering in ctx.instances_of_type("azure_vnet_peering"):
+            side_a = self._vnet_spaces(ctx, peering, "vnet_a_id")
+            side_b = self._vnet_spaces(ctx, peering, "vnet_b_id")
+            if side_a is None or side_b is None:
+                continue
+            (vnet_a, nets_a), (vnet_b, nets_b) = side_a, side_b
+            for net_a in nets_a:
+                for net_b in nets_b:
+                    if net_a.overlaps(net_b):
+                        sink.error(
+                            f"{peering.id}: cannot peer {vnet_a.id} and "
+                            f"{vnet_b.id}; address spaces {net_a} and "
+                            f"{net_b} overlap",
+                            ctx.span_of(peering, "vnet_b_id"),
+                            self.info.rule_id,
+                        )
+                        break
+
+    def _vnet_spaces(self, ctx: ValidationContext, peering, attr: str):
+        vnets = [
+            n
+            for n in ctx.referenced_instances(peering, attr)
+            if n.address.type == "azure_virtual_network"
+        ]
+        if not vnets:
+            return None
+        vnet = vnets[0]
+        spaces = ctx.known_attr(vnet, "address_spaces") or []
+        nets = []
+        for space in spaces:
+            try:
+                nets.append(ipaddress.ip_network(str(space)))
+            except ValueError:
+                continue
+        return vnet, nets
+
+
+AZURE_RULES = [
+    AzureVmNicSameRegionRule(),
+    AzureVmPasswordRule(),
+    AzureSubnetWithinVnetRule(),
+    AzurePeeringOverlapRule(),
+]

@@ -1,0 +1,36 @@
+"""Workload generators, config mutators, and traffic traces."""
+
+from .mutate import ConfigMutator, Mutation, MutationError
+from .topologies import (
+    hub_spoke,
+    microservices,
+    ml_training,
+    multi_cloud,
+    sized_estate,
+    vpn_site,
+    web_tier,
+)
+from .traffic import (
+    TracePoint,
+    diurnal_trace,
+    distribute_demand,
+    ramp_surge_trace,
+)
+
+__all__ = [
+    "ConfigMutator",
+    "Mutation",
+    "MutationError",
+    "TracePoint",
+    "diurnal_trace",
+    "distribute_demand",
+    "hub_spoke",
+    "microservices",
+    "ml_training",
+    "ml_training",
+    "multi_cloud",
+    "ramp_surge_trace",
+    "sized_estate",
+    "vpn_site",
+    "web_tier",
+]

@@ -1,0 +1,92 @@
+"""Synthetic traffic traces for the autoscaling experiments (E9).
+
+Generates demand time series (Mbps, CPU%, requests/s) with diurnal
+ramps, step surges, and noise -- the load that drives the custom-metric
+autoscaling policies from 3.6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Callable, List, Tuple
+
+
+@dataclasses.dataclass
+class TracePoint:
+    t: float
+    value: float
+
+
+def ramp_surge_trace(
+    duration_s: float = 3600.0,
+    step_s: float = 30.0,
+    base: float = 300.0,
+    peak: float = 2400.0,
+    surge_start: float = 0.25,
+    surge_end: float = 0.70,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> List[TracePoint]:
+    """Demand ramps up to a surge plateau and back down.
+
+    The canonical shape for scale-out-then-scale-in: utilization crosses
+    the high watermark on the way up and the low watermark after the
+    surge passes.
+    """
+    rng = random.Random(seed)
+    out: List[TracePoint] = []
+    t = 0.0
+    while t <= duration_s:
+        phase = t / duration_s
+        if phase < surge_start:
+            demand = base + (peak - base) * (phase / surge_start) * 0.2
+        elif phase < surge_end:
+            ramp = (phase - surge_start) / (surge_end - surge_start)
+            demand = base + (peak - base) * min(1.0, ramp * 2.0)
+        else:
+            cool = (phase - surge_end) / max(1e-9, 1.0 - surge_end)
+            demand = peak - (peak - base) * cool
+        demand *= 1.0 + rng.uniform(-noise, noise)
+        out.append(TracePoint(t=t, value=max(0.0, demand)))
+        t += step_s
+    return out
+
+
+def diurnal_trace(
+    duration_s: float = 6 * 3600.0,
+    step_s: float = 60.0,
+    base: float = 200.0,
+    peak: float = 1500.0,
+    period_s: float = 3 * 3600.0,
+    noise: float = 0.08,
+    seed: int = 0,
+) -> List[TracePoint]:
+    """Sinusoidal day/night demand."""
+    rng = random.Random(seed)
+    out: List[TracePoint] = []
+    t = 0.0
+    while t <= duration_s:
+        wave = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / period_s))
+        demand = base + (peak - base) * wave
+        demand *= 1.0 + rng.uniform(-noise, noise)
+        out.append(TracePoint(t=t, value=max(0.0, demand)))
+        t += step_s
+    return out
+
+
+def distribute_demand(
+    total: float, instances: int, capacity: float
+) -> Tuple[List[float], float]:
+    """Spread demand over instances; returns (per-instance load, dropped).
+
+    Load balances evenly; anything beyond aggregate capacity is dropped
+    (the SLO-violation signal E9 integrates over time).
+    """
+    if instances <= 0:
+        return [], total
+    per_instance = total / instances
+    served = min(per_instance, capacity)
+    dropped = max(0.0, total - served * instances)
+    return [served] * instances, dropped

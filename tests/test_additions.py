@@ -1,0 +1,163 @@
+"""Tests for later additions: variable validation blocks, DOT export,
+and the importer-fidelity property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudGateway
+from repro.core import CloudlessEngine
+from repro.lang import CLCEvalError, Configuration, ModuleContext
+from repro.porting import StructuredImporter, verify_fidelity
+from repro.workloads import web_tier
+
+VALIDATED = """
+variable "n" {
+  type    = number
+  default = 3
+  validation {
+    condition     = var.n > 0 && var.n <= 10
+    error_message = "n must be between 1 and 10"
+  }
+}
+variable "env" {
+  type    = string
+  default = "dev"
+  validation {
+    condition     = contains(["dev", "staging", "prod"], var.env)
+    error_message = "env must be dev, staging, or prod"
+  }
+}
+"""
+
+
+class TestVariableValidation:
+    def test_default_passes(self):
+        ModuleContext(Configuration.parse(VALIDATED))
+
+    def test_good_values_pass(self):
+        ModuleContext(
+            Configuration.parse(VALIDATED), variables={"n": 10, "env": "prod"}
+        )
+
+    def test_bad_number_rejected_with_message(self):
+        with pytest.raises(CLCEvalError) as err:
+            ModuleContext(Configuration.parse(VALIDATED), variables={"n": 99})
+        assert "between 1 and 10" in str(err.value)
+
+    def test_bad_enum_rejected(self):
+        with pytest.raises(CLCEvalError) as err:
+            ModuleContext(
+                Configuration.parse(VALIDATED), variables={"env": "yolo"}
+            )
+        assert "env must be" in str(err.value)
+
+    def test_validation_can_reference_other_variables(self):
+        cfg = Configuration.parse(
+            'variable "lo" { default = 1 }\n'
+            'variable "hi" {\n'
+            "  default = 5\n"
+            "  validation {\n"
+            "    condition     = var.hi > var.lo\n"
+            '    error_message = "hi must exceed lo"\n'
+            "  }\n"
+            "}\n"
+        )
+        ModuleContext(cfg)
+        with pytest.raises(CLCEvalError):
+            ModuleContext(cfg, variables={"lo": 9, "hi": 5})
+
+    def test_missing_condition_is_config_error(self):
+        cfg = Configuration.parse(
+            'variable "x" {\n  validation {\n    error_message = "?"\n  }\n}\n'
+        )
+        assert cfg.diagnostics.has_errors()
+
+    def test_engine_surfaces_validation_as_engine_error(self):
+        from repro.core import EngineError
+
+        engine = CloudlessEngine(seed=40)
+        with pytest.raises(EngineError) as err:
+            engine.apply(
+                VALIDATED + 'resource "aws_s3_bucket" "b" { name = "x" }\n',
+                variables={"n": 50},
+                validate_first=False,
+                admit=False,
+            )
+        assert "between 1 and 10" in str(err.value)
+        assert engine.gateway.total_api_calls() == 0  # nothing reached the cloud
+
+
+class TestDotExport:
+    def test_plan_dot_contains_nodes_edges_and_colors(self):
+        engine = CloudlessEngine(seed=41)
+        plan = engine.plan(web_tier(web_vms=1, app_vms=1))
+        dot = plan.to_dot()
+        assert dot.startswith('digraph "plan"')
+        assert '"aws_vpc.web"' in dot
+        assert '"aws_vpc.web" -> "aws_subnet.web_front"' in dot
+        assert 'color="green"' in dot  # everything is a create
+
+    def test_delete_nodes_included(self):
+        engine = CloudlessEngine(seed=42)
+        assert engine.apply('resource "aws_s3_bucket" "b" { name = "x" }\n').ok
+        plan = engine.plan("")
+        dot = plan.to_dot()
+        assert '"aws_s3_bucket.b"' in dot
+
+    def test_dag_dot_custom_labels(self):
+        from repro.graph import Dag
+
+        dag = Dag()
+        dag.add_edge("a", "b")
+        dot = dag.to_dot(label=lambda n: n.upper())
+        assert 'label="A"' in dot
+
+
+class TestImporterFidelityProperty:
+    """Property: whatever estate exists, the structured import plans as
+    a no-op against its own generated state."""
+
+    @given(
+        buckets=st.integers(0, 4),
+        ladder=st.integers(0, 4),
+        named=st.lists(
+            st.sampled_from(["api", "worker", "cron", "batch", "edge"]),
+            unique=True,
+            max_size=4,
+        ),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_estates_round_trip(self, buckets, ladder, named, seed):
+        gateway = CloudGateway.simulated(seed=1000 + seed)
+        plane = gateway.planes["aws"]
+        for i in range(buckets):
+            plane.external_create(
+                "aws_s3_bucket", {"name": f"bkt-{i}"}, "us-east-1"
+            )
+        if ladder:
+            vpc = plane.external_create(
+                "aws_vpc", {"name": "net", "cidr_block": "10.0.0.0/16"}, "us-east-1"
+            )
+            for i in range(ladder):
+                plane.external_create(
+                    "aws_subnet",
+                    {
+                        "name": f"sub-{i}",
+                        "vpc_id": vpc,
+                        "cidr_block": f"10.0.{i}.0/24",
+                    },
+                    "us-east-1",
+                )
+        for env in named:
+            plane.external_create(
+                "aws_iam_role", {"name": f"role-{env}"}, "us-east-1"
+            )
+        project = StructuredImporter().import_estate(gateway)
+        if len(gateway.all_records()) == 0:
+            return
+        result = verify_fidelity(project)
+        assert result.ok, (result.error, project.main_source)

@@ -1,0 +1,157 @@
+"""Configuration-model tests (block classification, meta-arguments)."""
+
+import pytest
+
+from repro.lang.config import Configuration
+from repro.lang.references import Reference
+
+
+class TestVariables:
+    def test_variable_with_type_and_default(self):
+        cfg = Configuration.parse(
+            'variable "n" {\n  type = number\n  default = 3\n}\n'
+        )
+        decl = cfg.variables["n"]
+        assert decl.type_constraint == "number"
+        assert decl.default.value == 3
+
+    def test_variable_compound_type(self):
+        cfg = Configuration.parse(
+            'variable "xs" {\n  type = list(string)\n}\n'
+        )
+        assert cfg.variables["xs"].type_constraint == "list(string)"
+
+    def test_duplicate_variable_is_error(self):
+        cfg = Configuration.parse('variable "a" {}\nvariable "a" {}\n')
+        assert cfg.diagnostics.has_errors()
+
+    def test_invalid_type_constraint(self):
+        cfg = Configuration.parse('variable "a" {\n  type = wibble\n}\n')
+        assert cfg.diagnostics.has_errors()
+
+
+class TestOutputsAndLocals:
+    def test_output(self):
+        cfg = Configuration.parse('output "x" {\n  value = 1\n}\n')
+        assert "x" in cfg.outputs
+
+    def test_output_requires_value(self):
+        cfg = Configuration.parse('output "x" {}\n')
+        assert cfg.diagnostics.has_errors()
+
+    def test_locals(self):
+        cfg = Configuration.parse("locals {\n  a = 1\n  b = 2\n}\n")
+        assert set(cfg.locals) == {"a", "b"}
+
+    def test_locals_merge_across_blocks(self):
+        cfg = Configuration.parse(
+            "locals {\n  a = 1\n}\nlocals {\n  b = 2\n}\n"
+        )
+        assert set(cfg.locals) == {"a", "b"}
+
+
+class TestResources:
+    def test_resource_classification(self):
+        cfg = Configuration.parse(
+            'resource "aws_vpc" "main" {\n  name = "x"\n  cidr_block = "10.0.0.0/16"\n}\n'
+        )
+        decl = cfg.resource("aws_vpc", "main")
+        assert decl is not None
+        assert decl.mode == "managed"
+        assert "name" in decl.body.attributes
+
+    def test_data_classification(self):
+        cfg = Configuration.parse('data "aws_region" "r" {}\n')
+        assert cfg.resource("aws_region", "r", mode="data") is not None
+
+    def test_count_extracted(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n  count = 3\n  name = "x"\n}\n'
+        )
+        decl = cfg.resource("t", "n")
+        assert decl.count is not None
+        assert "count" not in decl.body.attributes
+
+    def test_count_and_for_each_exclusive(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n  count = 1\n  for_each = ["a"]\n}\n'
+        )
+        assert cfg.diagnostics.has_errors()
+
+    def test_depends_on(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n  depends_on = [aws_vpc.main]\n}\n'
+        )
+        decl = cfg.resource("t", "n")
+        assert Reference("resource", "aws_vpc", "main") in decl.depends_on
+
+    def test_lifecycle_options(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n'
+            "  lifecycle {\n"
+            "    prevent_destroy = true\n"
+            '    ignore_changes = [tags]\n'
+            "  }\n"
+            "}\n"
+        )
+        decl = cfg.resource("t", "n")
+        assert decl.lifecycle.prevent_destroy is True
+        assert decl.lifecycle.ignore_changes == ["tags"]
+
+    def test_provider_meta(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n  provider = aws.west\n}\n'
+        )
+        assert cfg.resource("t", "n").provider == "aws.west"
+
+    def test_references_include_body_and_meta(self):
+        cfg = Configuration.parse(
+            'resource "t" "n" {\n'
+            "  count = var.n\n"
+            "  name  = local.prefix\n"
+            "  vpc   = aws_vpc.main.id\n"
+            "}\n"
+        )
+        refs = {str(r) for r in cfg.resource("t", "n").references()}
+        assert refs == {"var.n", "local.prefix", "aws_vpc.main"}
+
+
+class TestModulesAndProviders:
+    def test_module_call(self):
+        cfg = Configuration.parse(
+            'module "net" {\n  source = "./net"\n  cidr = "10.0.0.0/16"\n}\n'
+        )
+        call = cfg.module_calls["net"]
+        assert call.source == "./net"
+        assert "cidr" in call.body.attributes
+        assert "source" not in call.body.attributes
+
+    def test_module_requires_literal_source(self):
+        cfg = Configuration.parse('module "m" {\n  source = var.s\n}\n')
+        assert cfg.diagnostics.has_errors()
+
+    def test_provider_block_with_alias(self):
+        cfg = Configuration.parse(
+            'provider "aws" {\n  alias = "west"\n  region = "us-west-2"\n}\n'
+        )
+        assert "aws.west" in cfg.providers
+
+    def test_unknown_block_type(self):
+        cfg = Configuration.parse("gizmo {\n}\n")
+        assert cfg.diagnostics.has_errors()
+
+    def test_terraform_block_tolerated(self):
+        cfg = Configuration.parse("terraform {\n  required_version = \"1.0\"\n}\n")
+        assert not cfg.diagnostics.has_errors()
+
+
+class TestMultiFile:
+    def test_files_merge(self):
+        cfg = Configuration.parse(
+            {
+                "a.clc": 'variable "x" { default = 1 }\n',
+                "b.clc": 'resource "t" "n" {\n  v = var.x\n}\n',
+            }
+        )
+        assert "x" in cfg.variables
+        assert cfg.resource("t", "n") is not None

@@ -1,0 +1,131 @@
+"""Generic DAG tests."""
+
+import pytest
+
+from repro.graph.dag import CycleError, Dag
+
+
+def chain(*nodes):
+    dag = Dag()
+    for a, b in zip(nodes, nodes[1:]):
+        dag.add_edge(a, b)
+    return dag
+
+
+class TestStructure:
+    def test_add_and_query(self):
+        dag = Dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("a", "c")
+        assert dag.successors("a") == {"b", "c"}
+        assert dag.predecessors("b") == {"a"}
+        assert set(dag.roots()) == {"a"}
+        assert set(dag.leaves()) == {"b", "c"}
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(CycleError):
+            Dag().add_edge("a", "a")
+
+    def test_remove_node(self):
+        dag = chain("a", "b", "c")
+        dag.remove_node("b")
+        assert "b" not in dag
+        assert dag.successors("a") == set()
+        assert dag.predecessors("c") == set()
+
+    def test_subgraph(self):
+        dag = chain("a", "b", "c")
+        sub = dag.subgraph({"a", "b"})
+        assert set(sub.nodes) == {"a", "b"}
+        assert sub.successors("a") == {"b"}
+
+    def test_reversed(self):
+        dag = chain("a", "b")
+        rev = dag.reversed()
+        assert rev.successors("b") == {"a"}
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        dag = Dag()
+        dag.add_edge("a", "c")
+        dag.add_edge("b", "c")
+        dag.add_edge("c", "d")
+        order = dag.topological_order()
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert order.index("b") < order.index("c")
+
+    def test_deterministic_tie_break(self):
+        dag = Dag()
+        for n in ["z", "m", "a"]:
+            dag.add_node(n)
+        assert dag.topological_order() == ["a", "m", "z"]
+
+    def test_cycle_raises(self):
+        dag = Dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        dag.add_edge("c", "a")
+        with pytest.raises(CycleError):
+            dag.topological_order()
+
+    def test_find_cycle_returns_loop(self):
+        dag = Dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "a")
+        cycle = dag.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_acyclic_has_no_cycle(self):
+        assert chain("a", "b", "c").find_cycle() is None
+
+
+class TestReachability:
+    def test_ancestors_descendants(self):
+        dag = Dag()
+        dag.add_edge("vpc", "subnet")
+        dag.add_edge("subnet", "nic")
+        dag.add_edge("nic", "vm")
+        dag.add_edge("sg", "nic")
+        assert dag.ancestors("vm") == {"vpc", "subnet", "nic", "sg"}
+        assert dag.descendants("vpc") == {"subnet", "nic", "vm"}
+        assert dag.descendants("vm") == set()
+
+
+class TestWeightedAnalyses:
+    def make_weighted(self):
+        # a(1) -> b(10) -> d(1);  a -> c(2) -> d
+        dag = Dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("a", "c")
+        dag.add_edge("b", "d")
+        dag.add_edge("c", "d")
+        weights = {"a": 1.0, "b": 10.0, "c": 2.0, "d": 1.0}
+        return dag, weights
+
+    def test_longest_path_to_sink(self):
+        dag, w = self.make_weighted()
+        dist = dag.longest_path_to_sink(lambda n: w[n])
+        assert dist["d"] == 1.0
+        assert dist["b"] == 11.0
+        assert dist["c"] == 3.0
+        assert dist["a"] == 12.0
+
+    def test_critical_path(self):
+        dag, w = self.make_weighted()
+        length, path = dag.critical_path(lambda n: w[n])
+        assert length == 12.0
+        assert path == ["a", "b", "d"]
+
+    def test_empty_graph(self):
+        assert Dag().critical_path(lambda n: 1.0) == (0.0, [])
+
+    def test_width_profile(self):
+        dag = Dag()
+        dag.add_edge("root", "x1")
+        dag.add_edge("root", "x2")
+        dag.add_edge("root", "x3")
+        dag.add_edge("x1", "sink")
+        assert dag.width_profile() == [1, 3, 1]
+        assert dag.max_width() == 3

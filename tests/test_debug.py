@@ -1,0 +1,185 @@
+"""IaC debugger: error correlation and auto-repair (E10 machinery)."""
+
+import pytest
+
+from repro.core import CloudlessEngine
+from repro.debug import IaCDebugger, apply_diagnoses
+from repro.lang import Configuration
+
+AZURE_MISWIRED = """
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_virtual_network" "v" {
+  name              = "v"
+  resource_group_id = azure_resource_group.rg.id
+  location          = "eastus"
+  address_spaces    = ["10.0.0.0/16"]
+}
+resource "azure_subnet" "sn" {
+  name           = "sn"
+  vnet_id        = azure_virtual_network.v.id
+  address_prefix = "10.0.1.0/24"
+}
+resource "azure_network_interface" "n1" {
+  name      = "n1"
+  subnet_id = azure_subnet.sn.id
+  location  = "eastus"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "westus2"
+  nic_ids  = [azure_network_interface.n1.id]
+}
+"""
+
+
+def failing_apply(source, seed=60):
+    """Apply with compile-time validation OFF so the cloud error fires."""
+    engine = CloudlessEngine(seed=seed)
+    result = engine.apply(source, validate_first=False, admit=False)
+    assert result.apply is not None and not result.apply.ok
+    return engine, result
+
+
+class TestPaperExample:
+    """3.5's motivating case: opaque NIC-not-found -> precise root cause."""
+
+    def test_diagnosis_finds_real_root_cause(self):
+        engine, result = failing_apply(AZURE_MISWIRED)
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.error_code == "NetworkInterfaceNotFound"
+        assert "was not found" in diagnosis.raw_message
+        assert "different region" in diagnosis.root_cause
+        assert "eastus" in diagnosis.root_cause
+        assert "westus2" in diagnosis.root_cause
+
+    def test_diagnosis_points_at_source_line(self):
+        engine, result = failing_apply(AZURE_MISWIRED)
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.span is not None
+        assert diagnosis.culprit_attr == "location"
+        # the span lands exactly on the VM's location assignment
+        line = AZURE_MISWIRED.splitlines()[diagnosis.span.start_line - 1]
+        assert 'location = "westus2"' in line
+
+    def test_fix_suggestion_is_actionable(self):
+        engine, result = failing_apply(AZURE_MISWIRED)
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.confidence > 0.9
+        fix = diagnosis.fixes[0]
+        assert fix.attr == "location"
+        assert fix.new_value == "eastus"
+
+    def test_auto_repair_then_apply_succeeds(self):
+        engine, result = failing_apply(AZURE_MISWIRED)
+        config = Configuration.parse(AZURE_MISWIRED)
+        outcomes = apply_diagnoses(config, result.diagnoses)
+        assert any(o.applied for o in outcomes)
+        retry = engine.apply(config, validate_first=False, admit=False)
+        assert retry.ok
+
+
+class TestOtherErrorClasses:
+    def test_password_rule_diagnosis(self):
+        source = AZURE_MISWIRED.replace('location = "westus2"', 'location = "eastus"')
+        source = source.replace(
+            "nic_ids  = [azure_network_interface.n1.id]",
+            'nic_ids  = [azure_network_interface.n1.id]\n'
+            '  admin_password = "hunter2!"',
+        )
+        engine, result = failing_apply(source)
+        diagnosis = result.diagnoses[0]
+        assert "disable_password_auth" in diagnosis.root_cause
+        assert diagnosis.fixes[0].new_value is False
+
+    def test_name_conflict_diagnosis(self):
+        source = (
+            'resource "aws_s3_bucket" "a" { name = "same" }\n'
+            'resource "aws_s3_bucket" "b" { name = "same" }\n'
+        )
+        engine, result = failing_apply(source)
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.error_code == "Conflict"
+        assert diagnosis.fixes[0].attr == "name"
+
+    def test_subnet_range_diagnosis(self):
+        source = (
+            'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+            'resource "aws_subnet" "s" {\n'
+            '  name = "s"\n'
+            "  vpc_id = aws_vpc.v.id\n"
+            '  cidr_block = "172.16.0.0/24"\n'
+            "}\n"
+        )
+        engine, result = failing_apply(source)
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.error_code == "InvalidSubnet.Range"
+        assert "10.0.0.0/16" in diagnosis.root_cause
+        assert diagnosis.fixes and diagnosis.fixes[0].new_value.startswith("10.0.")
+
+    def test_quota_diagnosis(self):
+        engine = CloudlessEngine(seed=61)
+        engine.gateway.planes["aws"].set_quota("aws_s3_bucket", "us-east-1", 0)
+        result = engine.apply(
+            'resource "aws_s3_bucket" "b" { name = "b" }\n',
+            validate_first=False,
+            admit=False,
+        )
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.error_code == "QuotaExceeded"
+        assert "quota" in diagnosis.root_cause
+
+    def test_cascaded_failure_diagnosis(self):
+        # NIC fails (bad subnet ref) -> VM skipped; VM diagnosis explains
+        from repro.cloud import FaultSpec
+
+        engine = CloudlessEngine(seed=62)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InsufficientCapacity",
+                message="capacity",
+                match_type="aws_network_interface",
+                transient=False,
+                max_strikes=9,
+            )
+        )
+        from repro.workloads import web_tier
+
+        result = engine.apply(
+            web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False),
+            validate_first=False,
+            admit=False,
+        )
+        assert not result.ok
+        # the NIC failed outright; the VM was skipped, not failed
+        assert any("aws_network_interface" in d.change_id for d in result.diagnoses)
+
+    def test_unrecognized_error_gets_fallback(self):
+        from repro.cloud import FaultSpec
+
+        engine = CloudlessEngine(seed=63)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="MysteryFailure",
+                message="something odd happened",
+                match_type="aws_s3_bucket",
+                transient=False,
+            )
+        )
+        result = engine.apply(
+            'resource "aws_s3_bucket" "b" { name = "b" }\n',
+            validate_first=False,
+            admit=False,
+        )
+        diagnosis = result.diagnoses[0]
+        assert diagnosis.confidence <= 0.5
+        assert diagnosis.span is not None  # still localized to the block
+
+    def test_render_is_readable(self):
+        engine, result = failing_apply(AZURE_MISWIRED)
+        text = result.diagnoses[0].render()
+        assert "cloud said" in text
+        assert "root cause" in text
+        assert "suggestion" in text

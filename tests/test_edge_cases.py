@@ -1,0 +1,201 @@
+"""Edge cases across the stack: azure update rules, module depends_on,
+aliased providers, heredocs in configs, deep module nesting."""
+
+import pytest
+
+from repro.cloud import CloudAPIError
+from repro.core import CloudlessEngine
+from repro.graph import build_graph
+from repro.lang import Configuration, DictModuleLoader
+
+
+class TestAzureUpdateRules:
+    def make_vm(self, engine):
+        src = """
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_virtual_network" "v" {
+  name              = "v"
+  resource_group_id = azure_resource_group.rg.id
+  location          = "eastus"
+  address_spaces    = ["10.0.0.0/16"]
+}
+resource "azure_subnet" "sn" {
+  name           = "sn"
+  vnet_id        = azure_virtual_network.v.id
+  address_prefix = "10.0.1.0/24"
+}
+resource "azure_network_interface" "n" {
+  name      = "n"
+  subnet_id = azure_subnet.sn.id
+  location  = "eastus"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n.id]
+}
+"""
+        assert engine.apply(src).ok
+        return next(
+            e
+            for e in engine.state.resources()
+            if e.address.type == "azure_virtual_machine"
+        )
+
+    def test_update_password_without_flag_rejected(self):
+        engine = CloudlessEngine(seed=70)
+        vm = self.make_vm(engine)
+        with pytest.raises(CloudAPIError) as err:
+            engine.gateway.execute(
+                "update",
+                "azure_virtual_machine",
+                resource_id=vm.resource_id,
+                attrs={"admin_password": "oops!"},
+            )
+        assert "disablePasswordAuthentication" in err.value.message
+
+    def test_update_password_with_flag_accepted(self):
+        engine = CloudlessEngine(seed=71)
+        vm = self.make_vm(engine)
+        response = engine.gateway.execute(
+            "update",
+            "azure_virtual_machine",
+            resource_id=vm.resource_id,
+            attrs={"admin_password": "ok!", "disable_password_auth": False},
+        )
+        assert response["admin_password"] == "ok!"
+
+
+class TestModuleEdgeCases:
+    def test_deeply_nested_modules(self):
+        loader = DictModuleLoader(
+            {
+                "./outer": (
+                    'module "inner" {\n  source = "./inner"\n}\n'
+                    'output "leaf_id" { value = module.inner.leaf_id }\n'
+                ),
+                "./inner": (
+                    'resource "aws_s3_bucket" "leaf" {\n  name = "deep"\n}\n'
+                    'output "leaf_id" { value = aws_s3_bucket.leaf.id }\n'
+                ),
+            }
+        )
+        source = (
+            'module "outer" {\n  source = "./outer"\n}\n'
+            'resource "aws_dns_record" "d" {\n'
+            '  name  = "r"\n'
+            '  zone  = "z"\n'
+            "  value = module.outer.leaf_id\n"
+            "}\n"
+        )
+        graph = build_graph(Configuration.parse(source), loader=loader)
+        assert "module.outer.module.inner.aws_s3_bucket.leaf" in graph.nodes
+        assert "aws_dns_record.d" in graph.dag.successors(
+            "module.outer.module.inner.aws_s3_bucket.leaf"
+        )
+
+    def test_nested_module_deploys_end_to_end(self):
+        loader = DictModuleLoader(
+            {
+                "./stack": (
+                    'variable "prefix" { type = string }\n'
+                    'resource "aws_s3_bucket" "b" {\n'
+                    '  name = "${var.prefix}-bucket"\n'
+                    "}\n"
+                    'output "bucket_name" { value = aws_s3_bucket.b.name }\n'
+                )
+            }
+        )
+        engine = CloudlessEngine(seed=72, loader=loader)
+        result = engine.apply(
+            'module "a" {\n  source = "./stack"\n  prefix = "alpha"\n}\n'
+            'module "b" {\n  source = "./stack"\n  prefix = "beta"\n}\n'
+            'output "all" { value = [module.a.bucket_name, module.b.bucket_name] }\n'
+        )
+        assert result.ok
+        assert engine.state.outputs["all"] == ["alpha-bucket", "beta-bucket"]
+        assert engine.gateway.planes["aws"].count("aws_s3_bucket") == 2
+        # re-plan is a no-op including module internals
+        assert engine.plan(
+            'module "a" {\n  source = "./stack"\n  prefix = "alpha"\n}\n'
+            'module "b" {\n  source = "./stack"\n  prefix = "beta"\n}\n'
+            'output "all" { value = [module.a.bucket_name, module.b.bucket_name] }\n'
+        ).is_empty
+
+    def test_module_count_rejected_with_clear_error(self):
+        loader = DictModuleLoader({"./m": 'resource "aws_s3_bucket" "b" { name = "x" }\n'})
+        from repro.graph.builder import GraphBuildError
+
+        with pytest.raises(GraphBuildError) as err:
+            build_graph(
+                Configuration.parse(
+                    'module "m" {\n  source = "./m"\n  count = 2\n}\n'
+                ),
+                loader=loader,
+            )
+        assert "count/for_each on modules" in str(err.value)
+
+
+class TestHeredocsInConfigs:
+    def test_heredoc_user_data_deploys(self):
+        engine = CloudlessEngine(seed=73)
+        src = (
+            'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+            'resource "aws_subnet" "s" {\n'
+            '  name = "s"\n  vpc_id = aws_vpc.v.id\n  cidr_block = "10.0.1.0/24"\n}\n'
+            'resource "aws_network_interface" "n" {\n'
+            '  name = "n"\n  subnet_id = aws_subnet.s.id\n}\n'
+            'resource "aws_virtual_machine" "vm" {\n'
+            '  name      = "vm"\n'
+            "  nic_ids   = [aws_network_interface.n.id]\n"
+            "  user_data = <<-EOF\n"
+            "    #!/bin/sh\n"
+            "    echo hello\n"
+            "  EOF\n"
+            "}\n"
+        )
+        result = engine.apply(src)
+        assert result.ok
+        vm = engine.gateway.planes["aws"].find_by_name("aws_virtual_machine", "vm")
+        assert vm.attrs["user_data"] == "#!/bin/sh\necho hello\n"
+
+
+class TestAliasedProviders:
+    def test_aliased_provider_region(self):
+        engine = CloudlessEngine(seed=74)
+        result = engine.apply(
+            'provider "aws" {\n  region = "us-east-1"\n}\n'
+            'provider "aws" {\n  alias  = "west"\n  region = "us-west-2"\n}\n'
+            'resource "aws_s3_bucket" "east" { name = "e" }\n'
+            'resource "aws_s3_bucket" "west" {\n'
+            '  name     = "w"\n'
+            "  provider = aws.west\n"
+            "}\n"
+        )
+        assert result.ok
+        plane = engine.gateway.planes["aws"]
+        assert plane.find_by_name("aws_s3_bucket", "e").region == "us-east-1"
+        assert plane.find_by_name("aws_s3_bucket", "w").region == "us-west-2"
+
+
+class TestDependsOnAcrossResources:
+    def test_depends_on_orders_execution(self):
+        engine = CloudlessEngine(seed=75)
+        result = engine.apply(
+            'resource "aws_s3_bucket" "first" { name = "a" }\n'
+            'resource "aws_s3_bucket" "second" {\n'
+            '  name       = "b"\n'
+            "  depends_on = [aws_s3_bucket.first]\n"
+            "}\n"
+        )
+        assert result.ok
+        ops = {
+            op.change_id: op for op in result.apply.operations
+        }
+        assert (
+            ops["aws_s3_bucket.second"].t_submit
+            >= ops["aws_s3_bucket.first"].t_complete
+        )

@@ -1,0 +1,243 @@
+"""Newer engine capabilities: outputs, regeneration, provider regions,
+lock scheduling policies."""
+
+import pytest
+
+from repro.core import CloudlessEngine
+from repro.porting import verify_fidelity
+from repro.state import ResourceLockManager
+from repro.update import UpdateCoordinator, UpdateRequest
+from repro.workloads import web_tier
+
+
+class TestOutputsInState:
+    def test_outputs_stored_after_apply(self):
+        engine = CloudlessEngine(seed=30)
+        result = engine.apply(
+            'resource "aws_s3_bucket" "b" { name = "data" }\n'
+            'output "bucket_id" { value = aws_s3_bucket.b.id }\n'
+            'output "static" { value = upper("hi") }\n'
+        )
+        assert result.ok
+        assert engine.state.outputs["static"] == "HI"
+        assert engine.state.outputs["bucket_id"].startswith("bkt-")
+
+    def test_outputs_update_on_reapply(self):
+        engine = CloudlessEngine(seed=31)
+        src = (
+            'variable "n" { default = 1 }\n'
+            'resource "aws_s3_bucket" "b" {\n'
+            "  count = var.n\n"
+            '  name  = "b-${count.index}"\n'
+            "}\n"
+            'output "names" { value = aws_s3_bucket.b[*].name }\n'
+        )
+        engine.apply(src)
+        assert engine.state.outputs["names"] == ["b-0"]
+        engine.apply(src, variables={"n": 3})
+        assert engine.state.outputs["names"] == ["b-0", "b-1", "b-2"]
+
+    def test_failed_apply_keeps_old_outputs(self):
+        engine = CloudlessEngine(seed=32)
+        engine.apply('output "x" { value = 1 }\n')
+        assert engine.state.outputs == {"x": 1}
+        engine.gateway.planes["aws"].set_quota("aws_s3_bucket", "us-east-1", 0)
+        result = engine.apply(
+            'resource "aws_s3_bucket" "b" { name = "nope" }\n'
+            'output "x" { value = 2 }\n',
+            validate_first=False,
+        )
+        assert not result.ok
+        assert engine.state.outputs == {"x": 1}
+
+
+class TestRegenerateConfig:
+    def test_regeneration_reflects_adopted_drift(self):
+        engine = CloudlessEngine(seed=33)
+        assert engine.apply(web_tier(web_vms=2, app_vms=1)).ok
+        vm = next(
+            e
+            for e in engine.state.resources()
+            if e.address.type == "aws_virtual_machine"
+        )
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"size": "xlarge"}, actor="script"
+        )
+        # adopt the drift, then regenerate the program
+        run = engine.watch()
+        engine.reconcile(run.findings, policy={"modified": "adopt"})
+        project = engine.regenerate_config(adopt=True)
+        assert '"xlarge"' in project.main_source
+        assert verify_fidelity(project).ok
+        # a follow-up plan against the regenerated pair is a no-op
+        assert engine.plan(project.sources).is_empty
+
+    def test_regeneration_excludes_unmanaged(self):
+        engine = CloudlessEngine(seed=34)
+        assert engine.apply('resource "aws_s3_bucket" "b" { name = "ours" }\n').ok
+        engine.gateway.planes["aws"].external_create(
+            "aws_s3_bucket", {"name": "not-ours"}, "us-east-1"
+        )
+        project = engine.regenerate_config(adopt=False)
+        assert "ours" in project.main_source
+        assert "not-ours" not in project.main_source
+
+    def test_regeneration_checkpoints(self):
+        engine = CloudlessEngine(seed=35)
+        engine.apply('resource "aws_s3_bucket" "b" { name = "x" }\n')
+        before = len(engine.history)
+        engine.regenerate_config(adopt=True)
+        assert len(engine.history) == before + 1
+        assert "regenerated" in engine.history.latest().description
+
+
+class TestProviderRegionDefaults:
+    def test_provider_block_sets_default_region(self):
+        engine = CloudlessEngine(seed=36)
+        result = engine.apply(
+            'provider "aws" {\n  region = "eu-west-1"\n}\n'
+            'resource "aws_s3_bucket" "b" { name = "eu-bucket" }\n'
+        )
+        assert result.ok
+        record = engine.gateway.planes["aws"].find_by_name(
+            "aws_s3_bucket", "eu-bucket"
+        )
+        assert record.region == "eu-west-1"
+
+    def test_location_attr_beats_provider_block(self):
+        engine = CloudlessEngine(seed=37)
+        result = engine.apply(
+            'provider "azure" {\n  location = "westeurope"\n}\n'
+            'resource "azure_resource_group" "rg" {\n'
+            '  name     = "rg"\n'
+            '  location = "eastus"\n'
+            "}\n"
+        )
+        assert result.ok
+        record = engine.gateway.planes["azure"].find_by_name(
+            "azure_resource_group", "rg"
+        )
+        assert record.region == "eastus"
+
+    def test_no_provider_block_uses_gateway_default(self):
+        engine = CloudlessEngine(seed=38)
+        assert engine.apply('resource "aws_s3_bucket" "b" { name = "d" }\n').ok
+        record = engine.gateway.planes["aws"].find_by_name("aws_s3_bucket", "d")
+        assert record.region == "us-east-1"
+
+    def test_provider_region_change_forces_replacement(self):
+        engine = CloudlessEngine(seed=39)
+        src = 'provider "aws" {{\n  region = "{r}"\n}}\nresource "aws_s3_bucket" "b" {{ name = "m" }}\n'
+        assert engine.apply(src.format(r="us-east-1")).ok
+        plan = engine.plan(src.format(r="eu-west-1"))
+        from repro.graph import Action
+
+        assert plan.changes["aws_s3_bucket.b"].action is Action.REPLACE
+
+
+class TestLockScheduling:
+    def contended_requests(self):
+        # all compete for one key; short job arrives last
+        return [
+            UpdateRequest("slow-1", 0.0, {"r.k"}, 300.0),
+            UpdateRequest("slow-2", 1.0, {"r.k"}, 300.0),
+            UpdateRequest("quick", 2.0, {"r.k"}, 10.0),
+        ]
+
+    def run(self, scheduling):
+        from repro.state import StateDocument
+
+        coordinator = UpdateCoordinator(
+            StateDocument(), ResourceLockManager(), scheduling=scheduling
+        )
+        # requests touch a key not present in state: lock keys are
+        # logical, so that is fine
+        return coordinator.run(self.contended_requests())
+
+    def test_fifo_preserves_arrival_order(self):
+        result = self.run("fifo")
+        finish = {o.team: o.completed_at for o in result.outcomes}
+        assert finish["slow-2"] < finish["quick"]
+
+    def test_shortest_job_prioritizes_quick_update(self):
+        result = self.run("shortest-job")
+        finish = {o.team: o.completed_at for o in result.outcomes}
+        assert finish["quick"] < finish["slow-2"]
+
+    def test_shortest_job_cuts_mean_wait(self):
+        fifo = self.run("fifo")
+        sjf = self.run("shortest-job")
+        assert sjf.mean_wait_s < fifo.mean_wait_s
+
+    def test_fewest_locks_prefers_narrow_updates(self):
+        from repro.state import StateDocument
+
+        requests = [
+            UpdateRequest("wide", 0.0, {"r.a", "r.b", "r.c"}, 100.0),
+            UpdateRequest("broad", 1.0, {"r.a", "r.b"}, 100.0),
+            UpdateRequest("narrow", 2.0, {"r.a"}, 100.0),
+        ]
+        coordinator = UpdateCoordinator(
+            StateDocument(), ResourceLockManager(), scheduling="fewest-locks"
+        )
+        result = coordinator.run(requests)
+        finish = {o.team: o.completed_at for o in result.outcomes}
+        assert finish["narrow"] < finish["broad"]
+
+    def test_unknown_policy_rejected(self):
+        from repro.state import StateDocument
+
+        with pytest.raises(ValueError):
+            UpdateCoordinator(
+                StateDocument(), ResourceLockManager(), scheduling="vibes"
+            )
+
+    def test_all_policies_serializable(self):
+        for policy in ("fifo", "shortest-job", "fewest-locks"):
+            assert self.run(policy).serializable
+
+
+class TestLearnedValidationRules:
+    def test_engine_learns_from_its_own_history(self):
+        from repro.workloads import hub_spoke
+
+        engine = CloudlessEngine(seed=45)
+        # several healthy deployments accumulate in the time machine
+        for i in range(4):
+            result = engine.apply(hub_spoke(spokes=1, name=f"gen{i}"))
+            assert result.ok
+            assert engine.destroy().apply.ok
+        added = engine.learn_validation_rules(min_support=3)
+        assert added > 0
+        rule_ids = {r.info.rule_id for r in engine.validation.engine.rules}
+        assert any(r.startswith("MINED-EQ") for r in rule_ids)
+
+    def test_learned_rules_catch_future_mistakes(self):
+        from repro.workloads import hub_spoke
+
+        engine = CloudlessEngine(seed=46)
+        for i in range(4):
+            assert engine.apply(hub_spoke(spokes=1, name=f"gen{i}")).ok
+            assert engine.destroy().apply.ok
+        engine.learn_validation_rules(min_support=3)
+        bad = hub_spoke(spokes=1, name="oops").replace(
+            'location = "eastus"\n  nic_ids', 'location = "westus2"\n  nic_ids'
+        )
+        report = engine.validate(bad)
+        assert not report.ok
+        assert any("MINED" in d.code for d in report.errors)
+
+    def test_learning_is_idempotent(self):
+        from repro.workloads import hub_spoke
+
+        engine = CloudlessEngine(seed=47)
+        for i in range(3):
+            assert engine.apply(hub_spoke(spokes=1, name=f"g{i}")).ok
+            assert engine.destroy().apply.ok
+        first = engine.learn_validation_rules(min_support=3)
+        second = engine.learn_validation_rules(min_support=3)
+        assert first > 0 and second == 0
+
+    def test_empty_history_learns_nothing(self):
+        engine = CloudlessEngine(seed=48)
+        assert engine.learn_validation_rules() == 0

@@ -1,0 +1,182 @@
+"""Expression evaluator unit tests."""
+
+import pytest
+
+from repro.lang.diagnostics import CLCEvalError
+from repro.lang.evaluator import Evaluator, Scope
+from repro.lang.parser import parse_expression_source
+from repro.lang.values import UNKNOWN, Unknown
+
+
+def ev(source, bindings=None):
+    scope = Scope(bindings=bindings or {})
+    return Evaluator(scope).evaluate(parse_expression_source(source))
+
+
+class TestArithmetic:
+    def test_basic_math(self):
+        assert ev("1 + 2") == 3
+        assert ev("10 - 4") == 6
+        assert ev("3 * 4") == 12
+        assert ev("10 / 4") == 2.5
+        assert ev("10 % 3") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(CLCEvalError):
+            ev("1 / 0")
+
+    def test_unary_minus(self):
+        assert ev("-(2 + 3)") == -5
+
+    def test_arithmetic_rejects_strings(self):
+        with pytest.raises(CLCEvalError):
+            ev('"a" + "b"')
+
+    def test_int_preservation(self):
+        assert ev("2 * 3") == 6
+        assert isinstance(ev("2 * 3"), int)
+
+
+class TestComparisonAndLogic:
+    def test_comparisons(self):
+        assert ev("1 < 2") is True
+        assert ev("2 <= 2") is True
+        assert ev("3 > 4") is False
+        assert ev("1 >= 1") is True
+
+    def test_equality_across_number_types(self):
+        assert ev("1 == 1.0") is True
+        assert ev('1 == "1"') is False
+        assert ev("true == 1") is False
+
+    def test_logic(self):
+        assert ev("true && false") is False
+        assert ev("true || false") is True
+        assert ev("!true") is False
+
+    def test_short_circuit(self):
+        # the right side would error if evaluated
+        assert ev("false && (1 / 0 == 0)") is False
+        assert ev("true || (1 / 0 == 0)") is True
+
+    def test_logic_requires_bools(self):
+        with pytest.raises(CLCEvalError):
+            ev("1 && 2")
+
+
+class TestConditionals:
+    def test_branches(self):
+        assert ev("true ? 1 : 2") == 1
+        assert ev("false ? 1 : 2") == 2
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(CLCEvalError):
+            ev('"yes" ? 1 : 2')
+
+    def test_lazy_branches(self):
+        assert ev("true ? 1 : 1 / 0") == 1
+
+
+class TestCollections:
+    def test_list_and_index(self):
+        assert ev("[1, 2, 3][1]") == 2
+
+    def test_index_out_of_range(self):
+        with pytest.raises(CLCEvalError):
+            ev("[1][5]")
+
+    def test_object_and_key(self):
+        assert ev('{ a = 1 }["a"]') == 1
+
+    def test_missing_key(self):
+        with pytest.raises(CLCEvalError):
+            ev('{ a = 1 }["b"]')
+
+    def test_attr_access_on_map(self):
+        assert ev("{ a = 41 }.a") == 41
+
+    def test_splat(self):
+        scope = {"vms": [{"id": "a"}, {"id": "b"}]}
+        assert ev("vms[*].id", scope) == ["a", "b"]
+
+    def test_splat_on_single_value(self):
+        assert ev("vm[*].id", {"vm": {"id": "x"}}) == ["x"]
+
+    def test_splat_on_null(self):
+        assert ev("vm[*]", {"vm": None}) == []
+
+
+class TestForExpressions:
+    def test_list_comprehension(self):
+        assert ev("[for x in [1, 2, 3] : x * 10]") == [10, 20, 30]
+
+    def test_list_with_condition(self):
+        assert ev("[for x in [1, 2, 3, 4] : x if x % 2 == 0]") == [2, 4]
+
+    def test_list_with_index(self):
+        assert ev('[for i, x in ["a", "b"] : "${i}-${x}"]') == ["0-a", "1-b"]
+
+    def test_map_comprehension(self):
+        result = ev('{ for x in ["a", "b"] : x => upper(x) }')
+        assert result == {"a": "A", "b": "B"}
+
+    def test_map_over_map(self):
+        result = ev("{ for k, v in { x = 1, y = 2 } : k => v * 2 }")
+        assert result == {"x": 2, "y": 4}
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(CLCEvalError):
+            ev('{ for x in ["a", "a"] : x => 1 }')
+
+    def test_grouping(self):
+        result = ev('{ for x in ["a", "a", "b"] : x => x... }')
+        assert result == {"a": ["a", "a"], "b": ["b"]}
+
+
+class TestTemplates:
+    def test_interpolation(self):
+        assert ev('"n-${1 + 1}"') == "n-2"
+
+    def test_bool_rendering(self):
+        assert ev('"${true}"') == "true"
+
+    def test_null_renders_empty(self):
+        assert ev('"${x}"', {"x": None}) == ""
+
+
+class TestUnknownPropagation:
+    def test_unknown_through_arithmetic(self):
+        assert isinstance(ev("x + 1", {"x": UNKNOWN}), Unknown)
+
+    def test_unknown_through_template(self):
+        assert isinstance(ev('"a-${x}"', {"x": UNKNOWN}), Unknown)
+
+    def test_unknown_origin_preserved_in_template(self):
+        u = Unknown("aws_vpc.main")
+        result = ev('"a-${x}"', {"x": u})
+        assert result.origin == "aws_vpc.main"
+
+    def test_unknown_through_function(self):
+        assert isinstance(ev("upper(x)", {"x": UNKNOWN}), Unknown)
+
+    def test_unknown_through_conditional(self):
+        assert isinstance(ev("x ? 1 : 2", {"x": UNKNOWN}), Unknown)
+
+    def test_unknown_through_attr_access(self):
+        assert isinstance(ev("x.name", {"x": UNKNOWN}), Unknown)
+
+    def test_known_logic_dominates_unknown(self):
+        assert ev("false && x", {"x": UNKNOWN}) is False
+        assert ev("true || x", {"x": UNKNOWN}) is True
+
+
+class TestScopes:
+    def test_child_scope_overlay(self):
+        base = Scope(bindings={"a": 1, "b": 2})
+        child = base.child({"a": 10})
+        assert child.resolve_root("a") == 10
+        assert child.resolve_root("b") == 2
+
+    def test_unknown_identifier(self):
+        with pytest.raises(CLCEvalError):
+            ev("nope")

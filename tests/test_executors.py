@@ -1,0 +1,221 @@
+"""Executor tests: scheduling strategies, retries, failure handling."""
+
+import pytest
+
+from repro.cloud import CloudGateway, FaultSpec, SimClock
+from repro.deploy import (
+    BestEffortExecutor,
+    CriticalPathExecutor,
+    RetryPolicy,
+    SequentialExecutor,
+)
+from repro.deploy.incremental import read_data_sources
+from repro.graph import Planner, build_graph
+from repro.lang import Configuration
+from repro.state import StateDocument
+from repro.workloads import microservices, web_tier
+
+
+def plan_on(gateway, source, state=None):
+    graph = build_graph(Configuration.parse(source))
+    state = state if state is not None else StateDocument()
+    planner = Planner(
+        spec_lookup=gateway.try_spec,
+        region_lookup=gateway.region_for,
+        provider_lookup=gateway.provider_of,
+    )
+    data = read_data_sources(gateway, graph, state)
+    return planner.plan(graph, state, data_values=data)
+
+
+class TestBasicApply:
+    def test_creates_everything(self):
+        gateway = CloudGateway.simulated(seed=1)
+        plan = plan_on(gateway, web_tier(web_vms=2, app_vms=1))
+        result = CriticalPathExecutor(gateway).apply(plan)
+        assert result.ok
+        assert len(result.state) == len(result.succeeded)
+        assert gateway.planes["aws"].count("aws_virtual_machine") == 3
+
+    def test_state_entries_carry_identity(self):
+        gateway = CloudGateway.simulated(seed=1)
+        plan = plan_on(gateway, web_tier(web_vms=1, app_vms=1, with_lb=False, with_db=False))
+        result = CriticalPathExecutor(gateway).apply(plan)
+        for entry in result.state.resources():
+            assert entry.resource_id
+            assert entry.provider == "aws"
+            assert entry.attrs["id"] == entry.resource_id
+
+    def test_dependencies_recorded_in_state(self):
+        gateway = CloudGateway.simulated(seed=1)
+        plan = plan_on(gateway, web_tier(web_vms=1, app_vms=1, with_lb=False, with_db=False))
+        result = CriticalPathExecutor(gateway).apply(plan)
+        from repro.addressing import ResourceAddress
+
+        subnet = result.state.get(ResourceAddress.parse("aws_subnet.web_front"))
+        assert "aws_vpc.web" in subnet.dependencies
+
+    def test_second_apply_noop(self):
+        gateway = CloudGateway.simulated(seed=1)
+        src = web_tier(web_vms=2, app_vms=1)
+        plan = plan_on(gateway, src)
+        result = CriticalPathExecutor(gateway).apply(plan)
+        plan2 = plan_on(gateway, src, result.state)
+        assert plan2.is_empty
+
+    def test_update_path(self):
+        gateway = CloudGateway.simulated(seed=1)
+        src = web_tier(web_vms=1, app_vms=1, with_lb=False, with_db=False)
+        result = CriticalPathExecutor(gateway).apply(plan_on(gateway, src))
+        bumped = src.replace('size    = "small"', 'size    = "large"')
+        plan2 = plan_on(gateway, bumped, result.state)
+        result2 = CriticalPathExecutor(gateway).apply(plan2)
+        assert result2.ok
+        vm = gateway.planes["aws"].find_by_name("aws_virtual_machine", "web-web-0")
+        assert vm.attrs["size"] == "large"
+
+    def test_delete_path(self):
+        gateway = CloudGateway.simulated(seed=1)
+        result = CriticalPathExecutor(gateway).apply(
+            plan_on(gateway, web_tier(web_vms=1, app_vms=1))
+        )
+        plan2 = plan_on(gateway, "", result.state)
+        result2 = CriticalPathExecutor(gateway).apply(plan2)
+        assert result2.ok
+        assert len(result2.state) == 0
+        assert gateway.planes["aws"].count() == 0
+
+
+class TestSchedulingStrategies:
+    def test_parallel_beats_sequential(self):
+        src = microservices(services=4, vms_per_service=2)
+        g1 = CloudGateway.simulated(seed=3)
+        seq = SequentialExecutor(g1).apply(plan_on(g1, src))
+        g2 = CloudGateway.simulated(seed=3)
+        cp = CriticalPathExecutor(g2).apply(plan_on(g2, src))
+        assert seq.ok and cp.ok
+        assert cp.makespan_s < seq.makespan_s / 2
+
+    def test_critical_path_not_worse_than_best_effort(self):
+        src = microservices(services=5, vms_per_service=2)
+        g1 = CloudGateway.simulated(seed=4)
+        be = BestEffortExecutor(g1, concurrency=4).apply(plan_on(g1, src))
+        g2 = CloudGateway.simulated(seed=4)
+        cp = CriticalPathExecutor(g2, concurrency=4).apply(plan_on(g2, src))
+        assert be.ok and cp.ok
+        assert cp.makespan_s <= be.makespan_s * 1.05
+
+    def test_concurrency_limit_respected(self):
+        gateway = CloudGateway.simulated(seed=5)
+        plan = plan_on(gateway, microservices(services=4, vms_per_service=1))
+        executor = BestEffortExecutor(gateway, concurrency=2)
+        result = executor.apply(plan)
+        # reconstruct max overlap from the operation records
+        events = []
+        for op in result.operations:
+            events.append((op.t_submit, 1))
+            events.append((op.t_complete, -1))
+        events.sort()
+        peak = cur = 0
+        for _, delta in events:
+            cur += delta
+            peak = max(peak, cur)
+        assert peak <= 2
+
+
+class TestFailures:
+    def test_permanent_failure_skips_descendants(self):
+        gateway = CloudGateway.simulated(seed=6)
+        gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InsufficientCapacity",
+                message="no capacity",
+                match_type="aws_subnet",
+                transient=False,
+                max_strikes=99,
+            )
+        )
+        plan = plan_on(
+            gateway, web_tier(web_vms=1, app_vms=1, with_lb=False, with_db=False)
+        )
+        result = CriticalPathExecutor(gateway).apply(plan)
+        assert not result.ok
+        assert any("aws_subnet" in k for k in result.failed)
+        assert any("aws_virtual_machine" in k for k in result.skipped)
+        # the VPC itself deployed fine
+        assert "aws_vpc.web" in result.succeeded
+
+    def test_transient_failure_retried(self):
+        gateway = CloudGateway.simulated(seed=7)
+        gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InternalError",
+                message="retry me",
+                match_type="aws_vpc",
+                transient=True,
+                max_strikes=2,
+            )
+        )
+        plan = plan_on(gateway, 'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n')
+        result = CriticalPathExecutor(
+            gateway, retry=RetryPolicy(max_attempts=4, base_backoff_s=1.0)
+        ).apply(plan)
+        assert result.ok
+        attempts = [op.attempt for op in result.operations if op.change_id == "aws_vpc.v"]
+        assert max(attempts) == 3  # two faults then success
+
+    def test_retries_exhausted(self):
+        gateway = CloudGateway.simulated(seed=8)
+        gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InternalError",
+                message="always",
+                match_type="aws_vpc",
+                transient=True,
+                max_strikes=-1 if False else 99,
+            )
+        )
+        plan = plan_on(gateway, 'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n')
+        result = CriticalPathExecutor(
+            gateway, retry=RetryPolicy(max_attempts=2, base_backoff_s=1.0)
+        ).apply(plan)
+        assert not result.ok
+        assert "aws_vpc.v" in result.failed
+
+    def test_failed_apply_keeps_partial_state(self):
+        gateway = CloudGateway.simulated(seed=9)
+        gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="Bad",
+                message="nope",
+                match_type="aws_virtual_machine",
+                transient=False,
+                max_strikes=99,
+            )
+        )
+        plan = plan_on(
+            gateway, web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False)
+        )
+        result = CriticalPathExecutor(gateway).apply(plan)
+        assert not result.ok
+        # networking survived in state even though the VM failed
+        assert any(
+            e.address.type == "aws_subnet" for e in result.state.resources()
+        )
+
+
+class TestReplace:
+    def test_replace_destroys_then_creates(self):
+        gateway = CloudGateway.simulated(seed=10)
+        src = 'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+        result = CriticalPathExecutor(gateway).apply(plan_on(gateway, src))
+        old_id = result.state.resources()[0].resource_id
+        src2 = src.replace("10.0.0.0/16", "10.7.0.0/16")
+        result2 = CriticalPathExecutor(gateway).apply(
+            plan_on(gateway, src2, result.state)
+        )
+        assert result2.ok
+        new_entry = result2.state.resources()[0]
+        assert new_entry.resource_id != old_id
+        assert new_entry.attrs["cidr_block"] == "10.7.0.0/16"
+        assert gateway.planes["aws"].count("aws_vpc") == 1

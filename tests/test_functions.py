@@ -1,0 +1,221 @@
+"""Built-in function library tests."""
+
+import pytest
+
+from repro.lang.diagnostics import CLCEvalError
+from repro.lang.functions import call_function
+from repro.lang.values import UNKNOWN, Unknown
+
+
+def call(name, *args):
+    return call_function(name, list(args))
+
+
+class TestStringFunctions:
+    def test_case(self):
+        assert call("upper", "abc") == "ABC"
+        assert call("lower", "ABC") == "abc"
+        assert call("title", "hello world") == "Hello World"
+
+    def test_trim_family(self):
+        assert call("trimspace", "  x  ") == "x"
+        assert call("trimprefix", "app-web", "app-") == "web"
+        assert call("trimsuffix", "web.sim", ".sim") == "web"
+        assert call("trim", "xxaxx", "x") == "a"
+
+    def test_join_split(self):
+        assert call("join", "-", ["a", "b"]) == "a-b"
+        assert call("split", ",", "a,b,c") == ["a", "b", "c"]
+        assert call("split", ",", "") == []
+
+    def test_replace(self):
+        assert call("replace", "a-b-c", "-", "_") == "a_b_c"
+
+    def test_replace_regex(self):
+        assert call("replace", "web12", "/[0-9]+/", "N") == "webN"
+
+    def test_substr(self):
+        assert call("substr", "hello", 1, 3) == "ell"
+        assert call("substr", "hello", 2, -1) == "llo"
+
+    def test_format(self):
+        assert call("format", "%s-%d", "web", 3) == "web-3"
+        assert call("format", "%q", "x") == '"x"'
+        assert call("format", "100%%") == "100%"
+
+    def test_format_errors(self):
+        with pytest.raises(CLCEvalError):
+            call("format", "%s %s", "only-one")
+
+    def test_formatlist(self):
+        assert call("formatlist", "vm-%s", ["a", "b"]) == ["vm-a", "vm-b"]
+
+    def test_predicates(self):
+        assert call("startswith", "abc", "ab") is True
+        assert call("endswith", "abc", "bc") is True
+        assert call("strcontains", "abc", "b") is True
+
+    def test_regex(self):
+        assert call("regex", r"\d+", "vm-42") == "42"
+        assert call("regexall", r"\d+", "a1 b22") == ["1", "22"]
+        with pytest.raises(CLCEvalError):
+            call("regex", r"\d+", "none")
+
+
+class TestNumericFunctions:
+    def test_basics(self):
+        assert call("abs", -4) == 4
+        assert call("ceil", 1.2) == 2
+        assert call("floor", 1.8) == 1
+        assert call("min", 3, 1, 2) == 1
+        assert call("max", 3, 1, 2) == 3
+        assert call("signum", -9) == -1
+
+    def test_pow(self):
+        assert call("pow", 2, 10) == 1024.0
+
+    def test_parseint(self):
+        assert call("parseint", "ff", 16) == 255
+        with pytest.raises(CLCEvalError):
+            call("parseint", "zz", 10)
+
+
+class TestCollectionFunctions:
+    def test_length(self):
+        assert call("length", [1, 2]) == 2
+        assert call("length", "abc") == 3
+        assert call("length", {"a": 1}) == 1
+
+    def test_element_wraps(self):
+        assert call("element", ["a", "b"], 3) == "b"
+
+    def test_concat_flatten_distinct(self):
+        assert call("concat", [1], [2, 3]) == [1, 2, 3]
+        assert call("flatten", [[1], [2, [3]]]) == [1, 2, 3]
+        assert call("distinct", [1, 2, 1]) == [1, 2]
+
+    def test_keys_values_sorted(self):
+        assert call("keys", {"b": 2, "a": 1}) == ["a", "b"]
+        assert call("values", {"b": 2, "a": 1}) == [1, 2]
+
+    def test_lookup(self):
+        assert call("lookup", {"a": 1}, "a") == 1
+        assert call("lookup", {}, "a", "fallback") == "fallback"
+        with pytest.raises(CLCEvalError):
+            call("lookup", {}, "a")
+
+    def test_merge(self):
+        assert call("merge", {"a": 1}, {"a": 2, "b": 3}) == {"a": 2, "b": 3}
+
+    def test_contains_and_index(self):
+        assert call("contains", [1, 2], 2) is True
+        assert call("index", ["a", "b"], "b") == 1
+        with pytest.raises(CLCEvalError):
+            call("index", [], "x")
+
+    def test_slice_and_range(self):
+        assert call("slice", [1, 2, 3, 4], 1, 3) == [2, 3]
+        assert call("range", 3) == [0, 1, 2]
+        assert call("range", 1, 7, 2) == [1, 3, 5]
+
+    def test_zipmap(self):
+        assert call("zipmap", ["a"], [1]) == {"a": 1}
+        with pytest.raises(CLCEvalError):
+            call("zipmap", ["a"], [1, 2])
+
+    def test_coalesce(self):
+        assert call("coalesce", None, "", "x") == "x"
+        with pytest.raises(CLCEvalError):
+            call("coalesce", None, "")
+
+    def test_compact(self):
+        assert call("compact", ["a", "", None, "b"]) == ["a", "b"]
+
+    def test_set_operations(self):
+        assert call("setunion", [1, 2], [2, 3]) == [1, 2, 3]
+        assert call("setintersection", [1, 2, 3], [2, 3, 4]) == [2, 3]
+        assert call("setsubtract", [1, 2, 3], [2]) == [1, 3]
+
+    def test_chunklist(self):
+        assert call("chunklist", [1, 2, 3], 2) == [[1, 2], [3]]
+
+    def test_one(self):
+        assert call("one", ["x"]) == "x"
+        assert call("one", []) is None
+        with pytest.raises(CLCEvalError):
+            call("one", [1, 2])
+
+    def test_sort_reverse(self):
+        assert call("sort", ["b", "a"]) == ["a", "b"]
+        assert call("reverse", [1, 2]) == [2, 1]
+
+
+class TestConversionFunctions:
+    def test_tostring(self):
+        assert call("tostring", 5) == "5"
+        assert call("tostring", True) == "true"
+
+    def test_tonumber(self):
+        assert call("tonumber", "42") == 42
+        assert call("tonumber", "4.5") == 4.5
+        with pytest.raises(CLCEvalError):
+            call("tonumber", "abc")
+
+    def test_tobool(self):
+        assert call("tobool", "true") is True
+        with pytest.raises(CLCEvalError):
+            call("tobool", "yes")
+
+    def test_toset_dedups(self):
+        assert call("toset", [1, 1, 2]) == [1, 2]
+
+
+class TestEncodingFunctions:
+    def test_json_round_trip(self):
+        data = {"a": [1, 2], "b": "x"}
+        assert call("jsondecode", call("jsonencode", data)) == data
+
+    def test_jsondecode_error(self):
+        with pytest.raises(CLCEvalError):
+            call("jsondecode", "{nope")
+
+    def test_base64_round_trip(self):
+        assert call("base64decode", call("base64encode", "hello")) == "hello"
+
+    def test_hashes_are_stable(self):
+        assert call("sha256", "x") == call("sha256", "x")
+        assert len(call("md5", "x")) == 32
+
+
+class TestCidrFunctions:
+    def test_cidrsubnet(self):
+        assert call("cidrsubnet", "10.0.0.0/16", 8, 2) == "10.0.2.0/24"
+
+    def test_cidrsubnet_out_of_range(self):
+        with pytest.raises(CLCEvalError):
+            call("cidrsubnet", "10.0.0.0/16", 4, 99)
+
+    def test_cidrhost(self):
+        assert call("cidrhost", "10.0.1.0/24", 5) == "10.0.1.5"
+
+    def test_cidrnetmask(self):
+        assert call("cidrnetmask", "10.0.0.0/16") == "255.255.0.0"
+
+    def test_cidrsubnets(self):
+        result = call("cidrsubnets", "10.0.0.0/16", 8, 8, 4)
+        assert result[0] == "10.0.0.0/24"
+        assert result[1] == "10.0.1.0/24"
+        assert result[2] == "10.0.16.0/20"
+
+    def test_invalid_cidr(self):
+        with pytest.raises(CLCEvalError):
+            call("cidrsubnet", "not-a-cidr", 8, 0)
+
+
+class TestDispatch:
+    def test_unknown_function(self):
+        with pytest.raises(CLCEvalError):
+            call("frobnicate", 1)
+
+    def test_unknown_argument_propagates(self):
+        assert isinstance(call("upper", UNKNOWN), Unknown)

@@ -1,0 +1,202 @@
+"""Graph builder: expansion, edges, modules, error cases."""
+
+import pytest
+
+from repro.graph.builder import GraphBuildError, build_graph
+from repro.lang import Configuration, DictModuleLoader
+
+
+def graph_of(source, variables=None, loader=None):
+    return build_graph(
+        Configuration.parse(source), variables=variables, loader=loader
+    )
+
+
+class TestExpansion:
+    def test_single_instances(self):
+        g = graph_of(
+            'resource "aws_vpc" "a" { name = "a" }\n'
+            'resource "aws_vpc" "b" { name = "b" }\n'
+        )
+        assert sorted(g.nodes) == ["aws_vpc.a", "aws_vpc.b"]
+
+    def test_count_expansion(self):
+        g = graph_of('resource "aws_vm" "web" {\n  count = 3\n  name = "w"\n}\n')
+        assert sorted(g.nodes) == [
+            "aws_vm.web[0]",
+            "aws_vm.web[1]",
+            "aws_vm.web[2]",
+        ]
+
+    def test_count_zero(self):
+        g = graph_of('resource "aws_vm" "web" {\n  count = 0\n  name = "w"\n}\n')
+        assert len(g) == 0
+
+    def test_count_from_variable(self):
+        g = graph_of(
+            'variable "n" { default = 2 }\n'
+            'resource "aws_vm" "w" {\n  count = var.n\n  name = "w"\n}\n'
+        )
+        assert len(g) == 2
+
+    def test_for_each_map(self):
+        g = graph_of(
+            'resource "aws_vm" "w" {\n'
+            '  for_each = { a = 1, b = 2 }\n'
+            '  name = each.key\n'
+            "}\n"
+        )
+        assert sorted(g.nodes) == ['aws_vm.w["a"]', 'aws_vm.w["b"]']
+
+    def test_for_each_set(self):
+        g = graph_of(
+            'resource "aws_vm" "w" {\n'
+            '  for_each = ["x", "y"]\n'
+            "  name = each.value\n"
+            "}\n"
+        )
+        assert len(g) == 2
+
+    def test_for_each_duplicate_key(self):
+        with pytest.raises(GraphBuildError):
+            graph_of(
+                'resource "aws_vm" "w" {\n'
+                '  for_each = ["x", "x"]\n'
+                "  name = each.value\n"
+                "}\n"
+            )
+
+    def test_negative_count(self):
+        with pytest.raises(GraphBuildError):
+            graph_of('resource "t" "n" {\n  count = -1\n}\n')
+
+    def test_count_depending_on_resource_rejected(self):
+        with pytest.raises(GraphBuildError):
+            graph_of(
+                'resource "aws_vpc" "v" { name = "v" }\n'
+                'resource "aws_vm" "w" {\n'
+                "  count = length(aws_vpc.v.id)\n"
+                "}\n"
+            )
+
+    def test_data_nodes(self):
+        g = graph_of('data "aws_region" "r" {}\n')
+        assert g.data_ids() == ["data.aws_region.r"]
+
+
+class TestEdges:
+    def test_direct_reference(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'resource "aws_subnet" "s" {\n'
+            '  name   = "s"\n'
+            "  vpc_id = aws_vpc.v.id\n"
+            "}\n"
+        )
+        assert g.dag.successors("aws_vpc.v") == {"aws_subnet.s"}
+
+    def test_reference_through_local(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            "locals { vid = aws_vpc.v.id }\n"
+            'resource "aws_subnet" "s" {\n  vpc_id = local.vid\n}\n'
+        )
+        assert "aws_subnet.s" in g.dag.successors("aws_vpc.v")
+
+    def test_depends_on_edge(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'resource "aws_s3_bucket" "b" {\n'
+            '  name       = "b"\n'
+            "  depends_on = [aws_vpc.v]\n"
+            "}\n"
+        )
+        assert "aws_s3_bucket.b" in g.dag.successors("aws_vpc.v")
+
+    def test_count_instances_share_decl_deps(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'resource "aws_subnet" "s" {\n'
+            "  count  = 2\n"
+            "  vpc_id = aws_vpc.v.id\n"
+            "}\n"
+        )
+        assert g.dag.successors("aws_vpc.v") == {
+            "aws_subnet.s[0]",
+            "aws_subnet.s[1]",
+        }
+
+    def test_data_to_resource_edge(self):
+        g = graph_of(
+            'data "aws_region" "r" {}\n'
+            'resource "aws_vpc" "v" {\n'
+            '  name = data.aws_region.r.name\n'
+            "}\n"
+        )
+        assert "aws_vpc.v" in g.dag.successors("data.aws_region.r")
+
+    def test_cycle_detected(self):
+        with pytest.raises(GraphBuildError):
+            graph_of(
+                'resource "t" "a" {\n  x = t.b.id\n}\n'
+                'resource "t" "b" {\n  x = t.a.id\n}\n'
+            )
+
+    def test_undeclared_reference_diagnosed(self):
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(
+            Configuration.parse('resource "t" "a" {\n  x = t.ghost.id\n}\n')
+        )
+        builder.build()
+        assert builder.diagnostics.has_errors()
+
+
+class TestModules:
+    def loader(self):
+        return DictModuleLoader(
+            {
+                "./stack": (
+                    'variable "vpc_id" { type = string }\n'
+                    'resource "aws_subnet" "inner" {\n'
+                    '  name   = "inner"\n'
+                    "  vpc_id = var.vpc_id\n"
+                    "}\n"
+                    'output "subnet_id" { value = aws_subnet.inner.id }\n'
+                )
+            }
+        )
+
+    def test_module_resources_get_prefixed_addresses(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'module "m" {\n  source = "./stack"\n  vpc_id = aws_vpc.v.id\n}\n',
+            loader=self.loader(),
+        )
+        assert "module.m.aws_subnet.inner" in g.nodes
+
+    def test_cross_module_edges_via_inputs(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'module "m" {\n  source = "./stack"\n  vpc_id = aws_vpc.v.id\n}\n',
+            loader=self.loader(),
+        )
+        assert "module.m.aws_subnet.inner" in g.dag.successors("aws_vpc.v")
+
+    def test_cross_module_edges_via_outputs(self):
+        g = graph_of(
+            'resource "aws_vpc" "v" { name = "v" }\n'
+            'module "m" {\n  source = "./stack"\n  vpc_id = aws_vpc.v.id\n}\n'
+            'resource "aws_network_interface" "n" {\n'
+            "  subnet_id = module.m.subnet_id\n"
+            "}\n",
+            loader=self.loader(),
+        )
+        assert "aws_network_interface.n" in g.dag.successors(
+            "module.m.aws_subnet.inner"
+        )
+
+    def test_config_errors_block_build(self):
+        cfg = Configuration.parse("gizmo {}\n")
+        with pytest.raises(GraphBuildError):
+            build_graph(cfg)

@@ -1,0 +1,183 @@
+"""Incremental update pipeline and impact analysis (E2 machinery)."""
+
+import pytest
+
+from repro.cloud import CloudGateway
+from repro.deploy import CriticalPathExecutor, UpdatePipeline, refresh_state
+from repro.deploy.incremental import read_data_sources
+from repro.graph import ImpactAnalyzer, Planner, build_graph, diff_configurations
+from repro.lang import Configuration
+from repro.state import StateDocument
+from repro.workloads import microservices
+
+
+def deploy(gateway, source):
+    graph = build_graph(Configuration.parse(source))
+    planner = Planner(
+        spec_lookup=gateway.try_spec,
+        region_lookup=gateway.region_for,
+        provider_lookup=gateway.provider_of,
+    )
+    state = StateDocument()
+    data = read_data_sources(gateway, graph, state)
+    plan = planner.plan(graph, state, data_values=data)
+    result = CriticalPathExecutor(gateway).apply(plan)
+    assert result.ok
+    return result.state
+
+
+class TestConfigDelta:
+    def test_no_change(self):
+        src = microservices(services=2)
+        delta = diff_configurations(
+            Configuration.parse(src), Configuration.parse(src)
+        )
+        assert delta.is_empty
+
+    def test_attribute_change_detected(self):
+        old = microservices(services=2)
+        new = old.replace('zone  = "example.sim"', 'zone  = "other.sim"')
+        delta = diff_configurations(
+            Configuration.parse(old), Configuration.parse(new)
+        )
+        assert not delta.is_empty
+        changed_types = {key[1] for key in delta.changed_resources}
+        assert changed_types == {"aws_dns_record"}
+
+    def test_added_and_removed_decls(self):
+        old = 'resource "aws_s3_bucket" "a" { name = "a" }\n'
+        new = 'resource "aws_s3_bucket" "b" { name = "b" }\n'
+        delta = diff_configurations(
+            Configuration.parse(old), Configuration.parse(new)
+        )
+        names = {key[2] for key in delta.changed_resources}
+        assert names == {"a", "b"}
+
+    def test_variable_and_local_changes(self):
+        old = 'variable "n" { default = 1 }\nlocals { x = 1 }\n'
+        new = 'variable "n" { default = 2 }\nlocals { x = 2 }\n'
+        delta = diff_configurations(
+            Configuration.parse(old), Configuration.parse(new)
+        )
+        assert delta.changed_variables == {"n"}
+        assert delta.changed_locals == {"x"}
+
+
+class TestImpactAnalyzer:
+    def test_scope_is_descendants(self):
+        src = microservices(services=3, vms_per_service=1)
+        graph = build_graph(Configuration.parse(src))
+        analyzer = ImpactAnalyzer(graph)
+        seeds = {"aws_subnet.svc_0"}
+        scope = analyzer.impact_scope(seeds)
+        assert "aws_subnet.svc_0" in scope
+        assert "aws_virtual_machine.svc_0_vm[0]" in scope
+        # service 1 untouched
+        assert not any("svc_1" in s for s in scope)
+
+    def test_scope_fraction_small_for_leaf(self):
+        src = microservices(services=6, vms_per_service=2)
+        graph = build_graph(Configuration.parse(src))
+        analyzer = ImpactAnalyzer(graph)
+        fraction = analyzer.scope_fraction({"aws_dns_record.svc_0_dns"})
+        assert fraction < 0.1
+
+    def test_root_change_taints_all_dependents(self):
+        src = microservices(services=3, vms_per_service=1)
+        graph = build_graph(Configuration.parse(src))
+        analyzer = ImpactAnalyzer(graph)
+        scope = analyzer.impact_scope({"aws_vpc.svc"})
+        # everything except the independent IAM role flows from the VPC
+        assert scope == set(graph.nodes) - {"aws_iam_role.svc_role"}
+
+
+class TestRefresh:
+    def test_full_refresh_reads_everything(self):
+        gateway = CloudGateway.simulated(seed=20)
+        state = deploy(gateway, microservices(services=2, vms_per_service=1))
+        before = gateway.total_api_calls()
+        result = refresh_state(gateway, state)
+        assert len(result.refreshed) == len(state)
+        assert result.api_calls == len(state)
+        assert gateway.total_api_calls() - before == len(state)
+
+    def test_scoped_refresh_reads_subset(self):
+        gateway = CloudGateway.simulated(seed=20)
+        state = deploy(gateway, microservices(services=2, vms_per_service=1))
+        subset = {str(state.resources()[0].address)}
+        result = refresh_state(gateway, state, addresses=subset)
+        assert result.api_calls == 1
+
+    def test_refresh_pulls_in_drift(self):
+        gateway = CloudGateway.simulated(seed=20)
+        state = deploy(gateway, microservices(services=1, vms_per_service=1))
+        vm = next(
+            e for e in state.resources() if e.address.type == "aws_virtual_machine"
+        )
+        gateway.planes["aws"].external_update(vm.resource_id, {"size": "large"})
+        result = refresh_state(gateway, state)
+        assert str(vm.address) in result.drifted
+        assert vm.attrs["size"] == "large"
+
+    def test_refresh_drops_missing(self):
+        gateway = CloudGateway.simulated(seed=20)
+        state = deploy(gateway, 'resource "aws_s3_bucket" "b" { name = "b" }\n')
+        rid = state.resources()[0].resource_id
+        gateway.planes["aws"].external_delete(rid)
+        result = refresh_state(gateway, state)
+        assert result.missing == ["aws_s3_bucket.b"]
+        assert len(state) == 0
+
+
+class TestUpdatePipeline:
+    def run_both(self, delta_fn):
+        outcomes = {}
+        for incremental in (False, True):
+            gateway = CloudGateway.simulated(seed=21)
+            old_src = microservices(services=4, vms_per_service=2)
+            state = deploy(gateway, old_src)
+            new_src = delta_fn(old_src)
+            pipeline = UpdatePipeline(gateway, incremental=incremental)
+            outcomes[incremental] = pipeline.plan_update(
+                Configuration.parse(old_src),
+                Configuration.parse(new_src),
+                state,
+            )
+        return outcomes[False], outcomes[True]
+
+    def test_small_delta_small_scope(self):
+        full, scoped = self.run_both(
+            lambda s: s.replace('zone  = "example.sim"', 'zone  = "z.sim"')
+        )
+        assert scoped.scope_size < scoped.plan.graph if False else True
+        assert scoped.scope_size < len(scoped.graph)
+        # both plans agree on what changes
+        assert full.plan.summary()["update"] == scoped.plan.summary()["update"]
+
+    def test_incremental_uses_fewer_api_calls(self):
+        full, scoped = self.run_both(
+            lambda s: s.replace('zone  = "example.sim"', 'zone  = "z.sim"')
+        )
+        assert scoped.refresh.api_calls < full.refresh.api_calls / 2
+
+    def test_incremental_faster_turnaround(self):
+        full, scoped = self.run_both(
+            lambda s: s.replace('zone  = "example.sim"', 'zone  = "z.sim"')
+        )
+        assert scoped.turnaround_s < full.turnaround_s
+
+    def test_plans_equivalent_on_scoped_change(self):
+        full, scoped = self.run_both(
+            lambda s: s.replace('zone  = "example.sim"', 'zone  = "z.sim"')
+        )
+        full_actions = {
+            cid: c.action.value
+            for cid, c in full.plan.changes.items()
+            if c.action.value not in ("noop", "read")
+        }
+        scoped_actions = {
+            cid: c.action.value
+            for cid, c in scoped.plan.changes.items()
+            if c.action.value not in ("noop", "read")
+        }
+        assert full_actions == scoped_actions

@@ -1,0 +1,216 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    AttrAccess,
+    BinaryOp,
+    Conditional,
+    ForExpr,
+    FunctionCall,
+    IndexAccess,
+    ListExpr,
+    Literal,
+    ObjectExpr,
+    ScopeRef,
+    SplatExpr,
+    TemplateExpr,
+    UnaryOp,
+)
+from repro.lang.diagnostics import CLCSyntaxError
+from repro.lang.parser import parse_expression_source, parse_file
+
+
+def expr(source):
+    return parse_expression_source(source)
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert expr("42").value == 42
+        assert expr('"hi"').value == "hi"
+        assert expr("true").value is True
+        assert expr("false").value is False
+        assert expr("null").value is None
+
+    def test_traversal(self):
+        node = expr("aws_vpc.main.id")
+        assert isinstance(node, AttrAccess)
+        assert node.name == "id"
+        assert isinstance(node.obj, AttrAccess)
+        assert isinstance(node.obj.obj, ScopeRef)
+        assert node.obj.obj.name == "aws_vpc"
+
+    def test_index_access(self):
+        node = expr("items[3]")
+        assert isinstance(node, IndexAccess)
+        assert node.index.value == 3
+
+    def test_legacy_numeric_traversal(self):
+        node = expr("list.0")
+        assert isinstance(node, IndexAccess)
+        assert node.index.value == 0
+
+    def test_splat(self):
+        node = expr("aws_vm.web[*].id")
+        assert isinstance(node, SplatExpr)
+        assert node.attrs == ["id"]
+
+    def test_attr_splat(self):
+        node = expr("aws_vm.web.*.id")
+        assert isinstance(node, SplatExpr)
+        assert node.attrs == ["id"]
+
+    def test_precedence(self):
+        node = expr("1 + 2 * 3")
+        assert isinstance(node, BinaryOp)
+        assert node.op == "+"
+        assert isinstance(node.right, BinaryOp)
+        assert node.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        node = expr("a > 1 && b < 2 || c == 3")
+        assert isinstance(node, BinaryOp)
+        assert node.op == "||"
+        assert node.left.op == "&&"
+
+    def test_unary(self):
+        node = expr("!x")
+        assert isinstance(node, UnaryOp)
+        node = expr("-5")
+        assert isinstance(node, UnaryOp)
+        assert node.op == "-"
+
+    def test_conditional(self):
+        node = expr("x ? 1 : 2")
+        assert isinstance(node, Conditional)
+        assert node.then.value == 1
+        assert node.otherwise.value == 2
+
+    def test_nested_conditional(self):
+        node = expr("a ? b ? 1 : 2 : 3")
+        assert isinstance(node, Conditional)
+        assert isinstance(node.then, Conditional)
+
+    def test_parentheses(self):
+        node = expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_function_call(self):
+        node = expr("max(1, 2, 3)")
+        assert isinstance(node, FunctionCall)
+        assert node.name == "max"
+        assert len(node.args) == 3
+
+    def test_function_call_with_expansion(self):
+        node = expr("min(items...)")
+        assert node.expand_final is True
+
+    def test_list_literal(self):
+        node = expr("[1, 2, 3]")
+        assert isinstance(node, ListExpr)
+        assert len(node.items) == 3
+
+    def test_empty_list(self):
+        assert expr("[]").items == []
+
+    def test_object_literal(self):
+        node = expr('{ a = 1, b = "x" }')
+        assert isinstance(node, ObjectExpr)
+        assert len(node.entries) == 2
+        assert node.entries[0][0].value == "a"
+
+    def test_object_colon_separator(self):
+        node = expr("{ a : 1 }")
+        assert node.entries[0][1].value == 1
+
+    def test_object_computed_key(self):
+        node = expr("{ (var.key) = 1 }")
+        key = node.entries[0][0]
+        assert isinstance(key, AttrAccess)
+
+    def test_template(self):
+        node = expr('"a-${var.x}-b"')
+        assert isinstance(node, TemplateExpr)
+        assert len(node.parts) == 3
+
+    def test_for_list(self):
+        node = expr("[for x in items : x * 2]")
+        assert isinstance(node, ForExpr)
+        assert node.value_var == "x"
+        assert not node.is_object
+
+    def test_for_list_with_key(self):
+        node = expr("[for i, x in items : x if i > 0]")
+        assert node.key_var == "i"
+        assert node.condition is not None
+
+    def test_for_object(self):
+        node = expr('{ for k, v in m : k => v }')
+        assert node.is_object
+        assert node.result_key is not None
+
+    def test_for_object_grouping(self):
+        node = expr("{ for x in items : x.key => x.value... }")
+        assert node.grouping is True
+
+    def test_error_on_garbage(self):
+        with pytest.raises(CLCSyntaxError):
+            expr("1 +")
+
+    def test_error_on_trailing_tokens(self):
+        with pytest.raises(CLCSyntaxError):
+            expr("1 2")
+
+
+class TestFileStructure:
+    def test_attribute(self):
+        f = parse_file("x = 1\n")
+        assert f.body.attributes["x"].expr.value == 1
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(CLCSyntaxError):
+            parse_file("x = 1\nx = 2\n")
+
+    def test_block_with_labels(self):
+        f = parse_file('resource "aws_vpc" "main" {\n  name = "x"\n}\n')
+        block = f.body.blocks[0]
+        assert block.type == "resource"
+        assert block.labels == ["aws_vpc", "main"]
+        assert block.body.attributes["name"].expr.value == "x"
+
+    def test_empty_block(self):
+        f = parse_file('data "aws_region" "current" {}\n')
+        assert f.body.blocks[0].type == "data"
+
+    def test_nested_blocks(self):
+        f = parse_file(
+            'resource "t" "n" {\n  lifecycle {\n    prevent_destroy = true\n  }\n}\n'
+        )
+        inner = f.body.blocks[0].body.blocks[0]
+        assert inner.type == "lifecycle"
+
+    def test_block_without_labels(self):
+        f = parse_file("locals {\n  a = 1\n}\n")
+        assert f.body.blocks[0].type == "locals"
+        assert f.body.blocks[0].labels == []
+
+    def test_unclosed_block(self):
+        with pytest.raises(CLCSyntaxError):
+            parse_file('resource "a" "b" {\n  x = 1\n')
+
+    def test_multiline_list_attribute(self):
+        f = parse_file('xs = [\n  1,\n  2,\n]\n')
+        assert len(f.body.attributes["xs"].expr.items) == 2
+
+    def test_figure2_shape(self, figure2_source):
+        f = parse_file(figure2_source)
+        types = [b.type for b in f.body.blocks]
+        assert types.count("resource") == 4
+        assert "data" in types
+        assert "variable" in types
+
+    def test_adjacent_attrs_without_newline_rejected(self):
+        with pytest.raises(CLCSyntaxError):
+            parse_file('a = 1 b = 2\n')

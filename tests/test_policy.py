@@ -1,0 +1,289 @@
+"""Policy subsystem: language, controller, cost, autoscale, outliers."""
+
+import pytest
+
+from repro.core import CloudlessEngine
+from repro.lang import Configuration
+from repro.policy import (
+    CostEstimator,
+    CustomMetricScalePolicy,
+    InfrastructureController,
+    MetricStore,
+    NativeAutoscalePolicy,
+    Notify,
+    PHASE_DRIFT,
+    PHASE_METRICS,
+    Policy,
+    TemplateExtractor,
+    UnsupportedPolicyError,
+    allowed_regions_policy,
+    budget_policy,
+    drift_notification_policy,
+    required_engine_policy,
+    required_tag_policy,
+)
+from repro.workloads import vpn_site, web_tier
+
+
+class TestCostEstimator:
+    def test_resource_monthly(self):
+        estimator = CostEstimator()
+        small = estimator.resource_monthly("aws_virtual_machine", {"size": "small"})
+        xlarge = estimator.resource_monthly("aws_virtual_machine", {"size": "xlarge"})
+        assert xlarge == pytest.approx(small * 8)
+
+    def test_storage_contributes(self):
+        estimator = CostEstimator()
+        base = estimator.resource_monthly("aws_database_instance", {})
+        big = estimator.resource_monthly(
+            "aws_database_instance", {"storage_gb": 100}
+        )
+        assert big > base
+
+    def test_unknown_type_is_free(self):
+        assert CostEstimator().resource_monthly("aws_iam_role", {}) == 0.0
+
+    def test_estimate_plan_counts_new_estate(self, engine):
+        plan = engine.plan(web_tier(web_vms=2, app_vms=1))
+        cost = CostEstimator().estimate_plan(plan)
+        assert cost > 0
+
+
+class TestAdmission:
+    def test_budget_denies_expensive_plan(self, engine):
+        engine.controller.register(budget_policy(max_monthly_usd=1.0))
+        result = engine.apply(web_tier())
+        assert result.admission is not None
+        assert not result.admission.allowed
+        assert "budget" in result.admission.denials[0].policy
+        # nothing deployed
+        assert len(engine.state) == 0
+
+    def test_budget_allows_cheap_plan(self, engine):
+        engine.controller.register(budget_policy(max_monthly_usd=1e6))
+        result = engine.apply(web_tier())
+        assert result.ok
+
+    def test_allowed_regions(self, engine):
+        engine.controller.register(allowed_regions_policy(["us-east-1"]))
+        source = (
+            'resource "azure_resource_group" "rg" {\n'
+            '  name = "rg"\n  location = "westeurope"\n}\n'
+        )
+        result = engine.apply(source)
+        assert not result.admission.allowed
+        assert "westeurope" in result.admission.denials[0].message
+
+    def test_required_engine(self, engine):
+        engine.controller.register(required_engine_policy("postgres"))
+        bad = web_tier().replace('engine     = "postgres"', 'engine     = "mysql"')
+        result = engine.apply(bad)
+        assert not result.admission.allowed
+
+    def test_tag_policy_warns_but_allows(self, engine):
+        engine.controller.register(required_tag_policy("owner"))
+        result = engine.apply(web_tier())
+        assert result.ok
+        assert result.admission.warnings
+
+    def test_denial_messages_interpolate_observation(self, engine):
+        engine.controller.register(budget_policy(max_monthly_usd=1.0))
+        result = engine.apply(web_tier())
+        message = result.admission.denials[0].message
+        assert "USD" in message and "1.00" in message
+
+
+class TestMetricStore:
+    def test_latest_and_window(self):
+        store = MetricStore()
+        store.record("vm.a", "cpu", 0.0, 10.0)
+        store.record("vm.a", "cpu", 10.0, 20.0)
+        store.record("vm.a", "cpu", 20.0, 30.0)
+        assert store.latest("vm.a", "cpu") == 30.0
+        assert store.window_mean("vm.a", "cpu", window_s=15.0, now=20.0) == 25.0
+
+    def test_missing_series(self):
+        assert MetricStore().latest("x", "cpu") is None
+
+
+class TestAutoscalePolicies:
+    def test_native_rejects_custom_metric(self):
+        """The paper's point: today's autoscaling can't see VPN load."""
+        with pytest.raises(UnsupportedPolicyError):
+            NativeAutoscalePolicy(
+                name="vpn",
+                target_type="aws_vpn_tunnel",
+                metric="throughput_mbps",
+                capacity_per_instance=500,
+                count_variable="tunnel_count",
+            )
+
+    def test_native_accepts_cpu_on_asg(self):
+        policy = NativeAutoscalePolicy(
+            name="cpu",
+            target_type="aws_autoscaling_group",
+            metric="cpu",
+            capacity_per_instance=100,
+            count_variable="asg_count",
+        )
+        assert policy.phase == PHASE_METRICS
+
+    def test_custom_policy_scales_out(self):
+        engine = CloudlessEngine(seed=70)
+        assert engine.apply(vpn_site(tunnels=2), variables={"tunnel_count": 2}).ok
+        metrics = MetricStore()
+        now = engine.clock.now
+        for entry in engine.state.resources():
+            if entry.address.type == "aws_vpn_tunnel":
+                metrics.record(str(entry.address), "throughput_mbps", now, 480.0)
+        policy = CustomMetricScalePolicy(
+            name="vpn-scale",
+            target_type="aws_vpn_tunnel",
+            metric="throughput_mbps",
+            capacity_per_instance=500,
+            count_variable="tunnel_count",
+            high=0.8,
+            cooldown_s=0.0,
+        )
+        controller = InfrastructureController()
+        controller.register(policy)
+        actions = controller.evaluate_metrics(
+            metrics, engine.state, {"tunnel_count": 2}, now
+        )
+        assert len(actions) == 1
+        assert actions[0].kind == "set_variable"
+        assert actions[0].value == 3
+
+    def test_custom_policy_scales_in(self):
+        engine = CloudlessEngine(seed=71)
+        assert engine.apply(vpn_site(tunnels=3), variables={"tunnel_count": 3}).ok
+        metrics = MetricStore()
+        now = engine.clock.now
+        for entry in engine.state.resources():
+            if entry.address.type == "aws_vpn_tunnel":
+                metrics.record(str(entry.address), "throughput_mbps", now, 50.0)
+        policy = CustomMetricScalePolicy(
+            name="vpn-scale",
+            target_type="aws_vpn_tunnel",
+            metric="throughput_mbps",
+            capacity_per_instance=500,
+            count_variable="tunnel_count",
+            low=0.25,
+            cooldown_s=0.0,
+        )
+        controller = InfrastructureController()
+        controller.register(policy)
+        actions = controller.evaluate_metrics(
+            metrics, engine.state, {"tunnel_count": 3}, now
+        )
+        assert actions[0].value == 2
+
+    def test_cooldown_suppresses_flapping(self):
+        engine = CloudlessEngine(seed=72)
+        assert engine.apply(vpn_site(tunnels=2), variables={"tunnel_count": 2}).ok
+        metrics = MetricStore()
+        now = engine.clock.now
+        for entry in engine.state.resources():
+            if entry.address.type == "aws_vpn_tunnel":
+                metrics.record(str(entry.address), "throughput_mbps", now, 480.0)
+        policy = CustomMetricScalePolicy(
+            name="vpn-scale",
+            target_type="aws_vpn_tunnel",
+            metric="throughput_mbps",
+            capacity_per_instance=500,
+            count_variable="tunnel_count",
+            cooldown_s=600.0,
+        )
+        controller = InfrastructureController()
+        controller.register(policy)
+        first = controller.evaluate_metrics(
+            metrics, engine.state, {"tunnel_count": 2}, now
+        )
+        second = controller.evaluate_metrics(
+            metrics, engine.state, {"tunnel_count": first[0].value}, now + 1.0
+        )
+        # the condition still fires but the value holds (cooldown)
+        assert all(a.value == first[0].value for a in second)
+
+    def test_scale_decision_recorded(self):
+        policy = CustomMetricScalePolicy(
+            name="p",
+            target_type="aws_vpn_tunnel",
+            metric="throughput_mbps",
+            capacity_per_instance=500,
+            count_variable="n",
+            cooldown_s=0.0,
+        )
+        engine = CloudlessEngine(seed=73)
+        assert engine.apply(vpn_site(tunnels=1), variables={"tunnel_count": 1}).ok
+        metrics = MetricStore()
+        for entry in engine.state.resources():
+            if entry.address.type == "aws_vpn_tunnel":
+                metrics.record(str(entry.address), "throughput_mbps", engine.clock.now, 490.0)
+        controller = InfrastructureController()
+        controller.register(policy)
+        controller.evaluate_metrics(metrics, engine.state, {"n": 1}, engine.clock.now)
+        assert policy.decisions
+        assert policy.decisions[0].utilization > 0.9
+
+
+class TestDriftPolicies:
+    def test_drift_notification(self):
+        controller = InfrastructureController()
+        controller.register(drift_notification_policy())
+
+        class Finding:
+            resource_id = "i-123"
+
+        actions = controller.evaluate_drift([Finding()], None, 0.0)
+        assert actions[0].kind == "notify"
+        assert "i-123" in actions[0].message
+
+    def test_custom_phase_policy(self):
+        fired = []
+        policy = Policy(
+            name="custom",
+            phase=PHASE_DRIFT,
+            observe=lambda ctx: len(ctx.findings),
+            condition=lambda n: n > 2,
+            actions=[Notify("lots of drift")],
+        )
+        controller = InfrastructureController()
+        controller.register(policy)
+        assert controller.evaluate_drift([1, 2], None, 0.0) == []
+        assert len(controller.evaluate_drift([1, 2, 3], None, 0.0)) == 1
+
+
+class TestOutlierDetection:
+    def corpus(self):
+        sources = [web_tier(name=f"w{i}") for i in range(4)]
+        return [Configuration.parse(s) for s in sources]
+
+    def test_conforming_config_is_clean(self):
+        model = TemplateExtractor().fit(self.corpus())
+        findings = model.score_config(Configuration.parse(web_tier(name="new")))
+        assert findings == []
+
+    def test_unusual_value_flagged(self):
+        model = TemplateExtractor().fit(self.corpus())
+        odd = web_tier(name="new").replace(
+            'engine     = "postgres"', 'engine     = "mariadb"'
+        )
+        findings = model.score_config(Configuration.parse(odd))
+        assert any(
+            f.kind == "unusual-value" and f.attr == "engine" for f in findings
+        )
+
+    def test_missing_common_attr_flagged(self):
+        model = TemplateExtractor().fit(self.corpus())
+        # drop the tags attr every corpus VM carries
+        odd = web_tier(name="new").replace('  tags    = { tier = "web" }\n', "")
+        findings = model.score_config(Configuration.parse(odd))
+        assert any(f.kind == "missing-attr" and f.attr == "tags" for f in findings)
+
+    def test_unknown_type_not_scored(self):
+        model = TemplateExtractor().fit(self.corpus())
+        findings = model.score_config(
+            Configuration.parse('resource "exotic_thing" "x" {\n  a = 1\n}\n')
+        )
+        assert findings == []

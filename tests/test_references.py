@@ -1,0 +1,78 @@
+"""Static reference extraction tests."""
+
+from repro.lang.parser import parse_expression_source
+from repro.lang.references import Reference, extract_references
+
+
+def refs(source):
+    return {str(r) for r in extract_references(parse_expression_source(source))}
+
+
+class TestExtraction:
+    def test_variable(self):
+        assert refs("var.name") == {"var.name"}
+
+    def test_local(self):
+        assert refs("local.x") == {"local.x"}
+
+    def test_resource(self):
+        assert refs("aws_vpc.main.id") == {"aws_vpc.main"}
+
+    def test_data(self):
+        assert refs("data.aws_region.current.name") == {"data.aws_region.current"}
+
+    def test_module(self):
+        assert refs("module.net.vpc_id") == {"module.net"}
+
+    def test_indexing_is_transparent(self):
+        assert refs("aws_vm.web[0].id") == {"aws_vm.web"}
+
+    def test_splat_is_transparent(self):
+        assert refs("aws_vm.web[*].id") == {"aws_vm.web"}
+
+    def test_index_expression_contributes(self):
+        assert refs("aws_vm.web[var.i].id") == {"aws_vm.web", "var.i"}
+
+    def test_nested_in_function_and_template(self):
+        assert refs('join("-", [var.a, local.b])') == {"var.a", "local.b"}
+        assert refs('"${var.x}-${aws_vpc.v.id}"') == {"var.x", "aws_vpc.v"}
+
+    def test_builtin_roots_ignored(self):
+        assert refs("count.index") == set()
+        assert refs("each.key") == set()
+        assert refs("path.module") == set()
+
+    def test_for_loop_variables_not_references(self):
+        assert refs("[for x in var.items : x.id]") == {"var.items"}
+
+    def test_for_key_var_shadowing(self):
+        assert refs("{ for k, v in var.m : k => v.name }") == {"var.m"}
+
+    def test_conditional_collects_all_branches(self):
+        assert refs("var.a ? aws_vpc.x.id : aws_vpc.y.id") == {
+            "var.a",
+            "aws_vpc.x",
+            "aws_vpc.y",
+        }
+
+    def test_attr_recorded(self):
+        found = extract_references(parse_expression_source("aws_vpc.main.id"))
+        ref = next(iter(found))
+        assert ref.attr == "id"
+
+    def test_bare_type_name_not_a_reference(self):
+        # a lone identifier with no attribute is not a resource ref
+        assert refs("[for x in things : x]") == set()
+
+
+class TestReferenceIdentity:
+    def test_equality_and_ordering(self):
+        a = Reference("var", "", "a")
+        b = Reference("var", "", "b")
+        assert a < b
+        assert a == Reference("var", "", "a")
+
+    def test_key_ignores_attr(self):
+        a = Reference("resource", "aws_vpc", "x", "id")
+        b = Reference("resource", "aws_vpc", "x", "arn")
+        assert a.key == b.key

@@ -1,0 +1,155 @@
+"""Rollback: reversibility analysis, cascades, convergence (E4)."""
+
+import pytest
+
+from repro.core import CloudlessEngine
+from repro.update import (
+    NaiveRollback,
+    ReversibilityAwareRollback,
+    RollbackKind,
+    measure_divergence,
+)
+from repro.workloads import web_tier
+
+
+def deployed_engine(seed=40, **kwargs):
+    engine = CloudlessEngine(seed=seed)
+    result = engine.apply(web_tier(**kwargs))
+    assert result.ok
+    return engine, result.snapshot_version
+
+
+def first_vm(engine):
+    return next(
+        e
+        for e in engine.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    )
+
+
+class TestPlanning:
+    def test_clean_state_plans_nothing(self):
+        engine, v1 = deployed_engine()
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(engine.history.get(v1), engine.state)
+        assert len(plan) == 0
+
+    def test_updatable_drift_plans_update(self):
+        engine, v1 = deployed_engine()
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"size": "xlarge"}
+        )
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        kinds = {str(a.address): a.kind for a in plan.actions}
+        assert kinds[str(vm.address)] is RollbackKind.UPDATE
+        assert plan.redeployments == 0
+
+    def test_shadow_drift_plans_replace(self):
+        engine, v1 = deployed_engine()
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"network_settings": "custom-routes"}
+        )
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        kinds = {str(a.address): a.kind for a in plan.actions}
+        assert kinds[str(vm.address)] is RollbackKind.REPLACE
+        assert any("out-of-band" in r for a in plan.actions for r in a.reasons)
+
+    def test_immutable_drift_plans_replace(self):
+        engine, v1 = deployed_engine()
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"image": "win-2022"}
+        )
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        kinds = {str(a.address): a.kind for a in plan.actions}
+        assert kinds[str(vm.address)] is RollbackKind.REPLACE
+
+    def test_deleted_resource_plans_recreate(self):
+        engine, v1 = deployed_engine()
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_delete(vm.resource_id)
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        kinds = {str(a.address): a.kind for a in plan.actions}
+        assert kinds[str(vm.address)] is RollbackKind.RECREATE
+
+    def test_new_resources_plan_delete(self):
+        engine, v1 = deployed_engine(web_vms=2)
+        engine.apply(web_tier(web_vms=4))
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        deletes = [a for a in plan.actions if a.kind is RollbackKind.DELETE]
+        assert len(deletes) == 4  # 2 extra VMs + their 2 NICs
+
+    def test_cascade_through_dependents(self):
+        engine, v1 = deployed_engine()
+        # shadow-modify a NIC: replacing it forces replacing its VM
+        nic = next(
+            e
+            for e in engine.state.resources()
+            if e.address.type == "aws_network_interface"
+        )
+        engine.gateway.planes["aws"].external_update(
+            nic.resource_id, {"network_settings": "hacked"}
+        )
+        plan = ReversibilityAwareRollback(engine.gateway).plan(
+            engine.history.get(v1), engine.state
+        )
+        cascaded = [a for a in plan.actions if a.cascaded]
+        assert cascaded, "dependents of a replaced NIC must cascade"
+        assert any(
+            a.address.type == "aws_virtual_machine" for a in cascaded
+        )
+
+
+class TestConvergence:
+    def scenario(self, seed):
+        engine, v1 = deployed_engine(seed=seed)
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"network_settings": "custom"}
+        )
+        engine.apply(web_tier(web_vms=5))
+        return engine, engine.history.get(v1)
+
+    def test_aware_rollback_converges(self):
+        engine, snapshot = self.scenario(seed=41)
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        result = planner.execute(plan, engine.state)
+        assert result.errors == []
+        assert measure_divergence(engine.gateway, snapshot, engine.state) == 0
+
+    def test_naive_rollback_leaves_divergence(self):
+        engine, snapshot = self.scenario(seed=42)
+        planner = NaiveRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        planner.execute(plan, engine.state)
+        assert measure_divergence(engine.gateway, snapshot, engine.state) > 0
+
+    def test_aware_redeploys_only_what_it_must(self):
+        engine, snapshot = self.scenario(seed=43)
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        # only the shadow-drifted VM is redeployed (it has no dependents)
+        assert plan.redeployments <= 2
+
+    def test_engine_rollback_verb(self):
+        engine, v1 = deployed_engine(seed=44)
+        engine.apply(web_tier(web_vms=4))
+        result = engine.rollback(v1)
+        assert result.ok
+        snapshot = engine.history.get(v1)
+        assert measure_divergence(engine.gateway, snapshot, engine.state) == 0
+        # rollback itself is checkpointed (the time machine grows)
+        assert len(engine.history) >= 3

@@ -1,0 +1,154 @@
+"""Unit tests for individual validation rules and mining primitives."""
+
+import pytest
+
+from repro.lang import Configuration, DiagnosticSink
+from repro.validate import (
+    DeploymentExample,
+    RuleEngine,
+    SpecificationMiner,
+    ValidationContext,
+)
+from repro.validate.constraints.aws import AwsVpnTunnelGatewayRule
+from repro.validate.mining import MinedEqualitySpec, MinedEqualityRule
+
+
+class TestAwsVpnTunnelRule:
+    def test_wrong_gateway_type_flagged(self):
+        source = (
+            'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+            'resource "aws_vpn_tunnel" "t" {\n'
+            '  name       = "t"\n'
+            "  gateway_id = aws_vpc.v.id\n"
+            '  peer_ip    = "192.0.2.1"\n'
+            "}\n"
+        )
+        ctx = ValidationContext.build(Configuration.parse(source))
+        sink = DiagnosticSink()
+        AwsVpnTunnelGatewayRule().check(ctx, sink)
+        assert sink.has_errors()
+        assert "aws_vpn_gateway" in sink.errors[0].message
+
+    def test_correct_gateway_passes(self):
+        source = (
+            'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+            'resource "aws_vpn_gateway" "g" {\n'
+            '  name   = "g"\n'
+            "  vpc_id = aws_vpc.v.id\n"
+            "}\n"
+            'resource "aws_vpn_tunnel" "t" {\n'
+            '  name       = "t"\n'
+            "  gateway_id = aws_vpn_gateway.g.id\n"
+            '  peer_ip    = "192.0.2.1"\n'
+            "}\n"
+        )
+        ctx = ValidationContext.build(Configuration.parse(source))
+        sink = DiagnosticSink()
+        AwsVpnTunnelGatewayRule().check(ctx, sink)
+        assert not sink.has_errors()
+
+
+class TestValidationContextHelpers:
+    SOURCE = (
+        'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+        'resource "aws_subnet" "s" {\n'
+        "  count = 2\n"
+        '  name = "s-${count.index}"\n'
+        "  vpc_id = aws_vpc.v.id\n"
+        "  cidr_block = cidrsubnet(aws_vpc.v.cidr_block, 8, count.index)\n"
+        "}\n"
+    )
+
+    def test_instances_expand_count(self):
+        ctx = ValidationContext.build(Configuration.parse(self.SOURCE))
+        assert len(ctx.instances_of_type("aws_subnet")) == 2
+
+    def test_known_attr_resolves_statics_only(self):
+        ctx = ValidationContext.build(Configuration.parse(self.SOURCE))
+        subnet = ctx.instances_of_type("aws_subnet")[0]
+        assert ctx.known_attr(subnet, "name") == "s-0"
+        assert ctx.known_attr(subnet, "vpc_id") is None  # unknown pre-deploy
+
+    def test_referenced_instances_follow_expressions(self):
+        ctx = ValidationContext.build(Configuration.parse(self.SOURCE))
+        subnet = ctx.instances_of_type("aws_subnet")[0]
+        targets = ctx.referenced_instances(subnet, "vpc_id")
+        assert [t.id for t in targets] == ["aws_vpc.v"]
+
+    def test_attr_or_default_reads_schema(self):
+        source = 'resource "aws_s3_bucket" "b" { name = "x" }\n'
+        ctx = ValidationContext.build(Configuration.parse(source))
+        bucket = ctx.instances_of_type("aws_s3_bucket")[0]
+        assert ctx.attr_or_default(bucket, "versioning") is False
+
+
+class TestMiningPrimitives:
+    def test_observations_capture_refs(self):
+        source = (
+            'resource "aws_vpc" "v" {\n  name = "v"\n  cidr_block = "10.0.0.0/16"\n}\n'
+            'resource "aws_subnet" "s" {\n'
+            '  name = "s"\n'
+            "  vpc_id = aws_vpc.v.id\n"
+            '  cidr_block = "10.0.1.0/24"\n'
+            "}\n"
+        )
+        example = DeploymentExample.from_config(Configuration.parse(source))
+        subnet_obs = next(o for o in example.resources if o.rtype == "aws_subnet")
+        assert "vpc_id" in subnet_obs.refs
+        target_type, target_attrs = subnet_obs.refs["vpc_id"][0]
+        assert target_type == "aws_vpc"
+        assert target_attrs["cidr_block"] == "10.0.0.0/16"
+
+    def test_equality_rule_checks_both_directions_of_presence(self):
+        spec = MinedEqualitySpec(
+            rtype="azure_virtual_machine",
+            ref_attr="nic_ids",
+            target_type="azure_network_interface",
+            shared_attr="location",
+            support=5,
+        )
+        rule = MinedEqualityRule(spec)
+        good = Configuration.parse(
+            'resource "azure_resource_group" "rg" {\n'
+            '  name = "rg"\n  location = "eastus"\n}\n'
+            'resource "azure_virtual_network" "v" {\n'
+            '  name = "v"\n'
+            "  resource_group_id = azure_resource_group.rg.id\n"
+            '  location = "eastus"\n'
+            '  address_spaces = ["10.0.0.0/16"]\n'
+            "}\n"
+            'resource "azure_subnet" "sn" {\n'
+            '  name = "sn"\n'
+            "  vnet_id = azure_virtual_network.v.id\n"
+            '  address_prefix = "10.0.1.0/24"\n'
+            "}\n"
+            'resource "azure_network_interface" "n" {\n'
+            '  name = "n"\n'
+            "  subnet_id = azure_subnet.sn.id\n"
+            '  location = "eastus"\n'
+            "}\n"
+            'resource "azure_virtual_machine" "vm" {\n'
+            '  name = "vm"\n'
+            '  location = "eastus"\n'
+            "  nic_ids = [azure_network_interface.n.id]\n"
+            "}\n"
+        )
+        sink = DiagnosticSink()
+        rule.check(ValidationContext.build(good), sink)
+        assert not sink.has_errors()
+
+    def test_miner_requires_scalar_consistency(self):
+        # two examples with *different* consequent values -> no rule
+        sources = []
+        for disable in ("true", "false"):
+            sources.append(
+                'resource "aws_s3_bucket" "b" {\n'
+                '  name       = "x"\n'
+                f"  versioning = {disable}\n"
+                "}\n"
+            )
+        examples = [
+            DeploymentExample.from_config(Configuration.parse(s)) for s in sources
+        ]
+        rules = SpecificationMiner(min_support=2).mine(examples)
+        assert not any("versioning" in r.info.rule_id for r in rules)

@@ -1,0 +1,276 @@
+"""State document, stores, snapshots, locks, transactions."""
+
+import pytest
+
+from repro.addressing import ResourceAddress, managed
+from repro.state import (
+    FileStateStore,
+    GlobalLockManager,
+    MemoryStateStore,
+    ResourceLockManager,
+    ResourceState,
+    SerializabilityChecker,
+    SnapshotHistory,
+    StaleStateError,
+    StateDatabase,
+    StateDocument,
+    TransactionError,
+)
+
+
+def entry(addr_text, rid="r-1", attrs=None):
+    return ResourceState(
+        address=ResourceAddress.parse(addr_text),
+        resource_id=rid,
+        provider="aws",
+        attrs=attrs or {"name": "x"},
+        region="us-east-1",
+    )
+
+
+class TestAddressing:
+    def test_round_trip(self):
+        cases = [
+            "aws_vpc.main",
+            "aws_vm.web[3]",
+            'aws_vm.web["blue"]',
+            "data.aws_region.current",
+            "module.net.aws_subnet.front[0]",
+            "module.a.module.b.azure_disk.d",
+        ]
+        for text in cases:
+            assert str(ResourceAddress.parse(text)) == text
+
+    def test_config_address_strips_key(self):
+        addr = managed("aws_vm", "web", 3)
+        assert str(addr.config_address) == "aws_vm.web"
+
+    def test_ordering(self):
+        a = managed("aws_vm", "web", 1)
+        b = managed("aws_vm", "web", 10)
+        assert a < b  # numeric, not lexicographic
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ResourceAddress.parse("justonepart")
+
+
+class TestStateDocument:
+    def test_set_get_remove(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main"))
+        assert doc.get(ResourceAddress.parse("aws_vpc.main")) is not None
+        assert len(doc) == 1
+        doc.remove(ResourceAddress.parse("aws_vpc.main"))
+        assert len(doc) == 0
+
+    def test_instances_of(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vm.web[1]", "r-b"))
+        doc.set(entry("aws_vm.web[0]", "r-a"))
+        doc.set(entry("aws_vm.other", "r-c"))
+        instances = doc.instances_of("aws_vm", "web")
+        assert [e.resource_id for e in instances] == ["r-a", "r-b"]
+
+    def test_by_resource_id(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main", "vpc-7"))
+        assert doc.by_resource_id("vpc-7").address.type == "aws_vpc"
+        assert doc.by_resource_id("nope") is None
+
+    def test_json_round_trip(self):
+        doc = StateDocument(serial=4)
+        doc.set(entry("aws_vm.web[0]", attrs={"name": "w", "n": 2, "l": [1]}))
+        doc.outputs["ip"] = "1.2.3.4"
+        restored = StateDocument.from_json(doc.to_json())
+        assert restored.serial == 4
+        assert restored.outputs == {"ip": "1.2.3.4"}
+        original = doc.get(ResourceAddress.parse("aws_vm.web[0]"))
+        copy = restored.get(ResourceAddress.parse("aws_vm.web[0]"))
+        assert copy.attrs == original.attrs
+
+    def test_copy_is_deep(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main", attrs={"tags": {"a": 1}}))
+        dup = doc.copy()
+        dup.get(ResourceAddress.parse("aws_vpc.main")).attrs["tags"]["a"] = 9
+        assert doc.get(ResourceAddress.parse("aws_vpc.main")).attrs["tags"]["a"] == 1
+
+
+class TestStores:
+    def test_memory_store_round_trip(self):
+        store = MemoryStateStore()
+        doc = store.read()
+        doc.set(entry("aws_vpc.main"))
+        doc.bump()
+        store.write(doc)
+        assert len(store.read()) == 1
+
+    def test_memory_store_rejects_stale(self):
+        store = MemoryStateStore()
+        doc = store.read()
+        doc.bump()
+        store.write(doc)
+        stale = StateDocument(serial=0)
+        with pytest.raises(StaleStateError):
+            store.write(stale)
+
+    def test_file_store(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store = FileStateStore(path)
+        assert len(store.read()) == 0  # missing file -> empty state
+        doc = StateDocument(serial=1)
+        doc.set(entry("aws_vpc.main"))
+        store.write(doc)
+        assert len(FileStateStore(path).read()) == 1
+
+
+class TestSnapshots:
+    def test_checkpoint_and_get(self):
+        history = SnapshotHistory()
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main"))
+        snap = history.checkpoint(doc, {"main.clc": "x"}, timestamp=1.0)
+        assert snap.version == 1
+        assert history.latest().version == 1
+        assert len(history.get(1).state) == 1
+
+    def test_snapshots_are_isolated(self):
+        history = SnapshotHistory()
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main"))
+        history.checkpoint(doc, {}, timestamp=1.0)
+        doc.remove(ResourceAddress.parse("aws_vpc.main"))
+        assert len(history.get(1).state) == 1
+
+    def test_diff(self):
+        history = SnapshotHistory()
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main"))
+        history.checkpoint(doc, {}, timestamp=1.0)
+        doc.set(entry("aws_vm.web[0]"))
+        doc.get(ResourceAddress.parse("aws_vpc.main")).attrs["name"] = "renamed"
+        history.checkpoint(doc, {}, timestamp=2.0)
+        diff = history.diff(1, 2)
+        assert diff.added == ["aws_vm.web[0]"]
+        assert diff.changed == ["aws_vpc.main"]
+        assert diff.removed == []
+
+    def test_config_hash_stability(self):
+        history = SnapshotHistory()
+        s1 = history.checkpoint(StateDocument(), {"a": "x"}, timestamp=0.0)
+        s2 = history.checkpoint(StateDocument(), {"a": "x"}, timestamp=1.0)
+        s3 = history.checkpoint(StateDocument(), {"a": "y"}, timestamp=2.0)
+        assert s1.config_hash == s2.config_hash != s3.config_hash
+
+    def test_missing_version(self):
+        with pytest.raises(KeyError):
+            SnapshotHistory().get(1)
+
+
+class TestLockManagers:
+    def test_global_lock_excludes_everyone(self):
+        locks = GlobalLockManager()
+        assert locks.try_acquire("t1", {"a"}, 0.0)
+        assert not locks.try_acquire("t2", {"b"}, 0.0)  # disjoint but blocked
+        locks.release("t1")
+        assert locks.try_acquire("t2", {"b"}, 0.0)
+
+    def test_resource_locks_allow_disjoint(self):
+        locks = ResourceLockManager()
+        assert locks.try_acquire("t1", {"a", "b"}, 0.0)
+        assert locks.try_acquire("t2", {"c"}, 0.0)
+        assert not locks.try_acquire("t3", {"b", "c"}, 0.0)  # overlaps both
+
+    def test_all_or_nothing(self):
+        locks = ResourceLockManager()
+        locks.try_acquire("t1", {"a"}, 0.0)
+        assert not locks.try_acquire("t2", {"a", "b"}, 0.0)
+        # b must not be held after the failed acquisition
+        assert locks.try_acquire("t3", {"b"}, 0.0)
+
+    def test_conflicts_with(self):
+        locks = ResourceLockManager()
+        locks.try_acquire("t1", {"a"}, 0.0)
+        assert locks.conflicts_with({"a", "z"}) == {"t1"}
+        assert locks.conflicts_with({"z"}) == set()
+
+    def test_double_acquire_rejected(self):
+        locks = ResourceLockManager()
+        locks.try_acquire("t1", {"a"}, 0.0)
+        with pytest.raises(RuntimeError):
+            locks.try_acquire("t1", {"b"}, 0.0)
+
+
+class TestTransactions:
+    def make_db(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main", "vpc-1"))
+        return StateDatabase(doc, ResourceLockManager())
+
+    def test_commit_applies(self):
+        db = self.make_db()
+        txn = db.begin("t1", {"aws_vpc.main", "aws_vm.web"}, now=0.0)
+        txn.set(entry("aws_vm.web", "i-1"))
+        txn.commit(now=1.0)
+        assert db.document.get(ResourceAddress.parse("aws_vm.web")) is not None
+        assert db.locks.holders() == []
+
+    def test_abort_discards(self):
+        db = self.make_db()
+        txn = db.begin("t1", {"aws_vm.web"}, now=0.0)
+        txn.set(entry("aws_vm.web", "i-1"))
+        txn.abort()
+        assert db.document.get(ResourceAddress.parse("aws_vm.web")) is None
+
+    def test_touching_unlocked_key_rejected(self):
+        db = self.make_db()
+        txn = db.begin("t1", {"aws_vm.web"}, now=0.0)
+        with pytest.raises(TransactionError):
+            txn.set(entry("aws_vpc.main"))
+
+    def test_conflicting_begin_returns_none(self):
+        db = self.make_db()
+        db.begin("t1", {"aws_vpc.main"}, now=0.0)
+        assert db.begin("t2", {"aws_vpc.main"}, now=0.0) is None
+
+    def test_reads_are_copies(self):
+        db = self.make_db()
+        txn = db.begin("t1", {"aws_vpc.main"}, now=0.0)
+        got = txn.read(ResourceAddress.parse("aws_vpc.main"))
+        got.attrs["name"] = "mutated"
+        assert (
+            db.document.get(ResourceAddress.parse("aws_vpc.main")).attrs["name"]
+            == "x"
+        )
+        txn.abort()
+
+    def test_history_recorded(self):
+        db = self.make_db()
+        txn = db.begin("t1", {"aws_vpc.main"}, now=0.0)
+        txn.read(ResourceAddress.parse("aws_vpc.main"))
+        txn.remove(ResourceAddress.parse("aws_vpc.main"))
+        txn.commit(now=2.0)
+        assert len(db.history) == 1
+        assert db.history[0].read_set == {"aws_vpc.main"}
+        assert db.history[0].write_set == {"aws_vpc.main"}
+
+
+class TestSerializability:
+    def test_disjoint_history_serializable(self):
+        db = StateDatabase(StateDocument(), ResourceLockManager())
+        t1 = db.begin("t1", {"a.b"}, now=0.0)
+        t1.set(entry("a.b"))
+        t1.commit(now=1.0)
+        t2 = db.begin("t2", {"c.d"}, now=0.5)
+        t2.set(entry("c.d"))
+        t2.commit(now=1.5)
+        assert SerializabilityChecker.is_serializable(db.history)
+
+    def test_two_phase_locked_history_serializable(self):
+        db = StateDatabase(StateDocument(), ResourceLockManager())
+        for i in range(5):
+            txn = db.begin(f"t{i}", {"shared.key"}, now=float(i))
+            txn.set(entry("shared.key", f"r-{i}"))
+            txn.commit(now=float(i) + 0.5)
+        assert SerializabilityChecker.is_serializable(db.history)

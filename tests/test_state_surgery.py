@@ -1,0 +1,120 @@
+"""state mv / state rm: refactors without destroy/recreate."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core import CloudlessEngine, EngineError
+from repro.graph import Action
+
+
+class TestStateMove:
+    def setup_engine(self):
+        engine = CloudlessEngine(seed=60)
+        result = engine.apply(
+            'resource "aws_vpc" "old_name" {\n'
+            '  name       = "net"\n'
+            '  cidr_block = "10.0.0.0/16"\n'
+            "}\n"
+            'resource "aws_subnet" "s" {\n'
+            '  name       = "sub"\n'
+            "  vpc_id     = aws_vpc.old_name.id\n"
+            '  cidr_block = "10.0.1.0/24"\n'
+            "}\n"
+        )
+        assert result.ok
+        return engine
+
+    def test_rename_avoids_replacement(self):
+        engine = self.setup_engine()
+        engine.state_move("aws_vpc.old_name", "aws_vpc.network")
+        plan = engine.plan(
+            'resource "aws_vpc" "network" {\n'
+            '  name       = "net"\n'
+            '  cidr_block = "10.0.0.0/16"\n'
+            "}\n"
+            'resource "aws_subnet" "s" {\n'
+            '  name       = "sub"\n'
+            "  vpc_id     = aws_vpc.network.id\n"
+            '  cidr_block = "10.0.1.0/24"\n'
+            "}\n"
+        )
+        assert plan.is_empty  # no destroy/create despite the rename
+
+    def test_dependencies_follow_the_move(self):
+        engine = self.setup_engine()
+        engine.state_move("aws_vpc.old_name", "aws_vpc.network")
+        from repro.addressing import ResourceAddress
+
+        subnet = engine.state.get(ResourceAddress.parse("aws_subnet.s"))
+        assert "aws_vpc.network" in subnet.dependencies
+        assert "aws_vpc.old_name" not in subnet.dependencies
+
+    def test_move_missing_source(self):
+        engine = self.setup_engine()
+        with pytest.raises(EngineError):
+            engine.state_move("aws_vpc.ghost", "aws_vpc.x")
+
+    def test_move_onto_existing(self):
+        engine = self.setup_engine()
+        with pytest.raises(EngineError):
+            engine.state_move("aws_vpc.old_name", "aws_subnet.s")
+
+
+class TestStateForget:
+    def test_forget_leaves_cloud_resource(self):
+        engine = CloudlessEngine(seed=61)
+        assert engine.apply('resource "aws_s3_bucket" "b" { name = "keep" }\n').ok
+        assert engine.state_forget("aws_s3_bucket.b")
+        assert len(engine.state) == 0
+        assert engine.gateway.planes["aws"].find_by_name(
+            "aws_s3_bucket", "keep"
+        ) is not None
+
+    def test_forget_then_replan_recreates(self):
+        # without the state entry the planner wants to create it again
+        engine = CloudlessEngine(seed=62)
+        src = 'resource "aws_s3_bucket" "b" { name = "keep" }\n'
+        assert engine.apply(src).ok
+        engine.state_forget("aws_s3_bucket.b")
+        plan = engine.plan(src)
+        assert plan.changes["aws_s3_bucket.b"].action is Action.CREATE
+
+    def test_forget_missing(self):
+        engine = CloudlessEngine(seed=63)
+        assert engine.state_forget("aws_s3_bucket.ghost") is False
+
+
+class TestCliStateCommands:
+    @pytest.fixture
+    def project(self, tmp_path):
+        path = str(tmp_path)
+        with open(os.path.join(path, "main.clc"), "w") as handle:
+            handle.write('resource "aws_s3_bucket" "b" { name = "x" }\n')
+        assert main(["--chdir", path, "init"]) == 0
+        assert main(["--chdir", path, "apply"]) == 0
+        return path
+
+    def test_cli_mv(self, project, capsys):
+        assert (
+            main(["--chdir", project, "state", "mv", "aws_s3_bucket.b", "aws_s3_bucket.c"])
+            == 0
+        )
+        capsys.readouterr()
+        main(["--chdir", project, "show"])
+        out = capsys.readouterr().out
+        assert "aws_s3_bucket.c" in out
+
+    def test_cli_rm(self, project, capsys):
+        assert main(["--chdir", project, "state", "rm", "aws_s3_bucket.b"]) == 0
+        capsys.readouterr()
+        main(["--chdir", project, "show"])
+        assert "state is empty" in capsys.readouterr().out
+
+    def test_cli_mv_errors(self, project, capsys):
+        assert (
+            main(["--chdir", project, "state", "mv", "aws_s3_bucket.ghost", "a.b"])
+            == 1
+        )
+        assert "no state entry" in capsys.readouterr().err

@@ -1,0 +1,225 @@
+"""Validation pipeline: levels, provider rules, specification mining."""
+
+import pytest
+
+from repro.lang import Configuration
+from repro.validate import (
+    DeploymentExample,
+    LEVEL_RULES,
+    LEVEL_SYNTAX,
+    LEVEL_TYPES,
+    RuleEngine,
+    SpecificationMiner,
+    ValidationContext,
+    ValidationPipeline,
+    validate,
+)
+from repro.workloads import ConfigMutator, hub_spoke, web_tier
+
+AZURE_STACK = """
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_virtual_network" "v" {
+  name              = "v"
+  resource_group_id = azure_resource_group.rg.id
+  location          = "eastus"
+  address_spaces    = ["10.0.0.0/16"]
+}
+resource "azure_subnet" "sn" {
+  name           = "sn"
+  vnet_id        = azure_virtual_network.v.id
+  address_prefix = "10.0.1.0/24"
+}
+resource "azure_network_interface" "n1" {
+  name      = "n1"
+  subnet_id = azure_subnet.sn.id
+  location  = "eastus"
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.n1.id]
+}
+"""
+
+
+class TestLevels:
+    def test_valid_config_passes_all_levels(self):
+        for level in (LEVEL_SYNTAX, LEVEL_TYPES, LEVEL_RULES):
+            assert validate(AZURE_STACK, level=level).ok
+
+    def test_syntax_error_caught_at_syntax(self):
+        report = validate("resource { broken", level=LEVEL_SYNTAX)
+        assert not report.ok
+
+    def test_region_mismatch_needs_rules_level(self):
+        bad = AZURE_STACK.replace(
+            'location = "eastus"\n  nic_ids', 'location = "westus2"\n  nic_ids'
+        )
+        assert validate(bad, level=LEVEL_SYNTAX).ok
+        assert validate(bad, level=LEVEL_TYPES).ok
+        report = validate(bad, level=LEVEL_RULES)
+        assert not report.ok
+        assert any(d.code == "AZR001" for d in report.errors)
+
+    def test_stage_errors_attribution(self):
+        bad = AZURE_STACK.replace(
+            'location = "eastus"\n  nic_ids', 'location = "westus2"\n  nic_ids'
+        )
+        report = validate(bad, level=LEVEL_RULES)
+        assert report.stage_errors["syntax"] == 0
+        assert report.stage_errors["types"] == 0
+        assert report.stage_errors["rules"] == 1
+
+
+class TestProviderRules:
+    def run_rules(self, source):
+        return validate(source, level=LEVEL_RULES)
+
+    def test_password_rule(self):
+        bad = AZURE_STACK.replace(
+            'nic_ids  = [azure_network_interface.n1.id]',
+            'nic_ids  = [azure_network_interface.n1.id]\n'
+            '  admin_password = "hunter2!"',
+        )
+        report = self.run_rules(bad)
+        assert any(d.code == "AZR002" for d in report.errors)
+
+    def test_subnet_outside_vnet(self):
+        bad = AZURE_STACK.replace('"10.0.1.0/24"', '"192.168.1.0/24"')
+        report = self.run_rules(bad)
+        assert any(d.code == "AZR003" for d in report.errors)
+
+    def test_sibling_subnet_overlap(self):
+        bad = AZURE_STACK + (
+            'resource "azure_subnet" "sn2" {\n'
+            '  name           = "sn2"\n'
+            "  vnet_id        = azure_virtual_network.v.id\n"
+            '  address_prefix = "10.0.1.0/25"\n'
+            "}\n"
+        )
+        report = self.run_rules(bad)
+        assert any(d.code == "AZR003" for d in report.errors)
+
+    def test_peering_overlap(self):
+        bad = AZURE_STACK + (
+            'resource "azure_virtual_network" "v2" {\n'
+            '  name              = "v2"\n'
+            "  resource_group_id = azure_resource_group.rg.id\n"
+            '  location          = "eastus"\n'
+            '  address_spaces    = ["10.0.0.0/20"]\n'
+            "}\n"
+            'resource "azure_vnet_peering" "p" {\n'
+            '  name      = "p"\n'
+            "  vnet_a_id = azure_virtual_network.v.id\n"
+            "  vnet_b_id = azure_virtual_network.v2.id\n"
+            "}\n"
+        )
+        report = self.run_rules(bad)
+        assert any(d.code == "AZR004" for d in report.errors)
+
+    def test_aws_subnet_rules(self):
+        report = self.run_rules(
+            web_tier(web_vms=1, app_vms=1).replace(
+                "cidrsubnet(aws_vpc.web.cidr_block, 8, 1)", '"172.16.0.0/24"'
+            )
+        )
+        assert any(d.code == "AWS001" for d in report.errors)
+
+    def test_duplicate_name_rule(self):
+        report = self.run_rules(
+            'resource "aws_s3_bucket" "a" { name = "same" }\n'
+            'resource "aws_s3_bucket" "b" { name = "same" }\n'
+        )
+        assert any(d.code == "GEN001" for d in report.errors)
+
+    def test_dangling_reference_rule(self):
+        report = self.run_rules(
+            'resource "aws_network_interface" "n" {\n'
+            '  name      = "n"\n'
+            "  subnet_id = aws_subnet.ghost.id\n"
+            "}\n"
+        )
+        assert not report.ok
+
+    def test_healthy_workloads_pass(self):
+        for source in (web_tier(), hub_spoke()):
+            report = validate(source, level=LEVEL_RULES)
+            assert report.ok, str(report)
+
+
+class TestMutatorsAreCaught:
+    """Every planted mutation is caught at (or before) its labeled level."""
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "unknown_attr",
+            "bad_enum",
+            "wrong_ref_type",
+            "drop_required",
+            "invalid_cidr",
+            "bad_region",
+            "region_mismatch",
+            "cidr_outside_parent",
+            "password_rule",
+        ],
+    )
+    def test_mutation_caught(self, kind):
+        source = web_tier() + hub_spoke(name="hub2")
+        mutator = ConfigMutator(seed=3)
+        config = Configuration.parse(source)
+        mutation = mutator.apply_kind(config, kind)
+        report = ValidationPipeline(level=mutation.catchable_at).validate(config)
+        assert not report.ok, f"{kind} escaped validation"
+
+    @pytest.mark.parametrize(
+        "kind", ["region_mismatch", "cidr_outside_parent", "password_rule"]
+    )
+    def test_rule_level_mutations_pass_type_level(self, kind):
+        """The ablation: cross-resource bugs slip past type checking."""
+        source = web_tier() + hub_spoke(name="hub2")
+        config = Configuration.parse(source)
+        ConfigMutator(seed=3).apply_kind(config, kind)
+        assert ValidationPipeline(level=LEVEL_TYPES).validate(config).ok
+
+
+class TestSpecificationMining:
+    def healthy_examples(self, n=4):
+        examples = []
+        for i in range(n):
+            config = Configuration.parse(hub_spoke(spokes=1, name=f"h{i}"))
+            examples.append(DeploymentExample.from_config(config))
+        return examples
+
+    def test_mines_location_equality(self):
+        miner = SpecificationMiner(min_support=3)
+        rules = miner.mine(self.healthy_examples())
+        descriptions = [r.info.description for r in rules]
+        assert any(
+            "azure_virtual_machine.location" in d and "nic_ids" in d
+            for d in descriptions
+        )
+
+    def test_mined_rules_catch_region_mismatch(self):
+        miner = SpecificationMiner(min_support=3)
+        rules = miner.mine(self.healthy_examples())
+        bad = AZURE_STACK.replace(
+            'location = "eastus"\n  nic_ids', 'location = "westus2"\n  nic_ids'
+        )
+        ctx = ValidationContext.build(Configuration.parse(bad))
+        sink = RuleEngine(rules).run(ctx)
+        assert sink.has_errors()
+
+    def test_mined_rules_accept_healthy_config(self):
+        miner = SpecificationMiner(min_support=3)
+        rules = miner.mine(self.healthy_examples())
+        ctx = ValidationContext.build(Configuration.parse(AZURE_STACK))
+        sink = RuleEngine(rules).run(ctx)
+        assert not sink.has_errors()
+
+    def test_insufficient_support_yields_nothing(self):
+        miner = SpecificationMiner(min_support=100)
+        assert miner.mine(self.healthy_examples()) == []

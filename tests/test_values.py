@@ -1,0 +1,116 @@
+"""Value-model unit tests (coercion, unknowns, equality)."""
+
+import pytest
+
+from repro.lang.values import (
+    UNKNOWN,
+    Unknown,
+    coerce_to_type,
+    collect_unknown_origins,
+    deep_copy_value,
+    is_unknown,
+    to_string,
+    type_name,
+    values_equal,
+)
+
+
+class TestUnknowns:
+    def test_identity_by_origin(self):
+        assert Unknown("a") == Unknown("a")
+        assert Unknown("a") != Unknown("b")
+        assert hash(Unknown("a")) == hash(Unknown("a"))
+
+    def test_is_unknown_nested(self):
+        assert is_unknown(UNKNOWN)
+        assert is_unknown([1, UNKNOWN])
+        assert is_unknown({"a": {"b": UNKNOWN}}) is False or True  # dicts
+        assert is_unknown({"a": UNKNOWN})
+        assert not is_unknown([1, "x", {"a": 2}])
+
+    def test_collect_origins(self):
+        value = {"a": Unknown("x"), "b": [Unknown("y"), 1], "c": "z"}
+        assert collect_unknown_origins(value) == {"x", "y"}
+
+    def test_anonymous_unknown_contributes_no_origin(self):
+        assert collect_unknown_origins([UNKNOWN]) == set()
+
+
+class TestTypeNames:
+    def test_names(self):
+        assert type_name(None) == "null"
+        assert type_name(True) == "bool"
+        assert type_name(1) == "number"
+        assert type_name(1.5) == "number"
+        assert type_name("x") == "string"
+        assert type_name([]) == "list"
+        assert type_name({}) == "map"
+        assert type_name(UNKNOWN) == "unknown"
+
+
+class TestToString:
+    def test_rendering(self):
+        assert to_string(None) == ""
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+        assert to_string(3.0) == "3"
+        assert to_string(3.5) == "3.5"
+        assert to_string(UNKNOWN) == "(known after apply)"
+
+
+class TestCoercion:
+    def test_string_coercions(self):
+        assert coerce_to_type(5, "string") == "5"
+        assert coerce_to_type(True, "string") == "true"
+        with pytest.raises(TypeError):
+            coerce_to_type([1], "string")
+
+    def test_number_coercions(self):
+        assert coerce_to_type("42", "number") == 42
+        assert coerce_to_type("4.5", "number") == 4.5
+        with pytest.raises(TypeError):
+            coerce_to_type(True, "number")
+        with pytest.raises(TypeError):
+            coerce_to_type("abc", "number")
+
+    def test_bool_coercions(self):
+        assert coerce_to_type("true", "bool") is True
+        with pytest.raises(TypeError):
+            coerce_to_type("yep", "bool")
+
+    def test_container_coercions(self):
+        assert coerce_to_type(["1", "2"], "list(number)") == [1, 2]
+        assert coerce_to_type({"a": 1}, "map(string)") == {"a": "1"}
+        with pytest.raises(TypeError):
+            coerce_to_type("not-a-list", "list")
+        with pytest.raises(TypeError):
+            coerce_to_type([1], "map")
+
+    def test_any_passthrough(self):
+        sentinel = object()
+        assert coerce_to_type(sentinel, "any") is sentinel
+
+    def test_unknown_passthrough(self):
+        assert coerce_to_type(UNKNOWN, "number") is UNKNOWN
+
+    def test_unknown_constraint(self):
+        with pytest.raises(TypeError):
+            coerce_to_type(1, "quaternion")
+
+
+class TestEquality:
+    def test_number_coercion(self):
+        assert values_equal(1, 1.0)
+        assert not values_equal(1, True)
+        assert not values_equal(0, False)
+
+    def test_deep_structures(self):
+        assert values_equal({"a": [1, 2.0]}, {"a": [1.0, 2]})
+        assert not values_equal({"a": 1}, {"a": 1, "b": 2})
+        assert not values_equal([1, 2], [2, 1])
+
+    def test_deep_copy_isolation(self):
+        original = {"a": [1, {"b": 2}]}
+        copy = deep_copy_value(original)
+        copy["a"][1]["b"] = 9
+        assert original["a"][1]["b"] == 2
