@@ -10,7 +10,7 @@ from __future__ import annotations
 import ipaddress
 from typing import Any, Dict, List
 
-from ..base import CloudAPIError, ControlPlane, ResourceRecord
+from ..base import CloudAPIError, ControlPlane, ResourceRecord, parse_network
 from ..resources import ResourceTypeSpec, a, spec
 
 AWS_REGIONS = ["us-east-1", "us-west-2", "eu-west-1", "ap-southeast-1"]
@@ -290,7 +290,7 @@ class AwsControlPlane(ControlPlane):
         if value is None:
             return
         try:
-            ipaddress.ip_network(str(value), strict=True)
+            parse_network(str(value), strict=True)
         except ValueError:
             raise CloudAPIError(
                 "InvalidParameterValue",
@@ -309,8 +309,8 @@ class AwsControlPlane(ControlPlane):
         if vpc is None:
             return  # reference check already produces NotFound
         try:
-            subnet_net = ipaddress.ip_network(cidr, strict=True)
-            vpc_net = ipaddress.ip_network(str(vpc.attrs.get("cidr_block")), strict=True)
+            subnet_net = parse_network(cidr, strict=True)
+            vpc_net = parse_network(str(vpc.attrs.get("cidr_block")), strict=True)
         except ValueError:
             raise CloudAPIError(
                 "InvalidParameterValue",
@@ -325,10 +325,11 @@ class AwsControlPlane(ControlPlane):
                 resource_type="aws_subnet",
                 operation="create",
             )
-        for record in self.records.values():
-            if record.type != "aws_subnet" or record.attrs.get("vpc_id") != vpc_id:
+        for rid in self.records.ids_of_type("aws_subnet"):
+            record = self.records[rid]
+            if record.attrs.get("vpc_id") != vpc_id:
                 continue
-            other = ipaddress.ip_network(str(record.attrs.get("cidr_block")))
+            other = parse_network(str(record.attrs.get("cidr_block")))
             if subnet_net.overlaps(other):
                 raise CloudAPIError(
                     "InvalidSubnet.Conflict",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import ipaddress
 from typing import Any, Dict, List
 
-from ..base import CloudAPIError, ControlPlane, ResourceRecord
+from ..base import CloudAPIError, ControlPlane, ResourceRecord, parse_network
 from ..resources import ResourceTypeSpec, a, spec
 
 AZURE_LOCATIONS = ["eastus", "westus2", "westeurope", "southeastasia"]
@@ -334,7 +334,7 @@ class AzureControlPlane(ControlPlane):
         if vnet is None:
             return
         try:
-            subnet_net = ipaddress.ip_network(prefix, strict=True)
+            subnet_net = parse_network(prefix, strict=True)
         except ValueError:
             raise CloudAPIError(
                 "InvalidAddressPrefixFormat",
@@ -342,7 +342,7 @@ class AzureControlPlane(ControlPlane):
                 resource_type="azure_subnet",
             )
         spaces = [
-            ipaddress.ip_network(str(s)) for s in vnet.attrs.get("address_spaces") or []
+            parse_network(str(s)) for s in vnet.attrs.get("address_spaces") or []
         ]
         if not any(subnet_net.subnet_of(space) for space in spaces):
             raise CloudAPIError(
@@ -351,10 +351,11 @@ class AzureControlPlane(ControlPlane):
                 f"network '{vnet.name}'.",
                 resource_type="azure_subnet",
             )
-        for record in self.records.values():
-            if record.type != "azure_subnet" or record.attrs.get("vnet_id") != vnet_id:
+        for rid in self.records.ids_of_type("azure_subnet"):
+            record = self.records[rid]
+            if record.attrs.get("vnet_id") != vnet_id:
                 continue
-            other = ipaddress.ip_network(str(record.attrs.get("address_prefix")))
+            other = parse_network(str(record.attrs.get("address_prefix")))
             if subnet_net.overlaps(other):
                 raise CloudAPIError(
                     "NetcfgSubnetRangesOverlap",

@@ -15,9 +15,10 @@ provider-style error message (the raw material for 3.5's debugger).
 from __future__ import annotations
 
 import dataclasses
+import ipaddress
 import itertools
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .activitylog import ActivityLog
 from .clock import SimClock
@@ -28,6 +29,28 @@ from .resources import AttributeSpec, ResourceTypeSpec
 
 READ_OPS = ("read", "list", "log")
 WRITE_OPS = ("create", "update", "delete")
+
+#: memoized CIDR parses -- provider overlap checks re-see the same
+#: strings thousands of times at 10k-resource scale
+_NETWORK_CACHE: Dict[Tuple[str, bool], Any] = {}
+_NETWORK_CACHE_MAX = 8192
+
+
+def parse_network(text: str, strict: bool = True) -> Any:
+    """``ipaddress.ip_network`` with a process-wide parse cache.
+
+    Networks are immutable, so sharing parses is safe; invalid inputs
+    raise ``ValueError`` exactly like the underlying call (and are not
+    cached).
+    """
+    key = (text, strict)
+    net = _NETWORK_CACHE.get(key)
+    if net is None:
+        net = ipaddress.ip_network(text, strict=strict)
+        if len(_NETWORK_CACHE) >= _NETWORK_CACHE_MAX:
+            _NETWORK_CACHE.clear()
+        _NETWORK_CACHE[key] = net
+    return net
 
 
 class CloudAPIError(Exception):
@@ -75,6 +98,146 @@ class ResourceRecord:
         out = dict(self.attrs)
         out["id"] = self.id
         return out
+
+
+_EMPTY_IDS: FrozenSet[str] = frozenset()
+
+
+class RecordStore(Dict[str, ResourceRecord]):
+    """The provider's resource store, with secondary indexes.
+
+    Behaves as a plain ``id -> ResourceRecord`` dict for every existing
+    caller (persistence round-trips write into it directly), while
+    keeping three indexes in lockstep with mutations:
+
+    * ``ids_by_type`` -- resource ids per resource type, so provider
+      constraint checks (CIDR overlap, peering) scan only same-type
+      records instead of the whole estate;
+    * per ``(type, region)`` counts for O(1) quota checks;
+    * per ``(type, region, name)`` counts for O(1) name-uniqueness
+      checks.
+
+    Together these turn per-create validation from O(records) into
+    O(1) -- the difference between quadratic and linear applies at
+    10k-resource scale (see ``docs/performance.md``).
+
+    The indexes key off ``record.type``, ``record.region`` and
+    ``record.attrs["name"]``. Code that mutates a stored record's name
+    in place must call :meth:`note_renamed` with the previous name
+    (the two in-place mutation sites live in this module); type and
+    region are never mutated.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ids_by_type: Dict[str, Set[str]] = {}
+        self._region_counts: Dict[Tuple[str, str], int] = {}
+        self._name_counts: Dict[Tuple[str, str, str], int] = {}
+
+    # -- index maintenance -------------------------------------------------
+
+    def _index_add(self, record: ResourceRecord) -> None:
+        self.ids_by_type.setdefault(record.type, set()).add(record.id)
+        tr = (record.type, record.region)
+        self._region_counts[tr] = self._region_counts.get(tr, 0) + 1
+        name = record.attrs.get("name")
+        if isinstance(name, str):
+            key = (record.type, record.region, name)
+            self._name_counts[key] = self._name_counts.get(key, 0) + 1
+
+    def _index_remove(self, record: ResourceRecord) -> None:
+        ids = self.ids_by_type.get(record.type)
+        if ids is not None:
+            ids.discard(record.id)
+            if not ids:
+                del self.ids_by_type[record.type]
+        tr = (record.type, record.region)
+        left = self._region_counts.get(tr, 0) - 1
+        if left > 0:
+            self._region_counts[tr] = left
+        else:
+            self._region_counts.pop(tr, None)
+        name = record.attrs.get("name")
+        if isinstance(name, str):
+            self._discard_name(record.type, record.region, name)
+
+    def _discard_name(self, rtype: str, region: str, name: str) -> None:
+        key = (rtype, region, name)
+        left = self._name_counts.get(key, 0) - 1
+        if left > 0:
+            self._name_counts[key] = left
+        else:
+            self._name_counts.pop(key, None)
+
+    # -- dict overrides (every mutation path maintains the indexes) --------
+
+    def __setitem__(self, key: str, record: ResourceRecord) -> None:
+        old = super().get(key)
+        if old is not None:
+            self._index_remove(old)
+        super().__setitem__(key, record)
+        self._index_add(record)
+
+    def __delitem__(self, key: str) -> None:
+        record = super().__getitem__(key)
+        super().__delitem__(key)
+        self._index_remove(record)
+
+    def pop(self, key: str, *default: Any) -> Any:
+        if key in self:
+            record = super().__getitem__(key)
+            super().__delitem__(key)
+            self._index_remove(record)
+            return record
+        if default:
+            return default[0]
+        raise KeyError(key)
+
+    def popitem(self) -> Tuple[str, ResourceRecord]:
+        key, record = super().popitem()
+        self._index_remove(record)
+        return key, record
+
+    def clear(self) -> None:
+        super().clear()
+        self.ids_by_type.clear()
+        self._region_counts.clear()
+        self._name_counts.clear()
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
+        for key, record in dict(*args, **kwargs).items():
+            self[key] = record
+
+    def setdefault(
+        self, key: str, default: Optional[ResourceRecord] = None
+    ) -> Any:
+        if key not in self:
+            self[key] = default  # type: ignore[assignment]
+        return super().__getitem__(key)
+
+    # -- indexed queries ---------------------------------------------------
+
+    def has_name(self, rtype: str, region: str, name: str) -> bool:
+        """Any live record of ``rtype`` named ``name`` in ``region``?"""
+        return (rtype, region, name) in self._name_counts
+
+    def count_in_region(self, rtype: str, region: str) -> int:
+        return self._region_counts.get((rtype, region), 0)
+
+    def ids_of_type(self, rtype: str) -> FrozenSet[str]:
+        """Read-only view of the ids of every record of ``rtype``."""
+        return self.ids_by_type.get(rtype, _EMPTY_IDS)  # type: ignore[return-value]
+
+    def note_renamed(self, record: ResourceRecord, old_name: Any) -> None:
+        """Re-index after an in-place ``record.attrs`` name change."""
+        new_name = record.attrs.get("name")
+        if old_name == new_name:
+            return
+        if isinstance(old_name, str):
+            self._discard_name(record.type, record.region, old_name)
+        if isinstance(new_name, str):
+            key = (record.type, record.region, new_name)
+            self._name_counts[key] = self._name_counts.get(key, 0) + 1
 
 
 @dataclasses.dataclass
@@ -133,7 +296,7 @@ class ControlPlane:
         self.limiter = RateLimiterBank(rate_limits)
         self.faults = FaultInjector(random.Random(seed + 1))
         self.log = ActivityLog(self.provider)
-        self.records: Dict[str, ResourceRecord] = {}
+        self.records: RecordStore = RecordStore()
         self.regions = regions or ["region-1"]
         self.quotas: Dict[Tuple[str, str], int] = {}  # (rtype, region) -> max
         self._next_id = 1
@@ -335,7 +498,9 @@ class ControlPlane:
             self._check_attr_types(spec, attrs, partial=True)
             self._check_references(spec, attrs, record.region)
             self.validate_update(spec, record, attrs)
+            old_name = record.attrs.get("name")
             record.attrs.update(attrs)
+            self.records.note_renamed(record, old_name)
             record.updated_at = t_complete
             self.log.append(
                 t_complete,
@@ -516,7 +681,9 @@ class ControlPlane:
             raise CloudAPIError(
                 "ResourceNotFound", f"{resource_id} does not exist", http_status=404
             )
+        old_name = record.attrs.get("name")
         record.attrs.update(attrs)
+        self.records.note_renamed(record, old_name)
         record.updated_at = self.clock.now
         self.log.append(
             self.clock.now,
@@ -687,11 +854,7 @@ class ControlPlane:
         limit = self.quotas.get((spec.name, region))
         if limit is None:
             return
-        current = sum(
-            1
-            for r in self.records.values()
-            if r.type == spec.name and r.region == region
-        )
+        current = self.records.count_in_region(spec.name, region)
         if current >= limit:
             raise CloudAPIError(
                 "QuotaExceeded",
@@ -709,19 +872,14 @@ class ControlPlane:
         name = attrs.get("name")
         if not isinstance(name, str):
             return
-        for record in self.records.values():
-            if (
-                record.type == spec.name
-                and record.region == region
-                and record.attrs.get("name") == name
-            ):
-                raise CloudAPIError(
-                    "Conflict",
-                    f"A resource named '{name}' already exists in '{region}'.",
-                    http_status=409,
-                    resource_type=spec.name,
-                    operation="create",
-                )
+        if self.records.has_name(spec.name, region, name):
+            raise CloudAPIError(
+                "Conflict",
+                f"A resource named '{name}' already exists in '{region}'.",
+                http_status=409,
+                resource_type=spec.name,
+                operation="create",
+            )
 
     # -- helpers ----------------------------------------------------------------
 
@@ -801,11 +959,13 @@ class ControlPlane:
     # -- introspection -----------------------------------------------------------
 
     def count(self, rtype: str = "", region: str = "") -> int:
-        return sum(
-            1
-            for r in self.records.values()
-            if (not rtype or r.type == rtype) and (not region or r.region == region)
-        )
+        if rtype and region:
+            return self.records.count_in_region(rtype, region)
+        if rtype:
+            return len(self.records.ids_of_type(rtype))
+        if region:
+            return sum(1 for r in self.records.values() if r.region == region)
+        return len(self.records)
 
     def find_by_name(self, rtype: str, name: str) -> Optional[ResourceRecord]:
         for record in self.records.values():

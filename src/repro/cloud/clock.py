@@ -39,6 +39,19 @@ class SimClock:
         return f"SimClock(t={self._now:.3f})"
 
 
+def _payload_kind(payload: Any) -> str:
+    """Human-readable event kind for error messages.
+
+    Executors enqueue ``(kind, change_id)`` tuples; other callers use
+    strings or arbitrary objects -- show whatever identifies the event.
+    """
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return f"event {payload[0]!r} ({', '.join(str(p) for p in payload[1:])})"
+    if isinstance(payload, str):
+        return f"event {payload!r}"
+    return f"event of type {type(payload).__name__}"
+
+
 class EventQueue:
     """A time-ordered queue of ``(time, payload)`` events.
 
@@ -54,7 +67,10 @@ class EventQueue:
     def schedule(self, at: float, payload: Any) -> None:
         """Enqueue ``payload`` to fire at absolute sim time ``at``."""
         if at < self.clock.now - 1e-9:
-            raise ValueError(f"cannot schedule in the past ({at} < {self.clock.now})")
+            raise ValueError(
+                f"cannot schedule {_payload_kind(payload)} in the past "
+                f"({at} < {self.clock.now})"
+            )
         heapq.heappush(self._heap, (at, next(self._counter), payload))
 
     def schedule_after(self, delay: float, payload: Any) -> None:

@@ -10,12 +10,23 @@ simulated clouds. Three scheduling strategies reproduce the spectrum in
 * :class:`CriticalPathExecutor` -- the cloudless scheduler: ready
   operations are dispatched longest-remaining-path first, optionally
   rate-limit aware, with retry handling for transient faults.
+
+Scale notes (see ``docs/performance.md``): the dispatch loop pulls from
+a per-strategy ready *queue* (FIFO deque or priority heap) instead of
+scanning a ready list, so picking the next operation is O(log n)
+instead of O(n) -- at 10k resources the difference between a quadratic
+and a near-linear apply. The frozen pre-optimization loop lives in
+``repro.deploy.reference`` for equivalence tests and speedup
+measurement; scheduling decisions here must stay byte-identical to it.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+import heapq
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..cloud.base import CloudAPIError, PendingOperation
 from ..cloud.clock import EventQueue
@@ -24,6 +35,7 @@ from ..graph.critical_path import analyze
 from ..graph.dag import Dag
 from ..graph.plan import Action, Plan, PlannedChange
 from ..lang.values import is_unknown
+from ..perf import PERF
 from ..state.document import ResourceState, StateDocument
 
 
@@ -101,6 +113,202 @@ _STEPS = {
 }
 
 
+class _RevStr:
+    """Reverse-ordered string wrapper for min-heaps that need max-cid ties."""
+
+    __slots__ = ("s",)
+
+    def __init__(self, s: str):
+        self.s = s
+
+    def __lt__(self, other: "_RevStr") -> bool:
+        return self.s > other.s
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevStr) and self.s == other.s
+
+
+class _ReadyQueue:
+    """The executor's pool of dispatchable change ids.
+
+    Each scheduling strategy supplies a queue whose ``pop`` order is
+    *provably identical* to what its ``pick_next`` would choose from a
+    ready list maintained the old way (initial roots pushed in sorted
+    order, successors pushed in sorted order as they unblock) -- the
+    equivalence tests in ``tests/test_executor_equivalence.py`` hold the
+    two implementations together.
+    """
+
+    def push(self, cid: str) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> str:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class _FifoReady(_ReadyQueue):
+    """Dispatch in the order changes became ready (``pick_next = ready[0]``)."""
+
+    def __init__(self) -> None:
+        self._items: Deque[str] = deque()
+
+    def push(self, cid: str) -> None:
+        self._items.append(cid)
+
+    def pop(self) -> str:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _MinIdReady(_ReadyQueue):
+    """Dispatch the smallest change id (``pick_next = min(ready)``)."""
+
+    def __init__(self) -> None:
+        self._heap: List[str] = []
+
+    def push(self, cid: str) -> None:
+        heapq.heappush(self._heap, cid)
+
+    def pop(self) -> str:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _PriorityReady(_ReadyQueue):
+    """Highest critical-path priority first; ties broken by max cid.
+
+    Mirrors ``max(ready, key=lambda cid: (priority[cid], cid))``: the
+    min-heap entry ``(-priority, _RevStr(cid))`` sorts exactly that
+    comparison's reverse.
+    """
+
+    def __init__(self, priority: Dict[str, float]):
+        self._priority = priority
+        self._heap: List[Tuple[float, _RevStr, str]] = []
+
+    def push(self, cid: str) -> None:
+        pri = self._priority.get(cid, 0.0)
+        heapq.heappush(self._heap, (-pri, _RevStr(cid), cid))
+
+    def pop(self) -> str:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _GroupedRateAwareReady(_ReadyQueue):
+    """Rate-aware critical-path dispatch via per-provider heaps.
+
+    The old selection over a flat ready list was::
+
+        best = max(ready, key=lambda cid: (pri(cid), cid))
+        candidates = [cid for cid in ready if pri(cid) >= 0.8 * pri(best)]
+        return min(candidates, key=lambda cid: (est(cid), -pri(cid), cid))
+
+    where ``est(cid)`` is the provider write bucket's next start time --
+    a function of the change's *provider alone*. Group the ready set by
+    provider limiter, keep each group as a min-heap on ``(-pri, cid)``,
+    and the winner is the min over in-band group tops of
+    ``(est_group, -pri, cid)``:
+
+    * a group's top has the group's max priority, so any group whose top
+      is below the band has no in-band members;
+    * within a group ``est`` is constant, so among its in-band members
+      the argmin of ``(est, -pri, cid)`` is the heap top itself.
+
+    That turns an O(ready) scan with a rate-limiter probe per candidate
+    into O(#providers) probes plus one heap pop.
+    """
+
+    def __init__(
+        self, priority: Dict[str, float], plan: Plan, gateway: CloudGateway
+    ):
+        self._priority = priority
+        self._plan = plan
+        self._gateway = gateway
+        #: limiter-identity key -> (limiter or None, heap of (-pri, cid))
+        self._groups: Dict[Any, Tuple[Any, List[Tuple[float, str]]]] = {}
+        self._limiter_by_rtype: Dict[str, Any] = {}
+        self._size = 0
+
+    def _limiter_for(self, rtype: str) -> Any:
+        if rtype not in self._limiter_by_rtype:
+            try:
+                plane = self._gateway.plane_for(rtype)
+            except Exception:
+                self._limiter_by_rtype[rtype] = None
+            else:
+                self._limiter_by_rtype[rtype] = plane.limiter
+        return self._limiter_by_rtype[rtype]
+
+    def push(self, cid: str) -> None:
+        limiter = self._limiter_for(self._plan.changes[cid].rtype)
+        key = id(limiter) if limiter is not None else None
+        group = self._groups.get(key)
+        if group is None:
+            group = (limiter, [])
+            self._groups[key] = group
+        pri = self._priority.get(cid, 0.0)
+        heapq.heappush(group[1], (-pri, cid))
+        self._size += 1
+
+    def pop(self) -> str:
+        now = self._gateway.clock.now
+        band = 0.8 * max(-heap[0][0] for _, heap in self._groups.values())
+        best_key: Any = None
+        best: Optional[Tuple[float, float, str]] = None
+        for key, (limiter, heap) in self._groups.items():
+            neg_pri, cid = heap[0]
+            if -neg_pri < band:
+                continue
+            est = limiter.available_at("write", now) if limiter is not None else now
+            cand = (est, neg_pri, cid)
+            if best is None or cand < best:
+                best = cand
+                best_key = key
+        limiter, heap = self._groups[best_key]
+        cid = heapq.heappop(heap)[1]
+        if not heap:
+            del self._groups[best_key]
+        self._size -= 1
+        return cid
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class _PickNextReady(_ReadyQueue):
+    """Compatibility queue for subclasses that only override ``pick_next``.
+
+    Preserves the pre-optimization behaviour (a plain list the picker
+    scans) so custom schedulers keep working unchanged -- at the old
+    O(n) cost.
+    """
+
+    def __init__(self, pick: Callable[[List[str]], str]):
+        self._pick = pick
+        self._items: List[str] = []
+
+    def push(self, cid: str) -> None:
+        self._items.append(cid)
+
+    def pop(self) -> str:
+        cid = self._pick(self._items)
+        self._items.remove(cid)
+        return cid
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
 class PlanExecutor:
     """Base discrete-event executor; subclasses pick scheduling order."""
 
@@ -116,14 +324,45 @@ class PlanExecutor:
         self.concurrency = max(1, concurrency)
         self.retry = retry or RetryPolicy()
 
-    # -- scheduling hook ----------------------------------------------------
+    # -- scheduling hooks ---------------------------------------------------
 
     def prepare(self, plan: Plan, dag: Dag) -> None:
         """Called once before execution; compute priorities here."""
 
     def pick_next(self, ready: List[str]) -> str:
-        """Choose the next ready change id. Default: FIFO."""
+        """Choose the next ready change id. Default: FIFO.
+
+        Contract: must return an element of ``ready`` (the caller
+        removes it). This is the *reference* statement of each
+        strategy's scheduling order; the hot path dispatches through
+        :meth:`_make_ready_queue`, whose pop order must match it
+        exactly (heap variants preserve determinism by tie-breaking on
+        the change id). Subclasses that override only ``pick_next``
+        still work -- the dispatch loop detects that and falls back to
+        a list-based queue driven by this method.
+        """
         return ready[0]
+
+    def _make_ready_queue(self) -> _ReadyQueue:
+        """The ready-pool implementation matching :meth:`pick_next`.
+
+        Called after :meth:`prepare`, so strategy state (priorities) is
+        available. Override together with ``pick_next``.
+        """
+        return _FifoReady()
+
+    def _ready_queue(self) -> _ReadyQueue:
+        cls = type(self)
+        pick_depth = next(
+            i for i, k in enumerate(cls.__mro__) if "pick_next" in vars(k)
+        )
+        queue_depth = next(
+            i for i, k in enumerate(cls.__mro__) if "_make_ready_queue" in vars(k)
+        )
+        if pick_depth < queue_depth:
+            # a subclass customized the picker without supplying a queue
+            return _PickNextReady(self.pick_next)
+        return self._make_ready_queue()
 
     # -- main loop -------------------------------------------------------------
 
@@ -137,30 +376,47 @@ class PlanExecutor:
 
         dag = plan.execution_dag()
         self.prepare(plan, dag)
+        PERF.count("executor.applies")
 
-        indeg: Dict[str, int] = {n: dag.in_degree(n) for n in dag.nodes}
-        ready: List[str] = sorted([n for n, d in indeg.items() if d == 0])
+        indeg: Dict[str, int] = dag.in_degrees()
+        ready = self._ready_queue()
+        for cid in sorted(n for n, d in indeg.items() if d == 0):
+            ready.push(cid)
         running: Dict[str, _Running] = {}
         done: Set[str] = set()
         dead: Set[str] = set()  # failed or skipped
         events = EventQueue(clock)
+
+        def release_successors(cid: str) -> None:
+            for succ in sorted(dag.successors(cid)):
+                indeg[succ] -= 1
+                if indeg[succ] == 0 and succ not in dead:
+                    ready.push(succ)
 
         def finish_change(cid: str, ok: bool, error: str = "") -> None:
             running.pop(cid, None)
             if ok:
                 done.add(cid)
                 result.succeeded.append(cid)
-                for succ in sorted(dag.successors(cid)):
-                    indeg[succ] -= 1
-                    if indeg[succ] == 0 and succ not in dead:
-                        ready.append(succ)
-            else:
-                dead.add(cid)
-                result.failed[cid] = error
-                for desc in dag.descendants(cid):
-                    if desc not in dead and desc not in done:
-                        dead.add(desc)
-                        result.skipped.append(desc)
+                release_successors(cid)
+                return
+            dead.add(cid)
+            result.failed[cid] = error
+            # Skip everything downstream. The walk prunes at nodes that
+            # are already dead: whenever a node is marked dead, its
+            # entire live descendant closure is marked in the same
+            # pass, so an already-dead node has nothing new below it.
+            # (No descendant can be done or running -- it would have
+            # needed this change to finish first.)
+            stack = [cid]
+            while stack:
+                cur = stack.pop()
+                for succ in sorted(dag.successors(cur)):
+                    if succ in dead:
+                        continue
+                    dead.add(succ)
+                    result.skipped.append(succ)
+                    stack.append(succ)
 
         def start(cid: str) -> None:
             change = plan.changes[cid]
@@ -172,10 +428,7 @@ class PlanExecutor:
                 )
                 done.add(cid)
                 result.succeeded.append(cid)
-                for succ in sorted(dag.successors(cid)):
-                    indeg[succ] -= 1
-                    if indeg[succ] == 0 and succ not in dead:
-                        ready.append(succ)
+                release_successors(cid)
                 return
             running[cid] = rc
             submit_step(cid, rc)
@@ -240,16 +493,21 @@ class PlanExecutor:
                 finish_change(cid, True)
 
         # drive the event loop
+        perf_enabled = PERF.enabled
         while True:
-            while ready and len(running) < self.concurrency:
-                ready_sorted = ready  # subclasses reorder through pick_next
-                cid = self.pick_next(ready_sorted)
-                ready.remove(cid)
+            while len(ready) and len(running) < self.concurrency:
+                if perf_enabled:
+                    t0 = time.perf_counter()
+                    cid = ready.pop()
+                    PERF.observe("executor.pick_next", time.perf_counter() - t0)
+                    PERF.count("executor.dispatches")
+                else:
+                    cid = ready.pop()
                 if cid in dead:
                     continue
                 start(cid)
             if not running:
-                if not ready:
+                if not len(ready):
                     break
                 continue
             popped = events.pop()
@@ -381,6 +639,9 @@ class SequentialExecutor(PlanExecutor):
     def pick_next(self, ready: List[str]) -> str:
         return min(ready)
 
+    def _make_ready_queue(self) -> _ReadyQueue:
+        return _MinIdReady()
+
 
 class BestEffortExecutor(PlanExecutor):
     """Terraform-style bounded-parallel walk, no prioritization.
@@ -403,6 +664,9 @@ class BestEffortExecutor(PlanExecutor):
     def pick_next(self, ready: List[str]) -> str:
         return ready[0]
 
+    def _make_ready_queue(self) -> _ReadyQueue:
+        return _FifoReady()
+
 
 class CriticalPathExecutor(PlanExecutor):
     """The cloudless scheduler: longest-remaining-path-first dispatch.
@@ -424,6 +688,7 @@ class CriticalPathExecutor(PlanExecutor):
         super().__init__(gateway, concurrency=concurrency, retry=retry)
         self.rate_aware = rate_aware
         self._priority: Dict[str, float] = {}
+        self._plan: Optional[Plan] = None
 
     def prepare(self, plan: Plan, dag: Dag) -> None:
         analysis = analyze(plan, self.gateway.mean_latency, execution_dag=dag)
@@ -452,3 +717,9 @@ class CriticalPathExecutor(PlanExecutor):
             candidates,
             key=lambda cid: (start_estimate(cid), -self._priority.get(cid, 0.0), cid),
         )
+
+    def _make_ready_queue(self) -> _ReadyQueue:
+        if self.rate_aware:
+            assert self._plan is not None  # prepare() ran
+            return _GroupedRateAwareReady(self._priority, self._plan, self.gateway)
+        return _PriorityReady(self._priority)

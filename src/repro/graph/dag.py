@@ -6,17 +6,31 @@ are hashable identifiers; payloads live in the caller.
 
 Edge direction convention: an edge ``u -> v`` means *u must complete
 before v* (v depends on u).
+
+Performance notes (the deploy hot path runs through here at
+10k-resource scale, see ``docs/performance.md``):
+
+* ``nodes``, ``successors`` and ``predecessors`` are O(1) zero-copy
+  views over internal storage -- callers must not mutate them.
+* ``topological_order`` is heap-based Kahn's algorithm,
+  O((V + E) log V), with deterministic key-based tie-breaking.
+* ``subgraph`` / ``copy`` / ``reversed`` are single-pass over the
+  adjacency maps instead of materializing an edge list.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import (
+    AbstractSet,
     Callable,
     Dict,
     Generic,
     Hashable,
     Iterable,
+    Iterator,
+    KeysView,
     List,
     Optional,
     Set,
@@ -24,7 +38,12 @@ from typing import (
     TypeVar,
 )
 
+from ..perf import PERF
+
 N = TypeVar("N", bound=Hashable)
+
+#: shared immutable empty adjacency view for nodes not in the graph
+_EMPTY: frozenset = frozenset()
 
 
 class CycleError(ValueError):
@@ -67,8 +86,9 @@ class Dag(Generic[N]):
     # -- basic queries ------------------------------------------------------
 
     @property
-    def nodes(self) -> List[N]:
-        return list(self._succ.keys())
+    def nodes(self) -> KeysView[N]:
+        """O(1) view of the node set (iterate / ``in`` / ``len``; no copy)."""
+        return self._succ.keys()
 
     def __contains__(self, node: N) -> bool:
         return node in self._succ
@@ -79,14 +99,33 @@ class Dag(Generic[N]):
     def edges(self) -> List[Tuple[N, N]]:
         return [(u, v) for u, succs in self._succ.items() for v in succs]
 
-    def successors(self, node: N) -> Set[N]:
-        return set(self._succ.get(node, set()))
+    def iter_edges(self) -> Iterator[Tuple[N, N]]:
+        """Lazy edge iteration (no list materialized)."""
+        for u, succs in self._succ.items():
+            for v in succs:
+                yield (u, v)
 
-    def predecessors(self, node: N) -> Set[N]:
-        return set(self._pred.get(node, set()))
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def successors(self, node: N) -> AbstractSet[N]:
+        """Zero-copy view of ``node``'s direct successors.
+
+        The returned set is live internal storage -- treat it as
+        read-only and do not hold it across graph mutations.
+        """
+        return self._succ.get(node, _EMPTY)
+
+    def predecessors(self, node: N) -> AbstractSet[N]:
+        """Zero-copy view of ``node``'s direct predecessors (read-only)."""
+        return self._pred.get(node, _EMPTY)
 
     def in_degree(self, node: N) -> int:
-        return len(self._pred.get(node, set()))
+        return len(self._pred.get(node, _EMPTY))
+
+    def in_degrees(self) -> Dict[N, int]:
+        """``{node: in-degree}`` for every node, in one pass."""
+        return {n: len(preds) for n, preds in self._pred.items()}
 
     def roots(self) -> List[N]:
         return [n for n in self._succ if not self._pred[n]]
@@ -97,24 +136,37 @@ class Dag(Generic[N]):
     # -- traversal ------------------------------------------------------------
 
     def topological_order(self, key: Optional[Callable[[N], object]] = None) -> List[N]:
-        """Kahn's algorithm; ``key`` breaks ties deterministically."""
-        indeg = {n: len(self._pred[n]) for n in self._succ}
-        ready = [n for n, d in indeg.items() if d == 0]
-        sort_key = key or (lambda n: str(n))
-        ready.sort(key=sort_key)
+        """Heap-based Kahn's algorithm, O((V + E) log V).
+
+        ``key`` breaks ties deterministically (default: ``str``). Nodes
+        whose keys compare equal are emitted in the order they became
+        ready (insertion order among the initial roots), so the result
+        is stable for a given construction sequence -- identical to the
+        ordering the previous sort-based implementation produced.
+        """
+        PERF.count("dag.topo_sorts")
+        sort_key = key or str
+        heap: List[Tuple[object, int, N]] = []
+        seq = 0
+        indeg: Dict[N, int] = {}
+        for node, preds in self._pred.items():
+            d = len(preds)
+            indeg[node] = d
+            if d == 0:
+                heap.append((sort_key(node), seq, node))
+                seq += 1
+        heapq.heapify(heap)
         out: List[N] = []
-        while ready:
-            node = ready.pop(0)
+        succ = self._succ
+        while heap:
+            _, _, node = heapq.heappop(heap)
             out.append(node)
-            inserted = False
-            for succ in sorted(self._succ[node], key=sort_key):
-                indeg[succ] -= 1
-                if indeg[succ] == 0:
-                    ready.append(succ)
-                    inserted = True
-            if inserted:
-                ready.sort(key=sort_key)
-        if len(out) != len(self._succ):
+            for s in succ[node]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(heap, (sort_key(s), seq, s))
+                    seq += 1
+        if len(out) != len(succ):
             raise CycleError(self.find_cycle() or [])
         return out
 
@@ -169,50 +221,54 @@ class Dag(Generic[N]):
 
     def _reach(self, node: N, adj: Dict[N, Set[N]]) -> Set[N]:
         seen: Set[N] = set()
-        frontier = deque(adj.get(node, set()))
+        frontier = deque(adj.get(node, _EMPTY))
         while frontier:
             cur = frontier.popleft()
             if cur in seen:
                 continue
             seen.add(cur)
-            frontier.extend(adj.get(cur, set()))
+            frontier.extend(adj.get(cur, _EMPTY))
         return seen
 
     def subgraph(self, keep: Set[N]) -> "Dag[N]":
-        """Induced subgraph over ``keep``."""
+        """Induced subgraph over ``keep``; single pass, O(V + E)."""
         out: Dag[N] = Dag()
-        for node in self._succ:
+        for node, succs in self._succ.items():
             if node in keep:
-                out.add_node(node)
-        for u, v in self.edges():
-            if u in keep and v in keep:
-                out.add_edge(u, v)
+                out._succ[node] = {v for v in succs if v in keep}
+                out._pred[node] = {p for p in self._pred[node] if p in keep}
         return out
 
     def reversed(self) -> "Dag[N]":
+        """Edge-reversed copy; single pass, O(V + E)."""
         out: Dag[N] = Dag()
-        for node in self._succ:
-            out.add_node(node)
-        for u, v in self.edges():
-            out.add_edge(v, u)
+        out._succ = {n: set(preds) for n, preds in self._pred.items()}
+        out._pred = {n: set(succs) for n, succs in self._succ.items()}
         return out
 
     def copy(self) -> "Dag[N]":
+        """Independent structural copy; single pass, O(V + E)."""
         out: Dag[N] = Dag()
-        for node in self._succ:
-            out.add_node(node)
-        for u, v in self.edges():
-            out.add_edge(u, v)
+        out._succ = {n: set(succs) for n, succs in self._succ.items()}
+        out._pred = {n: set(preds) for n, preds in self._pred.items()}
         return out
 
     # -- weighted analyses ------------------------------------------------------
 
-    def longest_path_to_sink(self, weight: Callable[[N], float]) -> Dict[N, float]:
+    def longest_path_to_sink(
+        self,
+        weight: Callable[[N], float],
+        order: Optional[List[N]] = None,
+    ) -> Dict[N, float]:
         """For each node: weight of the heaviest path from it to any sink,
         *including its own weight*. This is the critical-path priority
         used by the cloudless scheduler (3.3).
+
+        ``order`` lets callers reuse a precomputed topological order
+        instead of paying for another sort.
         """
-        order = self.topological_order()
+        if order is None:
+            order = self.topological_order()
         dist: Dict[N, float] = {}
         for node in reversed(order):
             succ_best = max(
@@ -221,11 +277,20 @@ class Dag(Generic[N]):
             dist[node] = weight(node) + succ_best
         return dist
 
-    def critical_path(self, weight: Callable[[N], float]) -> Tuple[float, List[N]]:
-        """The heaviest root-to-sink path (length, nodes)."""
+    def critical_path(
+        self,
+        weight: Callable[[N], float],
+        dist: Optional[Dict[N, float]] = None,
+    ) -> Tuple[float, List[N]]:
+        """The heaviest root-to-sink path (length, nodes).
+
+        ``dist`` lets callers reuse a precomputed
+        :meth:`longest_path_to_sink` result.
+        """
         if not self._succ:
             return 0.0, []
-        dist = self.longest_path_to_sink(weight)
+        if dist is None:
+            dist = self.longest_path_to_sink(weight)
         path: List[N] = []
         node = max(self.roots(), key=lambda n: (dist[n], str(n)))
         while True:
@@ -236,10 +301,12 @@ class Dag(Generic[N]):
             node = max(succs, key=lambda n: (dist[n], str(n)))
         return dist[path[0]], path
 
-    def width_profile(self) -> List[int]:
+    def width_profile(self, order: Optional[List[N]] = None) -> List[int]:
         """Number of nodes per dependency level (parallelism profile)."""
+        if order is None:
+            order = self.topological_order()
         level: Dict[N, int] = {}
-        for node in self.topological_order():
+        for node in order:
             preds = self._pred[node]
             level[node] = 1 + max((level[p] for p in preds), default=-1)
         if not level:
@@ -250,8 +317,8 @@ class Dag(Generic[N]):
             profile[lv] += 1
         return profile
 
-    def max_width(self) -> int:
-        profile = self.width_profile()
+    def max_width(self, order: Optional[List[N]] = None) -> int:
+        profile = self.width_profile(order)
         return max(profile) if profile else 0
 
     # -- export -----------------------------------------------------------

@@ -142,6 +142,9 @@ class Plan:
         self.state = state
         self.changes: Dict[str, PlannedChange] = {}
         self.resolver = ValueResolver(graph, state)
+        #: memoized critical-path analyses for this plan, keyed by
+        #: (edge set, durations) -- see repro.graph.critical_path.analyze
+        self.analysis_cache: Dict[Any, Any] = {}
         # point the graph's module contexts at this plan's resolver so
         # attribute evaluation sees state/apply-time values
         from ..lang.context import DeferredResolver
@@ -151,6 +154,7 @@ class Plan:
 
     def add(self, change: PlannedChange) -> None:
         self.changes[change.id] = change
+        self.analysis_cache.clear()
 
     def by_action(self, *actions: Action) -> List[PlannedChange]:
         wanted = set(actions)

@@ -76,11 +76,12 @@ class _KeyedMapping(Mapping):
 
     def __init__(self, keys: List[str], fetch: Callable[[str], Any], what: str):
         self._keys = list(keys)
+        self._keyset = frozenset(self._keys)
         self._fetch = fetch
         self._what = what
 
     def __getitem__(self, key: str) -> Any:
-        if key not in self._keys:
+        if key not in self._keyset:
             raise KeyError(key)
         return self._fetch(key)
 
@@ -147,6 +148,10 @@ class ModuleContext:
         self._locals = _LazyLocals(self)
         self._module_outputs: Dict[str, Any] = {}
         self._children: Dict[str, ModuleContext] = {}
+        # resource-type -> sorted names, built lazily: root resolution
+        # runs once per identifier per expression, so scanning all
+        # resource declarations there is quadratic at estate scale
+        self._managed_names_by_type: Optional[Dict[str, List[str]]] = None
 
     # -- variables ----------------------------------------------------------
 
@@ -205,11 +210,15 @@ class ModuleContext:
             return self._module_root()
         if name == "path":
             return {"module": ".", "root": ".", "cwd": "."}
-        managed_names = sorted(
-            r.name
-            for r in self.config.resources.values()
-            if r.mode == "managed" and r.type == name
-        )
+        if self._managed_names_by_type is None:
+            by_type: Dict[str, List[str]] = {}
+            for r in self.config.resources.values():
+                if r.mode == "managed":
+                    by_type.setdefault(r.type, []).append(r.name)
+            for names in by_type.values():
+                names.sort()
+            self._managed_names_by_type = by_type
+        managed_names = self._managed_names_by_type.get(name)
         if managed_names:
             return _KeyedMapping(
                 managed_names,

@@ -1,0 +1,116 @@
+"""Lightweight wall-clock instrumentation for the hot paths.
+
+The deploy/DAG layers report counters and timings here so benchmarks
+(``benchmarks/bench_p1_scale.py``) can attribute wall-clock cost to
+individual mechanisms (dispatch selection, topological sorts, skip
+propagation) without a profiler run.
+
+Instrumentation is off by default and costs one attribute check per
+probe site when disabled. Enable explicitly with :func:`enable` or by
+setting the ``REPRO_PERF`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+
+class PerfRegistry:
+    """Counters, accumulated timers, and per-event maxima.
+
+    Three probe kinds:
+
+    * ``count(name)`` -- how many times something happened.
+    * ``observe(name, seconds)`` -- accumulate a duration; tracks the
+      sum, the event count, and the maximum single observation (the
+      "peak dispatch cost" the scale benchmark reports).
+    * ``timed(name)`` -- context manager sugar over ``observe``.
+    """
+
+    __slots__ = ("enabled", "counters", "timer_total", "timer_count", "timer_max")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.counters: Dict[str, int] = {}
+        self.timer_total: Dict[str, float] = {}
+        self.timer_count: Dict[str, int] = {}
+        self.timer_max: Dict[str, float] = {}
+
+    # -- switches ----------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timer_total.clear()
+        self.timer_count.clear()
+        self.timer_max.clear()
+
+    # -- probes ------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        self.timer_total[name] = self.timer_total.get(name, 0.0) + seconds
+        self.timer_count[name] = self.timer_count.get(name, 0) + 1
+        if seconds > self.timer_max.get(name, 0.0):
+            self.timer_max[name] = seconds
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-friendly dump of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {
+                    "total_s": self.timer_total[name],
+                    "count": self.timer_count.get(name, 0),
+                    "max_s": self.timer_max.get(name, 0.0),
+                }
+                for name in self.timer_total
+            },
+        }
+
+
+#: process-wide default registry; hot-path probe sites use this.
+PERF = PerfRegistry(enabled=bool(os.environ.get("REPRO_PERF")))
+
+
+def enable() -> None:
+    PERF.enable()
+
+
+def disable() -> None:
+    PERF.disable()
+
+
+def reset() -> None:
+    PERF.reset()
+
+
+def snapshot() -> Dict[str, Any]:
+    return PERF.snapshot()

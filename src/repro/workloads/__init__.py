@@ -6,6 +6,8 @@ from .topologies import (
     microservices,
     ml_training,
     multi_cloud,
+    random_dag_estate,
+    scale_estate,
     sized_estate,
     vpn_site,
     web_tier,
@@ -27,9 +29,10 @@ __all__ = [
     "hub_spoke",
     "microservices",
     "ml_training",
-    "ml_training",
     "multi_cloud",
     "ramp_surge_trace",
+    "random_dag_estate",
+    "scale_estate",
     "sized_estate",
     "vpn_site",
     "web_tier",

@@ -8,6 +8,7 @@ mutate, and diff them freely.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional
 
 
@@ -320,9 +321,111 @@ def sized_estate(resources: int, name: str = "estate") -> str:
     """A microservices estate with approximately ``resources`` nodes.
 
     Each service stack is ~1 subnet + v nics + v vms + lb + dns; used by
-    benches that sweep estate size.
+    benches that sweep estate size. Caps out around 255 services (one
+    /16 only subdivides into 256 /24 subnets) -- use
+    :func:`scale_estate` beyond that.
     """
     vms = 2
     per_service = 3 + 2 * vms  # subnet + lb + dns + nics + vms
     services = max(1, (resources - 2) // per_service)
     return microservices(services=services, vms_per_service=vms, name=name)
+
+
+def scale_estate(
+    resources: int, name: str = "scale", services_per_vpc: int = 32
+) -> str:
+    """A multi-VPC microservices estate sized for large benchmarks.
+
+    :func:`sized_estate` packs every service into one /16, which caps
+    out at 256 subnets; this variant spreads services across as many
+    VPCs as needed (``10.<g>.0.0/16`` per group of ``services_per_vpc``
+    services, so up to 256 groups), letting estates of 10k+ resources
+    parse, plan, and apply. Each service is one subnet + 2 nics + 2 vms
+    + lb + dns (7 resources); each group adds its VPC.
+    """
+    vms = 2
+    per_service = 3 + 2 * vms
+    # total = per_service * s + ceil(s / services_per_vpc) VPCs
+    services = max(
+        1, (resources * services_per_vpc) // (per_service * services_per_vpc + 1)
+    )
+    parts: List[str] = []
+    for i in range(services):
+        g, k = divmod(i, services_per_vpc)
+        if k == 0:
+            parts.append(
+                f'''
+resource "aws_vpc" "{name}_g{g}" {{
+  name       = "{name}-g{g}"
+  cidr_block = "10.{g}.0.0/16"
+}}
+'''
+            )
+        parts.append(
+            f'''
+resource "aws_subnet" "{name}_{i}" {{
+  name       = "{name}-{i}"
+  vpc_id     = aws_vpc.{name}_g{g}.id
+  cidr_block = cidrsubnet(aws_vpc.{name}_g{g}.cidr_block, 8, {k})
+}}
+
+resource "aws_network_interface" "{name}_{i}_nic" {{
+  count     = {vms}
+  name      = "{name}-{i}-nic-${{count.index}}"
+  subnet_id = aws_subnet.{name}_{i}.id
+}}
+
+resource "aws_virtual_machine" "{name}_{i}_vm" {{
+  count   = {vms}
+  name    = "{name}-{i}-vm-${{count.index}}"
+  nic_ids = [aws_network_interface.{name}_{i}_nic[count.index].id]
+  tags    = {{ service = "{name}-{i}" }}
+}}
+
+resource "aws_load_balancer" "{name}_{i}_lb" {{
+  name          = "{name}-{i}-lb"
+  subnet_ids    = [aws_subnet.{name}_{i}.id]
+  target_vm_ids = aws_virtual_machine.{name}_{i}_vm[*].id
+}}
+
+resource "aws_dns_record" "{name}_{i}_dns" {{
+  name  = "{name}-{i}-dns"
+  zone  = "example.sim"
+  value = aws_load_balancer.{name}_{i}_lb.dns_name
+}}
+'''
+        )
+    return "\n".join(parts)
+
+
+def random_dag_estate(
+    nodes: int, seed: int = 0, max_deps: int = 3, name: str = "rnd"
+) -> str:
+    """A seeded random dependency DAG of ``nodes`` VPC resources.
+
+    Node ``i`` references up to ``max_deps`` earlier nodes through its
+    ``tags`` map, so edges always point from lower to higher index (no
+    cycles by construction) while the *shape* -- fan-out, depth, width
+    -- is pseudo-random but fully determined by ``seed``. Used by the
+    executor-equivalence property tests, where an arbitrary DAG shape
+    must produce identical schedules across implementations.
+    """
+    rng = random.Random(seed)
+    parts: List[str] = []
+    for i in range(nodes):
+        tag_items = ['kind = "random-dag"']
+        if i > 0:
+            n_deps = rng.randint(0, min(max_deps, i))
+            for j, dep in enumerate(sorted(rng.sample(range(i), n_deps))):
+                tag_items.append(f"d{j} = aws_vpc.{name}_{dep}.name")
+        tags = ", ".join(tag_items)
+        parts.append(
+            f'''
+resource "aws_vpc" "{name}_{i}" {{
+  name       = "{name}-{i}"
+  cidr_block = "10.{(i >> 8) & 255}.{i & 255}.0/24"
+  tags       = {{ {tags} }}
+}}
+'''
+        )
+    return "\n".join(parts)

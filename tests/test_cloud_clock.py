@@ -56,6 +56,16 @@ class TestEventQueue:
     def test_empty_pop(self):
         assert EventQueue(SimClock()).pop() is None
 
+    def test_past_schedule_error_names_the_event(self):
+        clock = SimClock(start=10.0)
+        q = EventQueue(clock)
+        with pytest.raises(ValueError, match=r"event 'complete' \(res-42\)"):
+            q.schedule(1.0, ("complete", "res-42"))
+        with pytest.raises(ValueError, match=r"event 'tick'"):
+            q.schedule(1.0, "tick")
+        with pytest.raises(ValueError, match=r"event of type dict"):
+            q.schedule(1.0, {"kind": "opaque"})
+
 
 class TestTokenBucket:
     def test_burst_is_free(self):

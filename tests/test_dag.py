@@ -1,5 +1,7 @@
 """Generic DAG tests."""
 
+import random
+
 import pytest
 
 from repro.graph.dag import CycleError, Dag
@@ -44,6 +46,44 @@ class TestStructure:
         rev = dag.reversed()
         assert rev.successors("b") == {"a"}
 
+    def test_nodes_is_a_live_view(self):
+        dag = chain("a", "b")
+        view = dag.nodes
+        assert "a" in view and len(view) == 2
+        dag.add_node("c")
+        assert "c" in view  # no copy: reflects later mutations
+        assert sorted(view) == ["a", "b", "c"]
+
+    def test_adjacency_views_are_not_copies(self):
+        dag = chain("a", "b")
+        succ = dag.successors("a")
+        dag.add_edge("a", "c")
+        assert succ == {"b", "c"}
+
+    def test_missing_node_views_are_empty_and_shared(self):
+        dag = Dag()
+        assert dag.successors("ghost") == frozenset()
+        assert dag.predecessors("ghost") == frozenset()
+        assert len(dag.successors("ghost")) == 0
+
+    def test_iter_edges_and_count(self):
+        dag = chain("a", "b", "c")
+        assert sorted(dag.iter_edges()) == [("a", "b"), ("b", "c")]
+        assert dag.edge_count() == 2
+
+    def test_in_degrees(self):
+        dag = Dag()
+        dag.add_edge("a", "c")
+        dag.add_edge("b", "c")
+        assert dag.in_degrees() == {"a": 0, "b": 0, "c": 2}
+
+    def test_copies_are_independent(self):
+        dag = chain("a", "b")
+        cp = dag.copy()
+        cp.add_edge("b", "c")
+        assert "c" not in dag
+        assert dag.successors("b") == set()
+
 
 class TestTopologicalOrder:
     def test_respects_edges(self):
@@ -79,6 +119,51 @@ class TestTopologicalOrder:
 
     def test_acyclic_has_no_cycle(self):
         assert chain("a", "b", "c").find_cycle() is None
+
+    def test_heap_order_matches_sorted_kahn_reference(self):
+        """The heap-based sort must reproduce the classic sorted-ready
+        Kahn's ordering exactly on arbitrary DAGs."""
+
+        def reference_topo(dag):
+            indeg = {n: dag.in_degree(n) for n in dag.nodes}
+            ready = sorted(n for n, d in indeg.items() if d == 0)
+            out = []
+            while ready:
+                node = ready.pop(0)
+                out.append(node)
+                for s in sorted(dag.successors(node)):
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        ready.append(s)
+                ready.sort()
+            return out
+
+        rng = random.Random(20240806)
+        for trial in range(25):
+            n = rng.randint(2, 60)
+            dag = Dag()
+            for i in range(n):
+                dag.add_node(f"n{i:02d}")
+            for j in range(1, n):
+                for dep in rng.sample(range(j), min(j, rng.randint(0, 3))):
+                    dag.add_edge(f"n{dep:02d}", f"n{j:02d}")
+            assert dag.topological_order() == reference_topo(dag)
+
+    def test_topo_custom_key_breaks_ties(self):
+        dag = Dag()
+        for n in ["a1", "b2", "c0"]:
+            dag.add_node(n)
+        order = dag.topological_order(key=lambda n: n[::-1])
+        assert order == ["c0", "a1", "b2"]
+
+    def test_topo_stable_across_runs(self):
+        dag = Dag()
+        dag.add_edge("root", "m")
+        dag.add_edge("root", "a")
+        dag.add_edge("a", "z")
+        dag.add_edge("m", "z")
+        assert dag.topological_order() == dag.topological_order()
+        assert dag.topological_order() == ["root", "a", "m", "z"]
 
 
 class TestReachability:

@@ -1,29 +1,63 @@
 """Cross-executor equivalence: scheduling must never change semantics.
 
-Whatever order an executor dispatches operations in, the final cloud
-estate and state document must be identical -- only the makespan may
-differ. Checked over a family of generated workloads.
+Two layers of guarantees:
+
+* *Cross-strategy*: whatever order an executor dispatches operations
+  in, the final cloud estate and state document must be identical --
+  only the makespan may differ. Checked over a family of generated
+  workloads.
+* *Cross-implementation*: the optimized heap-based dispatch loop must
+  make byte-identical scheduling decisions to the frozen
+  pre-optimization loop in ``repro.deploy.reference`` -- same operation
+  sequence, same timings, same makespan, same failure/skip sets.
+  Checked live on small workloads and against checked-in golden
+  fingerprints on a seeded 1k-node random DAG (``tests/golden/``,
+  regenerate with ``python tests/golden/generate_golden.py``).
 """
+
+import hashlib
+import json
+import os
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud import CloudGateway
+from repro.cloud.faults import FaultSpec
 from repro.deploy import (
     BestEffortExecutor,
     CriticalPathExecutor,
     SequentialExecutor,
 )
 from repro.deploy.incremental import read_data_sources
+from repro.deploy.reference import REFERENCE_FOR
 from repro.graph import Planner, build_graph
+from repro.graph.critical_path import clear_analysis_cache
 from repro.lang import Configuration
 from repro.state import StateDocument
-from repro.workloads import hub_spoke, microservices, ml_training, web_tier
+from repro.workloads import (
+    hub_spoke,
+    microservices,
+    ml_training,
+    web_tier,
+)
+from repro.workloads.topologies import random_dag_estate
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
 
-def apply_with(executor_factory, source, seed):
+def run_apply(executor_factory, source, seed, faults=None):
+    """Plan + apply ``source`` on a fresh simulated estate.
+
+    Returns (gateway, ApplyResult) without asserting success, so
+    failure-path comparisons can use it too.
+    """
+    clear_analysis_cache()
     gateway = CloudGateway.simulated(seed=seed)
+    if faults:
+        for provider, fault in faults:
+            gateway.planes[provider].faults.add_rule(fault)
     graph = build_graph(Configuration.parse(source))
     planner = Planner(
         spec_lookup=gateway.try_spec,
@@ -34,8 +68,44 @@ def apply_with(executor_factory, source, seed):
     data = read_data_sources(gateway, graph, state)
     plan = planner.plan(graph, state, data_values=data)
     result = executor_factory(gateway).apply(plan)
+    return gateway, result
+
+
+def apply_with(executor_factory, source, seed):
+    gateway, result = run_apply(executor_factory, source, seed)
     assert result.ok, result.failed
     return gateway, result.state
+
+
+def result_fingerprint(result):
+    """Everything scheduling-relevant about one apply, hashed.
+
+    ``skipped`` is sorted: the pre-optimization loop emitted it in set
+    iteration order (hash-seed dependent), so only the *set* is part of
+    the contract.
+    """
+    ops = [
+        [
+            op.change_id,
+            op.operation,
+            round(op.t_submit, 6),
+            round(op.t_complete, 6),
+            op.ok,
+            op.error_code,
+            op.attempt,
+        ]
+        for op in result.operations
+    ]
+    payload = {
+        "succeeded": result.succeeded,
+        "skipped": sorted(result.skipped),
+        "failed": sorted(result.failed),
+        "makespan_s": round(result.makespan_s, 6),
+        "api_calls": result.api_calls,
+        "ops": ops,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def estate_fingerprint(gateway, state):
@@ -115,3 +185,118 @@ class TestExecutorEquivalence:
         assert sorted(str(a) for a in seq_state.addresses()) == sorted(
             str(a) for a in cp_state.addresses()
         )
+
+
+# (display name, optimized class, constructor kwargs). The reference
+# twin comes from REFERENCE_FOR, always with the same kwargs.
+EXECUTOR_CASES = [
+    ("sequential", SequentialExecutor, {}),
+    ("best-effort", BestEffortExecutor, {"concurrency": 6}),
+    ("critical-path", CriticalPathExecutor, {"concurrency": 6}),
+    (
+        "critical-path-no-ra",
+        CriticalPathExecutor,
+        {"concurrency": 3, "rate_aware": False},
+    ),
+]
+
+GOLDEN_CASES = [
+    ("sequential", SequentialExecutor, {}),
+    ("best-effort", BestEffortExecutor, {"concurrency": 8}),
+    ("critical-path", CriticalPathExecutor, {"concurrency": 8}),
+    (
+        "critical-path-no-ra",
+        CriticalPathExecutor,
+        {"concurrency": 8, "rate_aware": False},
+    ),
+]
+
+GOLDEN_NODES = 1000
+GOLDEN_SEED = 42
+
+
+def _subnet_fault():
+    """One hard (non-transient) failure on the first subnet create --
+    exercises the failure + descendant-skip propagation path."""
+    return [
+        (
+            "aws",
+            FaultSpec(
+                error_code="InternalError",
+                message="injected hard failure",
+                match_type="aws_subnet",
+                match_operation="create",
+                transient=False,
+                max_strikes=1,
+            ),
+        )
+    ]
+
+
+class TestReferenceEquivalence:
+    """Optimized dispatch loop == frozen pre-optimization loop, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "case", EXECUTOR_CASES, ids=[c[0] for c in EXECUTOR_CASES]
+    )
+    @pytest.mark.parametrize(
+        "workload", ["web", "hub", "random_dag"], ids=str
+    )
+    def test_success_paths_identical(self, workload, case):
+        _, cls, kwargs = case
+        if workload == "random_dag":
+            source = random_dag_estate(120, seed=3)
+        else:
+            source = WORKLOADS[workload]
+        _, opt = run_apply(lambda gw: cls(gw, **kwargs), source, seed=99)
+        _, ref = run_apply(
+            lambda gw: REFERENCE_FOR[cls](gw, **kwargs), source, seed=99
+        )
+        assert opt.ok and ref.ok
+        assert result_fingerprint(opt) == result_fingerprint(ref)
+
+    @pytest.mark.parametrize(
+        "case", EXECUTOR_CASES, ids=[c[0] for c in EXECUTOR_CASES]
+    )
+    def test_failure_skip_propagation_identical(self, case):
+        _, cls, kwargs = case
+        source = WORKLOADS["web"]
+        _, opt = run_apply(
+            lambda gw: cls(gw, **kwargs), source, seed=99,
+            faults=_subnet_fault(),
+        )
+        _, ref = run_apply(
+            lambda gw: REFERENCE_FOR[cls](gw, **kwargs), source, seed=99,
+            faults=_subnet_fault(),
+        )
+        assert not opt.ok, "fault injection should have failed the apply"
+        assert opt.failed and opt.skipped
+        assert result_fingerprint(opt) == result_fingerprint(ref)
+
+
+class TestGoldenRandomDag:
+    """Seeded 1k-node random DAG vs fingerprints generated with the
+    frozen reference executors (regenerate: python tests/golden/generate_golden.py)."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        path = os.path.join(GOLDEN_DIR, "random_dag_1k.json")
+        with open(path) as handle:
+            return json.load(handle)
+
+    @pytest.mark.parametrize(
+        "case", GOLDEN_CASES, ids=[c[0] for c in GOLDEN_CASES]
+    )
+    def test_matches_reference_golden(self, golden, case):
+        name, cls, kwargs = case
+        assert golden["nodes"] == GOLDEN_NODES
+        assert golden["seed"] == GOLDEN_SEED
+        source = random_dag_estate(GOLDEN_NODES, seed=GOLDEN_SEED)
+        _, result = run_apply(
+            lambda gw: cls(gw, **kwargs), source, seed=GOLDEN_SEED
+        )
+        assert result.ok, result.failed
+        expect = golden["executors"][name]
+        assert len(result.succeeded) == expect["n_succeeded"]
+        assert round(result.makespan_s, 6) == expect["makespan_s"]
+        assert result_fingerprint(result) == expect["fingerprint"]
