@@ -1,0 +1,207 @@
+"""P2 `chaos` -- retry overhead of the lifecycle under injected faults.
+
+Drives the full lifecycle (apply -> drift detect/reconcile ->
+concurrent update -> rollback) at blanket transient fault rates of
+0, 0.05 and 0.15, and reports what resilience costs: extra API calls,
+retry counts, and simulated seconds spent backing off. The numbers
+land in ``BENCH_chaos.json``.
+
+CI runs the single-seed smoke tier of the equivalent test sweep
+(``CHAOS_SEEDS=0 python -m pytest tests/chaos -q``); this script is the
+quantitative companion::
+
+    python benchmarks/bench_p2_chaos.py --rates 0,0.05,0.15 --seed 0 \
+        --out BENCH_chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import perf
+from repro.cloud import RetryPolicy
+from repro.core import CloudlessEngine
+from repro.drift import FullScanDetector
+from repro.state import ResourceLockManager
+from repro.update import (
+    ReversibilityAwareRollback,
+    UpdateCoordinator,
+    UpdateRequest,
+    measure_divergence,
+)
+from repro.workloads import web_tier
+
+PATIENT = RetryPolicy(max_attempts=6, base_backoff_s=2.0)
+
+
+def run_lifecycle(seed: int, rate: float) -> Dict[str, Any]:
+    engine = CloudlessEngine(seed=seed, retry=PATIENT)
+    for plane in engine.gateway.planes.values():
+        if rate > 0.0:
+            plane.faults.set_transient_rate(rate)
+
+    perf.reset()
+    perf.enable()
+    wall0 = time.perf_counter()
+    sim0 = engine.clock.now
+
+    # apply (resume partial passes under faults)
+    for _ in range(4):
+        result = engine.apply(web_tier(web_vms=6, app_vms=4))
+        if result.ok:
+            break
+    assert result.ok, "apply did not converge"
+    apply_makespan = result.apply.makespan_s
+
+    # drift + reconcile
+    vms = [
+        e
+        for e in engine.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    ]
+    engine.gateway.planes["aws"].external_update(
+        vms[0].resource_id, {"image": "win-2022"}
+    )
+    engine.gateway.planes["aws"].external_delete(vms[1].resource_id)
+    for _ in range(6):
+        run = FullScanDetector(engine.resilient).scan(engine.state)
+        findings = [f for f in run.findings if f.kind != "unmanaged"]
+        if not findings:
+            break
+        engine.reconcile(findings)
+
+    snap = engine.history.checkpoint(
+        engine.state,
+        engine.last_sources,
+        timestamp=engine.clock.now,
+        description="post-reconcile",
+    )
+
+    # concurrent update with cloud-side work
+    targets = [
+        e
+        for e in engine.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    ][:3]
+
+    def resize(entry):
+        def ops(gw):
+            gw.execute(
+                "update",
+                entry.address.type,
+                resource_id=entry.resource_id,
+                attrs={"size": "xlarge"},
+            )
+
+        return ops
+
+    coordinator = UpdateCoordinator(
+        engine.state, ResourceLockManager(), gateway=engine.resilient
+    )
+    outcome = coordinator.run(
+        [
+            UpdateRequest(
+                team=f"team-{i}",
+                submitted_at=engine.clock.now,
+                keys={str(t.address)},
+                duration_s=120.0,
+                cloud_ops=resize(t),
+            )
+            for i, t in enumerate(targets)
+        ]
+    )
+
+    # rollback to the post-reconcile snapshot
+    planner = ReversibilityAwareRollback(engine.resilient)
+    for _ in range(5):
+        plan = planner.plan(snap, engine.state)
+        planner.execute(plan, engine.state)
+        if measure_divergence(engine.gateway, snap, engine.state) == 0:
+            break
+    divergence = measure_divergence(engine.gateway, snap, engine.state)
+
+    wall = time.perf_counter() - wall0
+    snap_perf = perf.snapshot()
+    perf.disable()
+    backoff = snap_perf["timers"].get("resilience.backoff_sim_s", {})
+    return {
+        "rate": rate,
+        "converged": divergence == 0,
+        "divergence": divergence,
+        "apply_makespan_sim_s": round(apply_makespan, 1),
+        "lifecycle_sim_s": round(engine.clock.now - sim0, 1),
+        "api_calls": engine.gateway.total_api_calls(),
+        "retries": snap_perf["counters"].get("resilience.retries", 0),
+        "gave_up": snap_perf["counters"].get("resilience.gave_up", 0),
+        "timeouts": snap_perf["counters"].get("resilience.timeouts", 0),
+        "backoff_sim_s": round(backoff.get("total_s", 0.0), 1),
+        "update_errors": len(outcome.errors),
+        "wall_s": round(wall, 3),
+    }
+
+
+def bench(args: argparse.Namespace) -> Dict[str, Any]:
+    rows: List[Dict[str, Any]] = []
+    baseline: Optional[Dict[str, Any]] = None
+    for rate in args.rates:
+        row = run_lifecycle(args.seed, rate)
+        if rate == 0.0:
+            baseline = row
+        if baseline is not None:
+            row["extra_api_calls"] = row["api_calls"] - baseline["api_calls"]
+        rows.append(row)
+        print(
+            f"  rate={rate:<5} converged={row['converged']} "
+            f"api_calls={row['api_calls']} retries={row['retries']} "
+            f"backoff={row['backoff_sim_s']}s sim={row['lifecycle_sim_s']}s",
+            file=sys.stderr,
+        )
+    return {
+        "benchmark": "p2_chaos",
+        "workload": "web_tier(web_vms=6, app_vms=4) full lifecycle",
+        "seed": args.seed,
+        "rates": args.rates,
+        "results": rows,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rates",
+        default="0,0.05,0.15",
+        help="comma-separated blanket transient fault rates",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "BENCH_chaos.json"
+        ),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    args.rates = [float(r) for r in str(args.rates).split(",") if r.strip()]
+
+    report = bench(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    if not all(row["converged"] for row in report["results"]):
+        print("LIFECYCLE DID NOT CONVERGE", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,18 @@ from .faults import FaultInjector, FaultSpec, InjectedFault
 from .gateway import CloudGateway
 from .latency import DEFAULT_PROFILE, LatencyModel, LatencyProfile
 from .ratelimit import RateLimiterBank, RateLimitStats, TokenBucket
+from .resilience import (
+    DEFAULT_TIMEOUTS,
+    OperationTimeout,
+    ResilientGateway,
+    RetryPolicy,
+    RetryStats,
+    TERMINAL,
+    THROTTLED,
+    TIMEOUT,
+    TRANSIENT,
+    classify,
+)
 from .resources import AttributeSpec, ResourceTypeSpec
 
 __all__ = [
@@ -33,21 +45,31 @@ __all__ = [
     "AZURE_LOCATIONS",
     "AzureControlPlane",
     "azure_catalog",
+    "classify",
     "CloudAPIError",
     "CloudGateway",
     "ControlPlane",
     "DEFAULT_PROFILE",
+    "DEFAULT_TIMEOUTS",
     "EventQueue",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
     "LatencyModel",
     "LatencyProfile",
+    "OperationTimeout",
     "PendingOperation",
     "RateLimiterBank",
     "RateLimitStats",
+    "ResilientGateway",
     "ResourceRecord",
     "ResourceTypeSpec",
+    "RetryPolicy",
+    "RetryStats",
     "SimClock",
+    "TERMINAL",
+    "THROTTLED",
+    "TIMEOUT",
     "TokenBucket",
+    "TRANSIENT",
 ]

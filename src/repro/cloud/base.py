@@ -361,7 +361,10 @@ class ControlPlane:
         t_start = self.limiter.consume(op_class, now)
         spec = self.spec_for(rtype) if rtype else None
 
-        fault = self.faults.check(rtype, operation) if spec else None
+        # scheduled fault rules may target any operation class (a list
+        # page mid-scan, a log read); the blanket transient_rate still
+        # only hits mutating calls (see FaultInjector.check)
+        fault = self.faults.check(rtype, operation)
         if fault is not None:
             t_complete = (
                 t_start
@@ -615,6 +618,7 @@ class ControlPlane:
             return {
                 "items": [r.snapshot() for r in page],
                 "types": [r.type for r in page],
+                "regions": [r.region for r in page],
                 "next_token": next_token,
             }
 

@@ -77,11 +77,17 @@ class EventQueue:
         self.schedule(self.clock.now + delay, payload)
 
     def pop(self) -> Optional[Tuple[float, Any]]:
-        """Remove the earliest event, advancing the clock to its time."""
+        """Remove the earliest event, advancing the clock to its time.
+
+        An event whose scheduled time has already passed (cloud-side
+        retries may advance the shared clock between pops) fires late,
+        at the current time, rather than moving the clock backwards.
+        """
         if not self._heap:
             return None
         at, _, payload = heapq.heappop(self._heap)
-        self.clock.advance_to(at)
+        if at > self.clock.now:
+            self.clock.advance_to(at)
         return at, payload
 
     def peek_time(self) -> Optional[float]:

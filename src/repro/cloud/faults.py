@@ -30,6 +30,12 @@ class FaultSpec:
     extra_delay_s: float = 0.0  # hang before failing (resource hanging)
     _strikes: int = 0
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
     def matches(self, rtype: str, operation: str) -> bool:
         if self.max_strikes >= 0 and self._strikes >= self.max_strikes:
             return False
@@ -75,7 +81,10 @@ class FaultInjector:
         """Decide whether this operation fails, and how."""
         for rule in self.rules:
             if rule.matches(rtype, operation):
-                if self.rng.random() <= rule.probability:
+                # strict <, matching transient_rate below: a
+                # probability-0 rule must never fire, even when the RNG
+                # returns exactly 0.0
+                if self.rng.random() < rule.probability:
                     rule.strike()
                     self.fired += 1
                     return InjectedFault(

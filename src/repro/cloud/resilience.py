@@ -1,0 +1,365 @@
+"""Unified fault resilience over the cloud gateway (3.4-3.5).
+
+The paper's pitch is that cloudless management survives the messy real
+cloud -- transient API errors, throttling bursts, hangs, partial
+failures. This module is the one place that policy lives:
+
+* a **typed error taxonomy** (:func:`classify`): every
+  :class:`CloudAPIError` is ``transient``, ``throttled``, ``terminal``,
+  or ``timeout``; only the first two are worth retrying.
+* a :class:`RetryPolicy` with exponential backoff and *deterministic*
+  jitter -- same operation, same attempt, same delay, so chaos runs are
+  reproducible bit-for-bit across seeds.
+* per-operation **sim-time timeout budgets**: a logical operation that
+  burns its budget in retries and hangs surfaces as a precise
+  :class:`OperationTimeout` instead of retrying forever.
+* the :class:`ResilientGateway` wrapper, a drop-in for
+  :class:`~repro.cloud.gateway.CloudGateway` whose synchronous
+  ``execute``/``read_data`` survive injected faults. ``submit`` passes
+  through untouched -- the deploy executors keep their own event-loop
+  retry (driven by the same :class:`RetryPolicy`), so scheduling
+  behaviour stays byte-identical to the golden reference.
+
+Every lifecycle verb (reconcile, rollback, import, update
+coordination, drift scans, data reads) routes its cloud calls through
+this layer; retries and backoff time are surfaced via ``repro.perf``
+(``resilience.retries``, ``resilience.backoff_sim_s``, ...) so
+benchmarks can report retry overhead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..perf import PERF
+from .base import CloudAPIError, ControlPlane, PendingOperation
+
+# -- error taxonomy ----------------------------------------------------------
+
+TRANSIENT = "transient"  #: momentary server-side failure; retry as-is
+THROTTLED = "throttled"  #: rate pushback; retry with inflated backoff
+TERMINAL = "terminal"  #: will fail the same way every time; do not retry
+TIMEOUT = "timeout"  #: the operation's sim-time budget is exhausted
+
+#: provider error codes that signal rate pushback rather than a broken
+#: request -- retryable, but deserving a longer backoff.
+THROTTLE_CODES = frozenset(
+    {
+        "Throttling",
+        "ThrottlingException",
+        "RequestLimitExceeded",
+        "TooManyRequests",
+        "SlowDown",
+        "RateLimitExceeded",
+    }
+)
+
+
+class OperationTimeout(CloudAPIError):
+    """A logical operation exhausted its sim-time budget (incl. retries)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource_type: str = "",
+        operation: str = "",
+        budget_s: float = 0.0,
+        elapsed_s: float = 0.0,
+        last_error: Optional[CloudAPIError] = None,
+    ):
+        super().__init__(
+            "OperationTimedOut",
+            message,
+            http_status=408,
+            transient=False,
+            resource_type=resource_type,
+            operation=operation,
+        )
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
+
+
+def classify(error: CloudAPIError) -> str:
+    """Place one provider error in the taxonomy."""
+    if isinstance(error, OperationTimeout):
+        return TIMEOUT
+    if error.code in THROTTLE_CODES:
+        return THROTTLED
+    if error.transient:
+        return TRANSIENT
+    return TERMINAL
+
+
+# -- retry policy ------------------------------------------------------------
+
+
+def _unit_hash(key: str) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) from ``key``.
+
+    ``hash()`` is salted per process; sha256 keeps jitter identical
+    across runs so chaos sweeps replay exactly.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclasses.dataclass
+class RetryPolicy:
+    """Retry behaviour for transient cloud errors.
+
+    ``backoff`` is the raw exponential schedule the deploy executors
+    have always used (uncapped, no jitter) -- their event-loop retry
+    must stay byte-identical to the golden reference. The resilience
+    layer goes through :meth:`delay_for`, which adds the cap, the
+    throttle inflation, and deterministic keyed jitter on top.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 5.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 300.0
+    jitter: float = 0.0  # fraction of the delay added deterministically
+    throttle_factor: float = 2.0  # extra backoff for THROTTLED errors
+
+    def backoff(self, attempt: int) -> float:
+        return self.base_backoff_s * (self.multiplier ** max(0, attempt - 1))
+
+    def retries(self, error_class: str) -> bool:
+        """Is this class of error worth another attempt?"""
+        return error_class in (TRANSIENT, THROTTLED)
+
+    def delay_for(
+        self, attempt: int, error_class: str = TRANSIENT, key: str = ""
+    ) -> float:
+        delay = self.backoff(attempt)
+        if error_class == THROTTLED:
+            delay *= self.throttle_factor
+        delay = min(delay, self.max_backoff_s)
+        if self.jitter > 0.0:
+            delay += delay * self.jitter * _unit_hash(f"{key}|{attempt}")
+        return delay
+
+
+#: ResilientGateway's default policy: more patient than the executors'
+#: default (lifecycle repairs are rare and must land), with jitter on.
+DEFAULT_RESILIENT_POLICY = RetryPolicy(
+    max_attempts=5, base_backoff_s=2.0, jitter=0.1
+)
+
+#: sim-time budgets per operation class, covering every attempt plus
+#: backoff. Generous: the slowest catalog type (VPN gateways, tens of
+#: minutes) fits with retries to spare; a hang-looping operation does
+#: not spin forever.
+DEFAULT_TIMEOUTS: Dict[str, float] = {
+    "create": 4 * 3600.0,
+    "update": 2 * 3600.0,
+    "delete": 2 * 3600.0,
+    "read": 1800.0,
+    "list": 1800.0,
+    "log": 1800.0,
+}
+
+
+@dataclasses.dataclass
+class RetryStats:
+    """Live counters one ResilientGateway accumulates."""
+
+    retries: int = 0
+    backoff_s: float = 0.0  # total sim seconds spent backing off
+    gave_up: int = 0  # retryable errors that exhausted max_attempts
+    timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+# -- the wrapper -------------------------------------------------------------
+
+
+class ResilientGateway:
+    """Drop-in :class:`CloudGateway` wrapper with unified retry.
+
+    Synchronous calls (``execute``, ``execute_on``, ``read_data``) loop
+    on retryable faults, advancing the shared sim clock through each
+    backoff. Everything else -- ``submit``, routing, introspection --
+    delegates to the wrapped gateway untouched.
+    """
+
+    def __init__(
+        self,
+        gateway: Any,
+        retry: Optional[RetryPolicy] = None,
+        timeouts: Optional[Dict[str, float]] = None,
+    ):
+        if isinstance(gateway, ResilientGateway):
+            gateway = gateway.inner
+        self.inner = gateway
+        self.retry = retry or DEFAULT_RESILIENT_POLICY
+        self.timeouts = dict(DEFAULT_TIMEOUTS)
+        if timeouts:
+            self.timeouts.update(timeouts)
+        self.stats = RetryStats()
+
+    @classmethod
+    def wrap(
+        cls,
+        gateway: Any,
+        retry: Optional[RetryPolicy] = None,
+        timeouts: Optional[Dict[str, float]] = None,
+    ) -> "ResilientGateway":
+        """Wrap ``gateway``, or return it as-is if already resilient
+        (so layered subsystems share one stats ledger)."""
+        if isinstance(gateway, ResilientGateway) and retry is None and timeouts is None:
+            return gateway
+        return cls(gateway, retry=retry, timeouts=timeouts)
+
+    # -- delegation ---------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def planes(self):
+        return self.inner.planes
+
+    def provider_of(self, rtype: str) -> str:
+        return self.inner.provider_of(rtype)
+
+    def plane_for(self, rtype: str) -> ControlPlane:
+        return self.inner.plane_for(rtype)
+
+    def default_region(self, rtype: str) -> str:
+        return self.inner.default_region(rtype)
+
+    def region_for(self, rtype: str, attrs: Dict[str, Any]) -> str:
+        return self.inner.region_for(rtype, attrs)
+
+    def spec_for(self, rtype: str):
+        return self.inner.spec_for(rtype)
+
+    def try_spec(self, rtype: str):
+        return self.inner.try_spec(rtype)
+
+    def mean_latency(self, rtype: str, operation: str) -> float:
+        return self.inner.mean_latency(rtype, operation)
+
+    def total_api_calls(self) -> int:
+        return self.inner.total_api_calls()
+
+    def api_calls_by_class(self) -> Dict[str, int]:
+        return self.inner.api_calls_by_class()
+
+    def all_records(self) -> List[Any]:
+        return self.inner.all_records()
+
+    def find_record(self, resource_id: str):
+        return self.inner.find_record(resource_id)
+
+    def submit(self, operation: str, rtype: str, **kwargs: Any) -> PendingOperation:
+        """Raw pass-through: event-loop callers own their retry."""
+        return self.inner.submit(operation, rtype, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        # anything not wrapped above (persistence hooks, ad-hoc
+        # introspection) behaves exactly like the inner gateway
+        return getattr(self.inner, name)
+
+    # -- resilient synchronous operations -----------------------------------
+
+    def execute(self, operation: str, rtype: str, **kwargs: Any) -> Any:
+        """``CloudGateway.execute`` with retry/backoff/timeout."""
+        return self._drive(self.inner.plane_for(rtype), operation, rtype, kwargs)
+
+    def execute_on(
+        self, plane: ControlPlane, operation: str, rtype: str = "", **kwargs: Any
+    ) -> Any:
+        """Resilient execute against one specific control plane -- for
+        per-plane operations (paginated lists, log reads) that cannot
+        route by resource type."""
+        return self._drive(plane, operation, rtype, kwargs)
+
+    def read_data(
+        self, rtype: str, attrs: Dict[str, Any], region: str = ""
+    ) -> Dict[str, Any]:
+        clock = self.inner.clock
+        budget = self.timeouts.get("read")
+        started = clock.now
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self.inner.read_data(rtype, attrs, region)
+            except CloudAPIError as exc:
+                self._handle_failure(
+                    exc, attempt, started, budget, rtype, "read", ""
+                )
+
+    # -- core loop ----------------------------------------------------------
+
+    def _drive(
+        self,
+        plane: ControlPlane,
+        operation: str,
+        rtype: str,
+        kwargs: Dict[str, Any],
+    ) -> Any:
+        clock = self.inner.clock
+        budget = self.timeouts.get(operation)
+        started = clock.now
+        key = f"{rtype}|{operation}|{kwargs.get('resource_id', '')}"
+        attempt = 0
+        while True:
+            attempt += 1
+            pending = plane.submit(operation, rtype, **kwargs)
+            clock.advance_to(pending.t_complete)
+            try:
+                return pending.resolve()
+            except CloudAPIError as exc:
+                self._handle_failure(
+                    exc, attempt, started, budget, rtype, operation, key
+                )
+
+    def _handle_failure(
+        self,
+        exc: CloudAPIError,
+        attempt: int,
+        started: float,
+        budget: Optional[float],
+        rtype: str,
+        operation: str,
+        key: str,
+    ) -> None:
+        """Raise, or back off and return for another attempt."""
+        clock = self.inner.clock
+        kind = classify(exc)
+        if not self.retry.retries(kind):
+            raise exc
+        if attempt >= self.retry.max_attempts:
+            self.stats.gave_up += 1
+            PERF.count("resilience.gave_up")
+            raise exc
+        delay = self.retry.delay_for(attempt, kind, key=key)
+        elapsed = clock.now - started
+        if budget is not None and elapsed + delay >= budget:
+            self.stats.timeouts += 1
+            PERF.count("resilience.timeouts")
+            raise OperationTimeout(
+                f"Operation '{operation}' on '{rtype or 'any'}' exceeded its "
+                f"{budget:.0f}s budget after {attempt} attempt(s) "
+                f"({elapsed:.0f}s elapsed); last error: {exc.code}.",
+                resource_type=rtype,
+                operation=operation,
+                budget_s=budget,
+                elapsed_s=elapsed,
+                last_error=exc,
+            ) from exc
+        self.stats.retries += 1
+        self.stats.backoff_s += delay
+        PERF.count("resilience.retries")
+        PERF.observe("resilience.backoff_sim_s", delay)
+        clock.advance_by(delay)

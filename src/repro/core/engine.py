@@ -13,6 +13,7 @@ import dataclasses
 from typing import Any, Dict, List, Optional, Union
 
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import ResilientGateway
 from ..debug.correlate import Diagnosis, IaCDebugger
 from ..deploy.executor import (
     ApplyResult,
@@ -91,6 +92,11 @@ class CloudlessEngine:
     ):
         self.seed = seed
         self.gateway = gateway or CloudGateway.simulated(seed=seed)
+        # one shared resilience wrapper for the synchronous lifecycle
+        # verbs (watch/reconcile/rollback/import/data reads); the deploy
+        # executors keep the raw gateway -- their event-loop retry must
+        # stay byte-identical to the golden reference
+        self.resilient = ResilientGateway.wrap(self.gateway)
         self.registry = registry or SchemaRegistry.default()
         self.loader = loader
         self.executor_name = executor
@@ -101,7 +107,7 @@ class CloudlessEngine:
         self.controller = InfrastructureController()
         self.cost = CostEstimator()
         self.debugger = IaCDebugger(self.registry)
-        self.watcher = LogWatchDetector(self.gateway)
+        self.watcher = LogWatchDetector(self.resilient)
         self.validation = ValidationPipeline(
             registry=self.registry, level=validation_level
         )
@@ -161,7 +167,7 @@ class CloudlessEngine:
         except (GraphBuildError, CLCError) as exc:
             raise EngineError(str(exc))
         working = (state if state is not None else self.state).copy()
-        data_values = read_data_sources(self.gateway, graph, working)
+        data_values = read_data_sources(self.resilient, graph, working)
         return self.planner.plan(graph, working, data_values=data_values)
 
     def apply(
@@ -261,13 +267,13 @@ class CloudlessEngine:
         findings: List[DriftFinding],
         policy: Optional[Dict[str, str]] = None,
     ) -> ReconcileReport:
-        reconciler = Reconciler(self.gateway, policy=policy)
+        reconciler = Reconciler(self.resilient, policy=policy)
         return reconciler.reconcile(findings, self.state)
 
     def rollback(self, version: int) -> RollbackResult:
         """Reversibility-aware rollback to a snapshot version."""
         snapshot = self.history.get(version)
-        planner = ReversibilityAwareRollback(self.gateway)
+        planner = ReversibilityAwareRollback(self.resilient)
         plan = planner.plan(snapshot, self.state)
         result = planner.execute(plan, self.state)
         self.last_sources = dict(snapshot.config_sources)
@@ -317,9 +323,17 @@ class CloudlessEngine:
 
     # -- develop ------------------------------------------------------------------------
 
-    def import_estate(self, adopt: bool = True) -> PortedProject:
-        """Port the live (non-IaC) estate into a structured program."""
-        project = StructuredImporter(self.registry).import_estate(self.gateway)
+    def import_estate(
+        self, adopt: bool = True, via_api: bool = False
+    ) -> PortedProject:
+        """Port the live (non-IaC) estate into a structured program.
+
+        ``via_api=True`` enumerates the estate through the paginated
+        list API behind the resilience layer instead of the in-memory
+        shortcut."""
+        project = StructuredImporter(self.registry).import_estate(
+            self.resilient, via_api=via_api
+        )
         if adopt:
             self.state = project.state.copy()
             self.last_sources = dict(project.sources)
@@ -375,7 +389,7 @@ class CloudlessEngine:
         """
         managed_ids = {entry.resource_id for entry in self.state.resources()}
         project = StructuredImporter(self.registry).import_estate(
-            self.gateway, only_ids=managed_ids
+            self.resilient, only_ids=managed_ids
         )
         if adopt:
             self.state = project.state.copy()

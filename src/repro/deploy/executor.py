@@ -31,24 +31,13 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 from ..cloud.base import CloudAPIError, PendingOperation
 from ..cloud.clock import EventQueue
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import RetryPolicy
 from ..graph.critical_path import analyze
 from ..graph.dag import Dag
 from ..graph.plan import Action, Plan, PlannedChange
 from ..lang.values import is_unknown
 from ..perf import PERF
 from ..state.document import ResourceState, StateDocument
-
-
-@dataclasses.dataclass
-class RetryPolicy:
-    """Retry behaviour for transient cloud errors."""
-
-    max_attempts: int = 3
-    base_backoff_s: float = 5.0
-    multiplier: float = 2.0
-
-    def backoff(self, attempt: int) -> float:
-        return self.base_backoff_s * (self.multiplier ** max(0, attempt - 1))
 
 
 @dataclasses.dataclass
@@ -473,9 +462,16 @@ class PlanExecutor:
                     )
                 )
                 if exc.transient and rc.attempts < self.retry.max_attempts:
+                    # event-loop retry over the same RetryPolicy the
+                    # resilience layer uses; schedule order (and hence
+                    # golden-test equivalence) is untouched by counters
                     delay = self.retry.backoff(rc.attempts)
+                    PERF.count("resilience.retries")
+                    PERF.observe("resilience.backoff_sim_s", delay)
                     events.schedule(clock.now + delay, ("retry", cid))
                 else:
+                    if exc.transient:
+                        PERF.count("resilience.gave_up")
                     finish_change(cid, False, str(exc))
                 return
             result.operations.append(

@@ -6,7 +6,14 @@ from .detector import (
     FullScanDetector,
     LogWatchDetector,
 )
-from .reconcile import ADOPT, ENFORCE, NOTIFY, ReconcileReport, Reconciler
+from .reconcile import (
+    ADOPT,
+    ENFORCE,
+    NOTIFY,
+    ReconcileInterrupted,
+    ReconcileReport,
+    Reconciler,
+)
 
 __all__ = [
     "ADOPT",
@@ -16,6 +23,7 @@ __all__ = [
     "FullScanDetector",
     "LogWatchDetector",
     "NOTIFY",
+    "ReconcileInterrupted",
     "ReconcileReport",
     "Reconciler",
 ]

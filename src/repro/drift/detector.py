@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Set
 from ..addressing import ResourceAddress
 from ..cloud.activitylog import ActivityEvent
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..lang.values import values_equal
 from ..state.document import StateDocument
 
@@ -51,10 +52,17 @@ class DetectionRun:
 
 
 class FullScanDetector:
-    """Baseline: list every resource, page by page, and diff."""
+    """Baseline: list every resource, page by page, and diff.
 
-    def __init__(self, gateway: CloudGateway):
-        self.gateway = gateway
+    Page reads go through the resilience layer: a transient fault mid-
+    pagination retries that page (same token) instead of aborting the
+    scan, so one flaky list call cannot hide a drifted estate.
+    """
+
+    def __init__(
+        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+    ):
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
 
     def scan(self, state: StateDocument) -> DetectionRun:
         clock = self.gateway.clock
@@ -65,7 +73,9 @@ class FullScanDetector:
         for provider, plane in sorted(self.gateway.planes.items()):
             token: Any = 0
             while token is not None:
-                page = plane.execute("list", "", attrs={"page_token": token})
+                page = self.gateway.execute_on(
+                    plane, "list", attrs={"page_token": token}
+                )
                 for item, rtype in zip(page["items"], page["types"]):
                     live[item["id"]] = item
                     live_types[item["id"]] = rtype
@@ -123,8 +133,10 @@ class FullScanDetector:
 class LogWatchDetector:
     """Cloudless: consume activity-log events since the last poll."""
 
-    def __init__(self, gateway: CloudGateway):
-        self.gateway = gateway
+    def __init__(
+        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+    ):
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
         self._cursors: Dict[str, int] = {
             name: 0 for name in gateway.planes
         }
@@ -136,10 +148,9 @@ class LogWatchDetector:
         calls_before = self.gateway.total_api_calls()
         findings: List[DriftFinding] = []
         for provider, plane in sorted(self.gateway.planes.items()):
-            # reading the log is one read-class API call
-            pending = plane.submit("log")
-            clock.advance_to(pending.t_complete)
-            pending.resolve()
+            # reading the log is one read-class API call (retried on
+            # transient faults like any other read)
+            self.gateway.execute_on(plane, "log")
             events = plane.log.events_since(self._cursors[provider], until=clock.now)
             self._cursors[provider] += len(events)
             for event in events:

@@ -18,12 +18,32 @@ from typing import Dict, List, Optional
 
 from ..cloud.base import CloudAPIError
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..state.document import ResourceState, StateDocument
 from .detector import DriftFinding
 
 ENFORCE = "enforce"
 ADOPT = "adopt"
 NOTIFY = "notify"
+
+
+class ReconcileInterrupted(CloudAPIError):
+    """A multi-step repair was cut mid-sequence.
+
+    State has been checkpointed after the last successful cloud call,
+    so re-running detection + reconciliation resumes cleanly (the
+    half-replaced resource surfaces as a ``deleted`` finding).
+    """
+
+    def __init__(self, message: str, cause: CloudAPIError):
+        super().__init__(
+            "ReconcileInterrupted",
+            message,
+            http_status=cause.http_status,
+            resource_type=cause.resource_type,
+            operation=cause.operation,
+        )
+        self.cause = cause
 
 
 @dataclasses.dataclass
@@ -39,20 +59,34 @@ class ReconcileReport:
     actions: List[ReconcileAction]
     notifications: List[str]
     api_calls: int
+    #: precise resumable work: repairs interrupted mid-sequence (state
+    #: checkpointed; a fresh detect+reconcile pass picks them up)
+    remainder: List[str] = dataclasses.field(default_factory=list)
 
     def count(self, policy: str) -> int:
         return sum(1 for a in self.actions if a.policy == policy)
 
+    @property
+    def ok(self) -> bool:
+        return all(a.ok for a in self.actions)
+
 
 class Reconciler:
-    """Applies a per-kind reconciliation policy to drift findings."""
+    """Applies a per-kind reconciliation policy to drift findings.
+
+    Every cloud call goes through the resilience layer: transient and
+    throttled faults are retried with backoff, and the delete->create
+    replacement path checkpoints state between steps so a terminal
+    mid-sequence fault never leaves state pointing at a dead resource.
+    """
 
     def __init__(
         self,
         gateway: CloudGateway,
         policy: Optional[Dict[str, str]] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
-        self.gateway = gateway
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
         self.policy = {
             "modified": ENFORCE,
             "deleted": ENFORCE,
@@ -67,6 +101,7 @@ class Reconciler:
         calls_before = self.gateway.total_api_calls()
         actions: List[ReconcileAction] = []
         notifications: List[str] = []
+        remainder: List[str] = []
         for finding in findings:
             policy = self.policy.get(finding.kind, NOTIFY)
             if policy == NOTIFY:
@@ -83,6 +118,11 @@ class Reconciler:
             try:
                 description = self._apply(finding, policy, state)
                 actions.append(ReconcileAction(finding, policy, description))
+            except ReconcileInterrupted as exc:
+                actions.append(
+                    ReconcileAction(finding, policy, str(exc), ok=False)
+                )
+                remainder.append(exc.message)
             except CloudAPIError as exc:
                 actions.append(
                     ReconcileAction(finding, policy, str(exc), ok=False)
@@ -91,13 +131,26 @@ class Reconciler:
             actions=actions,
             notifications=notifications,
             api_calls=self.gateway.total_api_calls() - calls_before,
+            remainder=remainder,
         )
+
+    def _entry_for(
+        self, finding: DriftFinding, state: StateDocument
+    ) -> Optional[ResourceState]:
+        """The state entry a finding refers to -- by address when the
+        detector resolved one (robust across interrupted replacements,
+        whose entries carry an empty resource id), else by id."""
+        if finding.address is not None:
+            entry = state.get(finding.address)
+            if entry is not None:
+                return entry
+        return state.by_resource_id(finding.resource_id)
 
     def _apply(
         self, finding: DriftFinding, policy: str, state: StateDocument
     ) -> str:
         if finding.kind == "modified":
-            entry = state.by_resource_id(finding.resource_id)
+            entry = self._entry_for(finding, state)
             if entry is None:
                 return "no state entry; nothing to do"
             if policy == ENFORCE:
@@ -106,14 +159,28 @@ class Reconciler:
                 if immutable:
                     # the drifted attribute cannot change in place; the
                     # only way back to golden state is replacement
+                    old_id = entry.resource_id
                     self.gateway.execute(
                         "delete", rtype, resource_id=entry.resource_id
                     )
+                    # checkpoint: the old resource is gone -- state must
+                    # say so *before* the create is attempted, or a
+                    # create fault strands a dead id in golden state
+                    entry.resource_id = ""
+                    state.bump()
                     payload = self._settable_attrs(entry)
                     region = entry.region or self.gateway.default_region(rtype)
-                    response = self.gateway.execute(
-                        "create", rtype, attrs=payload, region=region
-                    )
+                    try:
+                        response = self.gateway.execute(
+                            "create", rtype, attrs=payload, region=region
+                        )
+                    except CloudAPIError as exc:
+                        raise ReconcileInterrupted(
+                            f"replacement of {entry.address} interrupted: "
+                            f"deleted {old_id} but create failed "
+                            f"({exc.code}); re-run reconcile to resume",
+                            exc,
+                        ) from exc
                     entry.resource_id = response["id"]
                     entry.attrs = dict(response)
                     return (
@@ -137,7 +204,7 @@ class Reconciler:
                 entry.attrs = live.snapshot()
             return "adopted cloud attributes into state"
         if finding.kind == "deleted":
-            entry = state.by_resource_id(finding.resource_id)
+            entry = self._entry_for(finding, state)
             if entry is None:
                 return "no state entry; nothing to do"
             if policy == ENFORCE:

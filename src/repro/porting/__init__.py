@@ -10,7 +10,12 @@ from .emitter import (
     resource_block,
     variable_block,
 )
-from .importer import NaiveExporter, PortedProject, StructuredImporter
+from .importer import (
+    NaiveExporter,
+    PortedProject,
+    StructuredImporter,
+    enumerate_estate,
+)
 from .metrics import (
     FidelityResult,
     QualityMetrics,
@@ -28,6 +33,7 @@ __all__ = [
     "StructuredImporter",
     "emit_block",
     "emit_config",
+    "enumerate_estate",
     "measure_quality",
     "module_block",
     "render_value",

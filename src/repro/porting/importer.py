@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..addressing import ResourceAddress
 from ..cloud.base import ResourceRecord
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..state.document import ResourceState, StateDocument
 from ..types.schema import SchemaRegistry
 from .emitter import (
@@ -37,6 +38,42 @@ from .emitter import (
 )
 
 _NAME_INDEX_RE = re.compile(r"^(?P<prefix>.*?)[-_](?P<index>\d+)$")
+
+
+def enumerate_estate(
+    gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+) -> List[ResourceRecord]:
+    """Enumerate the live estate through the paginated list API.
+
+    Unlike ``gateway.all_records()`` -- an in-memory shortcut that costs
+    no API calls and cannot fail -- this walks every provider's list
+    endpoint page by page through the resilience layer, so an import
+    run on a flaky control plane retries the faulted page (same token)
+    and still sees the whole estate. Records are rebuilt from the list
+    snapshots; ``created_at``/``updated_at`` are not part of the list
+    response and read as the scan time.
+    """
+    resilient = ResilientGateway.wrap(gateway, retry=retry)
+    records: List[ResourceRecord] = []
+    for provider, plane in sorted(resilient.planes.items()):
+        token: Any = 0
+        while token is not None:
+            page = resilient.execute_on(plane, "list", attrs={"page_token": token})
+            regions = page.get("regions") or [""] * len(page["items"])
+            for item, rtype, region in zip(page["items"], page["types"], regions):
+                attrs = {k: v for k, v in item.items() if k != "id"}
+                records.append(
+                    ResourceRecord(
+                        id=item["id"],
+                        type=rtype,
+                        region=region,
+                        attrs=attrs,
+                        created_at=resilient.clock.now,
+                        updated_at=resilient.clock.now,
+                    )
+                )
+            token = page["next_token"]
+    return sorted(records, key=lambda r: r.id)
 
 
 @dataclasses.dataclass
@@ -168,14 +205,24 @@ class StructuredImporter:
         self,
         gateway: CloudGateway,
         only_ids: Optional[Set[str]] = None,
+        via_api: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> PortedProject:
         """Port the live estate (optionally restricted to ``only_ids``).
 
         The restriction powers 3.5's program *regeneration*: after
         drift is adopted, the managed estate's live cloud values are
         re-emitted as a fresh program + state pair.
+
+        With ``via_api=True`` the estate is enumerated through the
+        paginated list API behind the resilience layer (retrying
+        transient faults page by page) instead of the zero-cost
+        in-memory ``all_records()`` shortcut.
         """
-        records = sorted(gateway.all_records(), key=lambda r: r.id)
+        if via_api:
+            records = enumerate_estate(gateway, retry=retry)
+        else:
+            records = sorted(gateway.all_records(), key=lambda r: r.id)
         if only_ids is not None:
             records = [r for r in records if r.id in only_ids]
         views = [_RecordView(r, self.registry) for r in records]

@@ -10,9 +10,11 @@ transaction, and records the wait/makespan statistics E3 reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
+from ..cloud.base import CloudAPIError
 from ..cloud.clock import EventQueue, SimClock
+from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..state.document import StateDocument
 from ..state.locks import LockManager
 from ..state.transactions import (
@@ -29,7 +31,11 @@ class UpdateRequest:
     ``keys`` is the set of state addresses the update touches (its lock
     set); ``duration_s`` is how long the cloud-side work takes once the
     locks are held; ``mutate`` applies the logical state change inside
-    the transaction when the work completes.
+    the transaction when the work completes. ``cloud_ops``, when set,
+    performs the update's real cloud mutations through the
+    coordinator's resilient gateway at completion time (retried on
+    transient faults); if it still fails, ``mutate`` is skipped so
+    state never records work the cloud rejected.
     """
 
     team: str
@@ -37,6 +43,7 @@ class UpdateRequest:
     keys: Set[str]
     duration_s: float
     mutate: Optional[Callable[[StateTransaction], None]] = None
+    cloud_ops: Optional[Callable[[Any], None]] = None
 
 
 @dataclasses.dataclass
@@ -65,6 +72,9 @@ class CoordinationResult:
     outcomes: List[UpdateOutcome]
     makespan_s: float
     serializable: bool
+    #: cloud-side failures ("team: error"); the matching logical mutate
+    #: was skipped, so state and cloud stay consistent
+    errors: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def mean_wait_s(self) -> float:
@@ -104,12 +114,21 @@ class UpdateCoordinator:
         lock_manager: LockManager,
         clock: Optional[SimClock] = None,
         scheduling: str = "fifo",
+        gateway: Optional[Any] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if scheduling not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"scheduling must be one of {SCHEDULING_POLICIES}"
             )
-        self.clock = clock or SimClock()
+        self.gateway = (
+            ResilientGateway.wrap(gateway, retry=retry)
+            if gateway is not None
+            else None
+        )
+        self.clock = clock or (
+            self.gateway.clock if self.gateway is not None else SimClock()
+        )
         self.scheduling = scheduling
         self.database = StateDatabase(state, lock_manager)
 
@@ -122,10 +141,15 @@ class UpdateCoordinator:
 
     def run(self, requests: List[UpdateRequest]) -> CoordinationResult:
         """Execute every request to completion, honouring lock conflicts."""
+        if self.gateway is None and any(r.cloud_ops for r in requests):
+            raise ValueError(
+                "requests carry cloud_ops but the coordinator has no gateway"
+            )
         events = EventQueue(self.clock)
         for request in requests:
             events.schedule(request.submitted_at, ("submit", request))
         waiting: List[UpdateRequest] = []
+        errors: List[str] = []
         conflicts: Dict[str, int] = {r.team: 0 for r in requests}
         active: Dict[str, tuple] = {}  # team -> (request, txn, acquired_at)
         outcomes: List[UpdateOutcome] = []
@@ -153,7 +177,17 @@ class UpdateCoordinator:
             elif kind == "complete":
                 team = payload
                 request, txn, acquired_at = active.pop(team)
-                if request.mutate is not None:
+                cloud_failed = False
+                if request.cloud_ops is not None:
+                    # the real cloud work, behind the resilience layer;
+                    # retry backoff advances the shared clock, so the
+                    # outcome's completion time includes it
+                    try:
+                        request.cloud_ops(self.gateway)
+                    except CloudAPIError as exc:
+                        cloud_failed = True
+                        errors.append(f"{team}: {exc}")
+                if request.mutate is not None and not cloud_failed:
                     request.mutate(txn)
                 txn.commit(self.clock.now)
                 outcomes.append(
@@ -179,4 +213,5 @@ class UpdateCoordinator:
             outcomes=sorted(outcomes, key=lambda o: o.team),
             makespan_s=self.clock.now - start,
             serializable=serializable,
+            errors=errors,
         )

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..addressing import ResourceAddress
 from ..cloud.base import CloudAPIError
 from ..cloud.gateway import CloudGateway
+from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..state.document import ResourceState, StateDocument
 from ..state.snapshots import Snapshot
 
@@ -71,6 +72,11 @@ class RollbackResult:
     duration_s: float
     api_calls: int
     errors: List[str]
+    #: addresses whose rebuild is unfinished (destroy failed, or destroy
+    #: landed but the recreate did not) -- state is checkpointed after
+    #: each successful cloud call, so re-planning against the same
+    #: snapshot resumes exactly this work
+    remainder: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -125,10 +131,19 @@ def _configurable_diff(
 
 
 class ReversibilityAwareRollback:
-    """The cloudless rollback planner + phased executor."""
+    """The cloudless rollback planner + phased executor.
 
-    def __init__(self, gateway: CloudGateway):
-        self.gateway = gateway
+    All cloud calls route through the resilience layer (retry with
+    backoff on transient/throttled faults); the phased executor
+    checkpoints state after every successful call so a terminal
+    mid-sequence fault leaves a precise resumable remainder instead of
+    silent corruption.
+    """
+
+    def __init__(
+        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+    ):
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
 
     # -- planning --------------------------------------------------------------
 
@@ -253,6 +268,7 @@ class ReversibilityAwareRollback:
         started = gateway.clock.now
         calls_before = gateway.total_api_calls()
         errors: List[str] = []
+        remainder: List[str] = []
         remap: Dict[str, str] = {}
 
         replaced_addrs = {
@@ -297,10 +313,16 @@ class ReversibilityAwareRollback:
                 errors.append(f"{action.address}: {exc}")
 
         # phase B: destroy -- deletes + the destroy half of replaces,
-        # dependents before their dependencies
+        # dependents before their dependencies. After each successful
+        # destroy the state entry is checkpointed (resource id cleared)
+        # so a later fault can never strand a dead id in golden state;
+        # destroys that *fail* are remembered so phase C skips their
+        # rebuild instead of creating a duplicate twin.
         destroy = deletes + [
             a for a in rebuilds if current_state.get(a.address) is not None
         ]
+        failed_destroys: Set[str] = set()
+        destroyed_ids: Dict[str, str] = {}  # address -> pre-destroy live id
         for action in _dependents_first(destroy):
             entry = current_state.get(action.address)
             if entry is None:
@@ -315,16 +337,34 @@ class ReversibilityAwareRollback:
                 )
                 if action.kind is RollbackKind.DELETE:
                     current_state.remove(action.address)
+                else:
+                    destroyed_ids[str(action.address)] = entry.resource_id
+                    entry.resource_id = ""  # checkpoint: old resource gone
+                    current_state.bump()
             except CloudAPIError as exc:
                 errors.append(f"{action.address}: {exc}")
+                if action.kind is not RollbackKind.DELETE:
+                    failed_destroys.add(str(action.address))
 
         # phase C: recreate -- dependencies before dependents, rewriting
         # references to replaced resources as we learn their new ids
         for action in _dependencies_first(rebuilds):
             rtype = action.address.type
+            addr = str(action.address)
+            if addr in failed_destroys:
+                # the old resource is still live; recreating now would
+                # put two resources under one address
+                errors.append(
+                    f"{action.address}: recreate skipped -- destroy half "
+                    f"failed; resolve and re-run rollback"
+                )
+                remainder.append(addr)
+                continue
             entry = current_state.get(action.address)
-            old_id = action.target_attrs.get("id") or (
-                entry.resource_id if entry else ""
+            old_id = (
+                action.target_attrs.get("id")
+                or destroyed_ids.get(addr)
+                or (entry.resource_id if entry else "")
             )
             payload = {
                 k: _remap_ids(v, remap)
@@ -342,9 +382,15 @@ class ReversibilityAwareRollback:
                 )
             except CloudAPIError as exc:
                 errors.append(f"{action.address}: {exc}")
+                remainder.append(addr)
                 continue
             if old_id:
                 remap[str(old_id)] = response["id"]
+            live_old = destroyed_ids.get(addr)
+            if live_old and live_old != old_id:
+                # dependents' live attrs reference the pre-rollback id;
+                # map it to the twin as well
+                remap[live_old] = response["id"]
             current_state.set(
                 ResourceState(
                     address=action.address,
@@ -364,6 +410,7 @@ class ReversibilityAwareRollback:
             duration_s=gateway.clock.now - started,
             api_calls=gateway.total_api_calls() - calls_before,
             errors=errors,
+            remainder=sorted(set(remainder)),
         )
 
     def _settable(self, action: RollbackAction, attr: str) -> bool:
@@ -382,8 +429,10 @@ class NaiveRollback:
     API errors instead of planned replacements.
     """
 
-    def __init__(self, gateway: CloudGateway):
-        self.gateway = gateway
+    def __init__(
+        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+    ):
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
 
     def plan(self, snapshot: Snapshot, current_state: StateDocument) -> RollbackPlan:
         actions: List[RollbackAction] = []

@@ -1,0 +1,1 @@
+"""Chaos sweep: lifecycle convergence under injected faults."""

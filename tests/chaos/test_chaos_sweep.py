@@ -1,0 +1,201 @@
+"""Chaos sweep: every lifecycle verb under injected faults.
+
+Drives apply -> drift detect/reconcile -> concurrent update ->
+rollback with a blanket transient fault rate on every control plane,
+across seeded RNGs. The invariant is *zero silent corruption*: at
+every stage each state entry either points at a live cloud record or
+carries an explicit checkpoint marker (empty resource id) that a
+re-run resumes; by the end the estate has converged.
+
+Seeds come from ``CHAOS_SEEDS`` (comma-separated, default ``0,1,2,3,4``)
+so CI can run a single-seed smoke tier:
+
+    CHAOS_SEEDS=0 python -m pytest tests/chaos -q
+
+The whole sweep is deterministic: fault dice are per-plane seeded RNGs
+and retry jitter is hash-keyed, so failures replay bit-for-bit.
+"""
+
+import os
+
+import pytest
+
+from repro import perf
+from repro.cloud import FaultSpec, RetryPolicy
+from repro.core import CloudlessEngine
+from repro.drift import FullScanDetector
+from repro.state import ResourceLockManager
+from repro.update import (
+    ReversibilityAwareRollback,
+    UpdateCoordinator,
+    UpdateRequest,
+    measure_divergence,
+)
+from repro.workloads import web_tier
+
+RATES = [0.05, 0.15]
+SEEDS = [
+    int(s)
+    for s in os.environ.get("CHAOS_SEEDS", "0,1,2,3,4").split(",")
+    if s.strip()
+]
+
+#: deploy executors get a patient schedule so a 0.15 fault rate cannot
+#: realistically exhaust an apply (p_fail ~ 0.15^6 per resource)
+PATIENT = RetryPolicy(max_attempts=6, base_backoff_s=2.0)
+
+
+def chaotic_engine(seed, rate):
+    engine = CloudlessEngine(seed=seed, retry=PATIENT)
+    for plane in engine.gateway.planes.values():
+        plane.faults.set_transient_rate(rate)
+    return engine
+
+
+def assert_no_silent_corruption(engine):
+    """Every state entry points at a live record or is an explicit
+    checkpoint (empty id == rebuild in progress, resumable)."""
+    for entry in engine.state.resources():
+        if entry.resource_id == "":
+            continue
+        assert engine.gateway.find_record(entry.resource_id) is not None, (
+            f"state entry {entry.address} silently points at dead id "
+            f"{entry.resource_id}"
+        )
+
+
+def apply_until_ok(engine, source, attempts=4):
+    """Apply, resuming on a partially-failed pass (plan is incremental)."""
+    for _ in range(attempts):
+        result = engine.apply(source)
+        if result.ok:
+            return result
+    raise AssertionError(f"apply did not converge in {attempts} passes")
+
+
+def reconcile_until_clean(engine, rounds=6):
+    """Detect + reconcile until a scan comes back clean; interrupted
+    repairs surface as fresh findings and resume next round."""
+    for _ in range(rounds):
+        run = FullScanDetector(engine.resilient).scan(engine.state)
+        findings = [f for f in run.findings if f.kind != "unmanaged"]
+        if not findings:
+            return
+        engine.reconcile(findings)
+        assert_no_silent_corruption(engine)
+    raise AssertionError(f"drift did not reconcile in {rounds} rounds")
+
+
+@pytest.mark.parametrize("rate", RATES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lifecycle_converges_under_chaos(rate, seed):
+    perf.PERF.enable()
+    perf.PERF.reset()
+    try:
+        engine = chaotic_engine(seed, rate)
+
+        # -- apply ---------------------------------------------------------
+        apply_until_ok(engine, web_tier(web_vms=4, app_vms=3))
+        assert_no_silent_corruption(engine)
+
+        # -- drift + reconcile --------------------------------------------
+        vms = [
+            e
+            for e in engine.state.resources()
+            if e.address.type == "aws_virtual_machine"
+        ]
+        engine.gateway.planes["aws"].external_update(
+            vms[0].resource_id, {"image": "win-2022"}  # forces replacement
+        )
+        engine.gateway.planes["aws"].external_delete(vms[1].resource_id)
+        reconcile_until_clean(engine)
+
+        snap = engine.history.checkpoint(
+            engine.state,
+            engine.last_sources,
+            timestamp=engine.clock.now,
+            description="post-reconcile",
+        )
+
+        # -- concurrent update (cloud ops behind the resilient gateway) ---
+        targets = [
+            e
+            for e in engine.state.resources()
+            if e.address.type == "aws_virtual_machine"
+        ][:2]
+
+        def resize(entry):
+            def ops(gw):
+                gw.execute(
+                    "update",
+                    entry.address.type,
+                    resource_id=entry.resource_id,
+                    attrs={"size": "xlarge"},
+                )
+
+            return ops
+
+        coordinator = UpdateCoordinator(
+            engine.state,
+            ResourceLockManager(),
+            gateway=engine.resilient,
+        )
+        outcome = coordinator.run(
+            [
+                UpdateRequest(
+                    team=f"team-{i}",
+                    submitted_at=engine.clock.now,
+                    keys={str(t.address)},
+                    duration_s=120.0,
+                    cloud_ops=resize(t),
+                )
+                for i, t in enumerate(targets)
+            ]
+        )
+        assert outcome.serializable
+        assert outcome.errors == []
+        assert_no_silent_corruption(engine)
+
+        # -- rollback (resume on remainder until converged) ----------------
+        planner = ReversibilityAwareRollback(engine.resilient)
+        for _ in range(5):
+            plan = planner.plan(snap, engine.state)
+            planner.execute(plan, engine.state)
+            assert_no_silent_corruption(engine)
+            if measure_divergence(engine.gateway, snap, engine.state) == 0:
+                break
+        assert measure_divergence(engine.gateway, snap, engine.state) == 0
+
+        if rate >= 0.15:
+            counters = perf.snapshot()["counters"]
+            assert counters.get("resilience.retries", 0) > 0
+    finally:
+        perf.PERF.reset()
+        perf.PERF.disable()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_import_via_api_under_list_faults(seed):
+    """The resilient importer sees the whole estate despite flaky
+    paginated list calls."""
+    engine = chaotic_engine(seed, 0.15)
+    apply_until_ok(engine, web_tier(web_vms=8, app_vms=8))
+    for plane in engine.gateway.planes.values():
+        plane.faults.add_rule(
+            FaultSpec(
+                error_code="Throttling",
+                message="rate exceeded",
+                match_operation="list",
+                probability=0.2,
+                transient=True,
+                max_strikes=-1,
+            )
+        )
+    calls_before = engine.gateway.total_api_calls()
+    project = engine.import_estate(adopt=False, via_api=True)
+    live_ids = {r.id for r in engine.gateway.all_records()}
+    imported_ids = {e.resource_id for e in project.state.resources()}
+    assert imported_ids == live_ids
+    # enumeration really went through the API (the in-memory shortcut
+    # costs zero calls)
+    assert engine.gateway.total_api_calls() > calls_before

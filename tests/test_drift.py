@@ -204,3 +204,95 @@ class TestDetectorEquivalence:
         FullScanDetector(engine.gateway).scan(engine.state)
         scan_cost = engine.gateway.total_api_calls() - before
         assert log_cost < scan_cost / 2
+
+
+class TestResilienceRegressions:
+    """Crash consistency and fault tolerance of the drift path."""
+
+    def test_interrupted_replacement_checkpoints_state(self):
+        # regression: an immutable-drift replacement whose create half
+        # faults used to leave state pointing at the already-deleted id
+        from repro.cloud import FaultSpec
+
+        engine = deployed(seed=57)
+        vm = a_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"image": "win-2022"}
+        )
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InsufficientCapacity",
+                message="no capacity",
+                match_type="aws_virtual_machine",
+                match_operation="create",
+                transient=False,
+                max_strikes=1,
+            )
+        )
+        old_id = vm.resource_id
+        run = FullScanDetector(engine.gateway).scan(engine.state)
+        report = engine.reconcile(run.findings)
+        assert not report.ok
+        assert report.remainder  # precise resumable work
+        entry = engine.state.get(vm.address)
+        assert entry is not None
+        assert entry.resource_id == ""  # checkpointed, not the dead id
+        assert engine.gateway.find_record(old_id) is None
+        # resume: a fresh detect + reconcile pass finishes the repair
+        run2 = FullScanDetector(engine.gateway).scan(engine.state)
+        report2 = engine.reconcile(run2.findings)
+        assert report2.ok
+        entry = engine.state.get(vm.address)
+        assert entry.resource_id
+        assert engine.gateway.find_record(entry.resource_id) is not None
+
+    def test_transient_fault_during_replacement_is_retried(self):
+        from repro.cloud import FaultSpec
+
+        engine = deployed(seed=59)
+        vm = a_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id, {"image": "win-2022"}
+        )
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InternalServerError",
+                message="retry me",
+                match_type="aws_virtual_machine",
+                match_operation="create",
+                transient=True,
+                max_strikes=1,
+            )
+        )
+        run = FullScanDetector(engine.gateway).scan(engine.state)
+        report = engine.reconcile(run.findings)
+        assert report.ok  # the retry absorbed the fault
+        assert engine.resilient.stats.retries >= 1
+        entry = engine.state.get(vm.address)
+        assert engine.gateway.find_record(entry.resource_id) is not None
+
+    def test_fullscan_survives_mid_pagination_fault(self):
+        from repro.cloud import FaultSpec
+
+        clean_engine = deployed(seed=58, web_vms=8, app_vms=8)
+        clean = FullScanDetector(clean_engine.gateway).scan(
+            clean_engine.state
+        )
+        assert clean.findings == []
+        assert clean.api_calls >= 2  # estate spans multiple pages
+
+        engine = deployed(seed=58, web_vms=8, app_vms=8)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="Throttling",
+                message="rate exceeded",
+                match_operation="list",
+                transient=True,
+                max_strikes=1,
+            )
+        )
+        run = FullScanDetector(engine.gateway).scan(engine.state)
+        # the faulted page was retried with the same token: the scan
+        # still covers the whole estate and costs exactly one extra call
+        assert run.findings == []
+        assert run.api_calls == clean.api_calls + 1

@@ -153,3 +153,105 @@ class TestConvergence:
         assert measure_divergence(engine.gateway, snapshot, engine.state) == 0
         # rollback itself is checkpointed (the time machine grows)
         assert len(engine.history) >= 3
+
+
+class TestCrashConsistency:
+    """Faults mid-rollback must never corrupt state or duplicate
+    resources; interrupted work surfaces as a resumable remainder."""
+
+    def renamed_shadow_scenario(self, seed):
+        """Shadow drift that also renamed the live VM -- the case where
+        a rebuild whose destroy half fails would, without the guard,
+        recreate the snapshot twin alongside the still-live original."""
+        engine, v1 = deployed_engine(seed=seed)
+        vm = first_vm(engine)
+        engine.gateway.planes["aws"].external_update(
+            vm.resource_id,
+            {"name": "renamed-out-of-band", "network_settings": "custom"},
+        )
+        return engine, engine.history.get(v1), vm
+
+    def vm_count(self, engine):
+        return sum(
+            1
+            for r in engine.gateway.all_records()
+            if r.type == "aws_virtual_machine"
+        )
+
+    def test_failed_destroy_skips_recreate(self):
+        from repro.cloud import FaultSpec
+
+        engine, snapshot, vm = self.renamed_shadow_scenario(seed=45)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="DependencyViolation",
+                message="resource is in use",
+                match_type="aws_virtual_machine",
+                match_operation="delete",
+                transient=False,
+                max_strikes=1,
+            )
+        )
+        before = self.vm_count(engine)
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        result = planner.execute(plan, engine.state)
+        # regression: no duplicate twin under the same address
+        assert self.vm_count(engine) == before
+        assert str(vm.address) in result.remainder
+        assert any("recreate skipped" in e for e in result.errors)
+        # state still points at the live (undeleted) resource
+        entry = engine.state.get(vm.address)
+        assert engine.gateway.find_record(entry.resource_id) is not None
+
+    def test_interrupted_recreate_checkpoints_and_resumes(self):
+        from repro.cloud import FaultSpec
+
+        engine, snapshot, vm = self.renamed_shadow_scenario(seed=46)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InsufficientCapacity",
+                message="no capacity",
+                match_type="aws_virtual_machine",
+                match_operation="create",
+                transient=False,
+                max_strikes=1,
+            )
+        )
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        result = planner.execute(plan, engine.state)
+        assert str(vm.address) in result.remainder
+        entry = engine.state.get(vm.address)
+        # checkpoint: the destroy half landed, state must say so
+        assert entry is not None and entry.resource_id == ""
+        assert engine.gateway.find_record(vm.resource_id) is None
+        # resume: re-plan against the same snapshot and run to done
+        plan2 = planner.plan(snapshot, engine.state)
+        result2 = planner.execute(plan2, engine.state)
+        assert result2.errors == []
+        assert result2.remainder == []
+        assert measure_divergence(engine.gateway, snapshot, engine.state) == 0
+
+    def test_transient_faults_absorbed_by_retry(self):
+        from repro.cloud import FaultSpec
+
+        engine, snapshot, vm = self.renamed_shadow_scenario(seed=47)
+        for operation in ("delete", "create"):
+            engine.gateway.planes["aws"].faults.add_rule(
+                FaultSpec(
+                    error_code="InternalServerError",
+                    message="retry me",
+                    match_type="aws_virtual_machine",
+                    match_operation=operation,
+                    transient=True,
+                    max_strikes=1,
+                )
+            )
+        planner = ReversibilityAwareRollback(engine.gateway)
+        plan = planner.plan(snapshot, engine.state)
+        result = planner.execute(plan, engine.state)
+        assert result.errors == []
+        assert result.remainder == []
+        assert planner.gateway.stats.retries >= 2
+        assert measure_divergence(engine.gateway, snapshot, engine.state) == 0

@@ -140,3 +140,126 @@ class TestResourceLocks:
         by_team = {o.team: o for o in result.outcomes}
         assert by_team["t2"].wait_s == pytest.approx(0.0)  # lock long free
         assert result.makespan_s == pytest.approx(110.0)
+
+
+class TestCloudOps:
+    """Cloud-side work routed through the coordinator's resilient
+    gateway at completion time."""
+
+    def deployed(self, seed=48):
+        from repro.core import CloudlessEngine
+        from repro.workloads import web_tier
+
+        engine = CloudlessEngine(seed=seed)
+        assert engine.apply(web_tier()).ok
+        return engine
+
+    def a_vm(self, engine):
+        return next(
+            e
+            for e in engine.state.resources()
+            if e.address.type == "aws_virtual_machine"
+        )
+
+    def test_cloud_ops_survive_transient_faults(self):
+        from repro.cloud import FaultSpec
+
+        engine = self.deployed()
+        vm = self.a_vm(engine)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InternalServerError",
+                message="retry me",
+                match_operation="update",
+                transient=True,
+                max_strikes=1,
+            )
+        )
+        coordinator = UpdateCoordinator(
+            engine.state, ResourceLockManager(), gateway=engine.resilient
+        )
+
+        def ops(gw):
+            gw.execute(
+                "update",
+                vm.address.type,
+                resource_id=vm.resource_id,
+                attrs={"size": "xlarge"},
+            )
+
+        result = coordinator.run(
+            [
+                UpdateRequest(
+                    team="t1",
+                    submitted_at=engine.clock.now,
+                    keys={str(vm.address)},
+                    duration_s=60.0,
+                    cloud_ops=ops,
+                )
+            ]
+        )
+        assert result.errors == []
+        assert engine.resilient.stats.retries >= 1
+        live = engine.gateway.find_record(vm.resource_id)
+        assert live.attrs["size"] == "xlarge"
+
+    def test_failed_cloud_ops_skip_logical_mutate(self):
+        from repro.cloud import FaultSpec
+
+        engine = self.deployed(seed=49)
+        vm = self.a_vm(engine)
+        engine.gateway.planes["aws"].faults.add_rule(
+            FaultSpec(
+                error_code="InvalidParameter",
+                message="rejected",
+                match_operation="update",
+                transient=False,
+                max_strikes=1,
+            )
+        )
+        coordinator = UpdateCoordinator(
+            engine.state, ResourceLockManager(), gateway=engine.resilient
+        )
+
+        def ops(gw):
+            gw.execute(
+                "update",
+                vm.address.type,
+                resource_id=vm.resource_id,
+                attrs={"size": "xlarge"},
+            )
+
+        def mutate(txn):
+            raise AssertionError(
+                "mutate must not run when cloud work failed"
+            )
+
+        result = coordinator.run(
+            [
+                UpdateRequest(
+                    team="t1",
+                    submitted_at=engine.clock.now,
+                    keys={str(vm.address)},
+                    duration_s=60.0,
+                    mutate=mutate,
+                    cloud_ops=ops,
+                )
+            ]
+        )
+        assert len(result.errors) == 1
+        assert "InvalidParameter" in result.errors[0]
+
+    def test_cloud_ops_without_gateway_rejected(self):
+        coordinator = UpdateCoordinator(seeded_state(), ResourceLockManager())
+        with pytest.raises(ValueError):
+            coordinator.run(
+                [
+                    UpdateRequest(
+                        team="t1",
+                        submitted_at=0.0,
+                        keys={"aws_s3_bucket.b0"},
+                        duration_s=10.0,
+                        cloud_ops=lambda gw: None,
+                    )
+                ]
+            )
