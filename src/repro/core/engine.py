@@ -361,12 +361,17 @@ class CloudlessEngine:
         if self.state.get(dst_addr) is not None:
             raise EngineError(f"destination {dst} already exists in state")
         self.state.remove(src_addr)
-        entry.address = dst_addr
-        self.state.set(entry)
+        self.state.set(entry.replace(address=dst_addr))
         for other in self.state.resources():
-            other.dependencies = [
-                dst if dep == src else dep for dep in other.dependencies
-            ]
+            if src in other.dependencies:
+                self.state.set(
+                    other.replace(
+                        dependencies=[
+                            dst if dep == src else dep
+                            for dep in other.dependencies
+                        ]
+                    )
+                )
         self.state.bump()
 
     def state_forget(self, address: str) -> bool:

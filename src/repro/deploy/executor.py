@@ -609,14 +609,15 @@ class PlanExecutor:
             )
             state.set(entry)
         else:  # update
-            entry = state.get(change.address)
-            if entry is None and change.prior is not None:
-                entry = change.prior.copy()
-                state.set(entry)
+            entry = state.get(change.address) or change.prior
             if entry is not None:
-                entry.attrs = dict(response)
-                entry.updated_at = now
-                entry.dependencies = deps or entry.dependencies
+                state.set(
+                    entry.replace(
+                        attrs=dict(response),
+                        updated_at=now,
+                        dependencies=deps or list(entry.dependencies),
+                    )
+                )
         plan.resolver.set_override(change.id, dict(response))
 
 

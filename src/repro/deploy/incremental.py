@@ -84,8 +84,9 @@ def refresh_state(
             continue
         if not values_equal(entry.attrs, snapshot):
             drifted.append(addr_text)
-            entry.attrs = dict(snapshot)
-            entry.updated_at = clock.now
+            state.set(
+                entry.replace(attrs=dict(snapshot), updated_at=clock.now)
+            )
     return RefreshResult(
         refreshed=refreshed,
         drifted=drifted,

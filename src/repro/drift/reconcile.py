@@ -166,7 +166,8 @@ class Reconciler:
                     # checkpoint: the old resource is gone -- state must
                     # say so *before* the create is attempted, or a
                     # create fault strands a dead id in golden state
-                    entry.resource_id = ""
+                    entry = entry.replace(resource_id="")
+                    state.set(entry)
                     state.bump()
                     payload = self._settable_attrs(entry)
                     region = entry.region or self.gateway.default_region(rtype)
@@ -181,8 +182,11 @@ class Reconciler:
                             f"({exc.code}); re-run reconcile to resume",
                             exc,
                         ) from exc
-                    entry.resource_id = response["id"]
-                    entry.attrs = dict(response)
+                    state.set(
+                        entry.replace(
+                            resource_id=response["id"], attrs=dict(response)
+                        )
+                    )
                     return (
                         "recreated resource (drift on immutable attrs: "
                         + ", ".join(immutable)
@@ -196,12 +200,12 @@ class Reconciler:
                     resource_id=entry.resource_id,
                     attrs=updatable,
                 )
-                entry.attrs = dict(response)
+                state.set(entry.replace(attrs=dict(response)))
                 return "reset cloud attributes to golden state"
             # adopt: pull the cloud's version into state
             live = self.gateway.find_record(finding.resource_id)
             if live is not None:
-                entry.attrs = live.snapshot()
+                state.set(entry.replace(attrs=live.snapshot()))
             return "adopted cloud attributes into state"
         if finding.kind == "deleted":
             entry = self._entry_for(finding, state)

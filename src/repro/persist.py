@@ -21,7 +21,12 @@ from .core.engine import CloudlessEngine
 from .state.document import StateDocument
 from .state.snapshots import SnapshotHistory
 
-FORMAT_VERSION = 1
+#: current world format: snapshot history persisted as deltas +
+#: periodic keyframes (O(changed) per version) instead of one full
+#: state document per version. Format 1 worlds (full documents) are
+#: still readable.
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, 2)
 
 
 # -- control planes ------------------------------------------------------------
@@ -109,31 +114,20 @@ def plane_from_dict(plane: ControlPlane, data: Dict[str, Any]) -> None:
 
 
 def history_to_dict(history: SnapshotHistory) -> list:
-    out = []
-    for version in history.versions():
-        snap = history.get(version)
-        out.append(
-            {
-                "version": snap.version,
-                "timestamp": snap.timestamp,
-                "state": json.loads(snap.state.to_json()),
-                "config_sources": snap.config_sources,
-                "description": snap.description,
-            }
-        )
-    return out
+    """Delta-journal serialisation: keyframes carry full documents,
+    every other version carries only what changed against its parent."""
+    return history.export_records()
 
 
 def history_from_dict(data: list) -> SnapshotHistory:
-    history = SnapshotHistory()
-    for item in data:
-        snap = history.checkpoint(
-            StateDocument.from_json(json.dumps(item["state"])),
-            item.get("config_sources", {}),
-            timestamp=item.get("timestamp", 0.0),
-            description=item.get("description", ""),
-        )
-        assert snap.version == item["version"], "history must be contiguous"
+    """Rebuild a history from :func:`history_to_dict` output.
+
+    Accepts both the delta form (format 2) and the historical
+    full-document-per-version form (format 1).
+    """
+    history = SnapshotHistory.import_records(data)
+    for item, version in zip(data, history.versions()):
+        assert version == item["version"], "history must be contiguous"
     return history
 
 
@@ -159,10 +153,10 @@ def engine_to_dict(engine: CloudlessEngine) -> Dict[str, Any]:
 
 
 def engine_from_dict(data: Dict[str, Any]) -> CloudlessEngine:
-    if data.get("format") != FORMAT_VERSION:
+    if data.get("format") not in SUPPORTED_FORMATS:
         raise ValueError(
             f"unsupported world format {data.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_FORMATS})"
         )
     engine = CloudlessEngine(
         seed=data.get("seed", 0),

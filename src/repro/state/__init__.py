@@ -1,7 +1,7 @@
 """State management: golden-state document, stores, snapshots ("time
 machine"), lock managers, and transactions (paper 3.4)."""
 
-from .document import ResourceState, StateDocument
+from .document import ImmutableEntryError, ResourceState, StateDocument
 from .locks import (
     GLOBAL_KEY,
     GlobalLockManager,
@@ -10,7 +10,13 @@ from .locks import (
     ResourceLockManager,
 )
 from .snapshots import Snapshot, SnapshotDiff, SnapshotHistory
-from .store import FileStateStore, MemoryStateStore, StaleStateError, StateStore
+from .store import (
+    FileStateStore,
+    JournalStateStore,
+    MemoryStateStore,
+    StaleStateError,
+    StateStore,
+)
 from .transactions import (
     CommittedTransaction,
     SerializabilityChecker,
@@ -24,6 +30,8 @@ __all__ = [
     "FileStateStore",
     "GLOBAL_KEY",
     "GlobalLockManager",
+    "ImmutableEntryError",
+    "JournalStateStore",
     "LockGrant",
     "LockManager",
     "MemoryStateStore",

@@ -5,20 +5,76 @@ snapshot observed at last apply. The paper calls for "an IaC database
 that reflects the golden state of the cloud infrastructure" (3.4);
 :class:`StateDocument` is that record, and the snapshot history in
 :mod:`repro.state.snapshots` is its time machine.
+
+At 10k-resource estates (PR 1's scale target) the original
+Terraform-shaped implementation -- ``copy()`` round-tripping every
+resource through ``json.loads(json.dumps(...))``, ``by_resource_id``
+scanning linearly -- dominated every checkpoint, rollback checkout and
+drift poll. This rewrite makes the document **copy-on-write with
+immutable entries**:
+
+* every :class:`ResourceState` stored in a document is *sealed*:
+  top-level field assignment raises :class:`ImmutableEntryError`.
+  Mutation happens by building a successor entry
+  (:meth:`ResourceState.replace`) and :meth:`StateDocument.set`-ing it,
+  so entries can be structurally shared between arbitrarily many
+  documents and snapshots.
+* :meth:`StateDocument.copy` is O(1): the entry map is shared between
+  the copies (a refcount cell tracks sharing) and the first mutation on
+  either side re-materialises only the map -- a dict of references --
+  never the entries.
+* secondary indexes are maintained, not scanned: ``by_resource_id`` is
+  a dict hit, ``instances_of`` reads a per-declaration bucket, and
+  ``addresses()``/``resources()`` reuse a sorted-key cache invalidated
+  only when the address *set* changes.
+
+``to_json()`` stays byte-identical to the historical format (pinned by
+``tests/golden/test_state_golden.py`` against the frozen deep-copy
+implementation in :mod:`repro.state.reference`).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..addressing import ResourceAddress
+from ..perf import PERF
+
+
+class ImmutableEntryError(TypeError):
+    """Attempted in-place mutation of a sealed state entry.
+
+    Entries stored in a :class:`StateDocument` are shared structurally
+    with copies and snapshots; mutate by ``doc.set(entry.replace(...))``
+    instead.
+    """
+
+
+def deep_value_copy(value: Any) -> Any:
+    """Fast deep copy of JSON-shaped attribute values.
+
+    Matches the semantics of the historical ``json.loads(json.dumps(v))``
+    round trip (tuples become lists) without serialising.
+    """
+    if isinstance(value, dict):
+        return {k: deep_value_copy(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [deep_value_copy(v) for v in value]
+    return value
 
 
 @dataclasses.dataclass
 class ResourceState:
-    """State entry for one deployed resource instance."""
+    """State entry for one deployed resource instance.
+
+    Freshly constructed entries are mutable; storing one in a
+    :class:`StateDocument` seals it (see :meth:`seal`). Derive changed
+    versions with :meth:`replace` -- unchanged ``attrs`` stay shared
+    with the parent entry, so a field-level touch is O(1), not
+    O(estate).
+    """
 
     address: ResourceAddress
     resource_id: str
@@ -28,6 +84,47 @@ class ResourceState:
     created_at: float = 0.0
     updated_at: float = 0.0
     dependencies: List[str] = dataclasses.field(default_factory=list)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_sealed", False):
+            raise ImmutableEntryError(
+                f"state entry {self.address} is sealed; use "
+                f"doc.set(entry.replace({name}=...)) instead of in-place "
+                f"assignment"
+            )
+        object.__setattr__(self, name, value)
+
+    # -- immutability ------------------------------------------------------
+
+    def seal(self) -> "ResourceState":
+        """Freeze top-level fields; idempotent."""
+        object.__setattr__(self, "_sealed", True)
+        return self
+
+    @property
+    def sealed(self) -> bool:
+        return bool(getattr(self, "_sealed", False))
+
+    def replace(self, **changes: Any) -> "ResourceState":
+        """A new (unsealed) entry with ``changes`` applied.
+
+        Fields not named in ``changes`` are shared with this entry --
+        safe because sealed entries never mutate. Callers that intend to
+        mutate ``attrs``/``dependencies`` in place afterwards must pass
+        fresh containers.
+        """
+        fields = {
+            "address": self.address,
+            "resource_id": self.resource_id,
+            "provider": self.provider,
+            "attrs": self.attrs,
+            "region": self.region,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "dependencies": self.dependencies,
+        }
+        fields.update(changes)
+        return ResourceState(**fields)
 
     @property
     def type(self) -> str:
@@ -59,11 +156,12 @@ class ResourceState:
         )
 
     def copy(self) -> "ResourceState":
+        """A private, mutable deep copy (attrs and dependencies owned)."""
         return ResourceState(
             address=self.address,
             resource_id=self.resource_id,
             provider=self.provider,
-            attrs=json.loads(json.dumps(self.attrs)),
+            attrs=deep_value_copy(self.attrs),
             region=self.region,
             created_at=self.created_at,
             updated_at=self.updated_at,
@@ -71,52 +169,144 @@ class ResourceState:
         )
 
 
+def _decl_key(address: ResourceAddress) -> Tuple[str, str, tuple, str]:
+    return (address.type, address.name, address.module_path, address.mode)
+
+
 class StateDocument:
     """All resource states plus outputs, with a monotonically
-    increasing ``serial`` for optimistic concurrency."""
+    increasing ``serial`` for optimistic concurrency.
+
+    Copy-on-write: ``copy()`` shares the entry map (O(1)); the first
+    ``set``/``remove`` on a sharing document clones the map of
+    *references* only. Entries themselves are sealed and never copied.
+    """
 
     def __init__(self, serial: int = 0, lineage: str = "root"):
         self.serial = serial
         self.lineage = lineage
         self._resources: Dict[str, ResourceState] = {}
+        #: refcount cell shared by every document sharing ``_resources``
+        self._share: List[int] = [1]
         self.outputs: Dict[str, Any] = {}
+        # lazy, per-document secondary indexes (never shared via copy)
+        self._by_id: Optional[Dict[str, Dict[str, ResourceState]]] = None
+        self._by_decl: Optional[Dict[tuple, Dict[str, ResourceState]]] = None
+        self._sorted_keys: Optional[List[Tuple[ResourceAddress, str]]] = None
+
+    # -- copy-on-write machinery -------------------------------------------
+
+    def _own(self) -> None:
+        """Ensure this document exclusively owns its entry map."""
+        if self._share[0] > 1:
+            self._share[0] -= 1
+            self._resources = dict(self._resources)
+            self._share = [1]
+            PERF.count("state.copy_unshared")
 
     # -- resource access --------------------------------------------------
 
     def get(self, address: ResourceAddress) -> Optional[ResourceState]:
         return self._resources.get(str(address))
 
+    def entries_map(self) -> Mapping[str, ResourceState]:
+        """The internal address->entry map (read-only contract).
+
+        Exposed for the snapshot/delta layer, which exploits entry
+        *identity* across shared documents to do O(changed) work.
+        """
+        return self._resources
+
     def set(self, entry: ResourceState) -> None:
-        self._resources[str(entry.address)] = entry
+        entry.seal()
+        self._own()
+        key = str(entry.address)
+        prev = self._resources.get(key)
+        self._resources[key] = entry
+        if prev is None:
+            self._sorted_keys = None  # address set changed
+        if self._by_id is not None:
+            if prev is not None and prev.resource_id:
+                bucket = self._by_id.get(prev.resource_id)
+                if bucket is not None:
+                    bucket.pop(key, None)
+                    if not bucket:
+                        del self._by_id[prev.resource_id]
+            if entry.resource_id:
+                self._by_id.setdefault(entry.resource_id, {})[key] = entry
+        if self._by_decl is not None:
+            self._by_decl.setdefault(_decl_key(entry.address), {})[key] = entry
 
     def remove(self, address: ResourceAddress) -> Optional[ResourceState]:
-        return self._resources.pop(str(address), None)
+        key = str(address)
+        if key not in self._resources:
+            return None
+        self._own()
+        entry = self._resources.pop(key)
+        self._sorted_keys = None
+        if self._by_id is not None and entry.resource_id:
+            bucket = self._by_id.get(entry.resource_id)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del self._by_id[entry.resource_id]
+        if self._by_decl is not None:
+            bucket2 = self._by_decl.get(_decl_key(entry.address))
+            if bucket2 is not None:
+                bucket2.pop(key, None)
+        return entry
+
+    def _sorted(self) -> List[Tuple[ResourceAddress, str]]:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(
+                ((e.address, k) for k, e in self._resources.items()),
+                key=lambda pair: pair[0],
+            )
+        return self._sorted_keys
 
     def addresses(self) -> List[ResourceAddress]:
-        return sorted(r.address for r in self._resources.values())
+        return [addr for addr, _ in self._sorted()]
 
     def resources(self) -> List[ResourceState]:
-        return [self._resources[str(a)] for a in self.addresses()]
+        return [self._resources[key] for _, key in self._sorted()]
 
     def instances_of(
         self, rtype: str, name: str, module_path: tuple = (), mode: str = "managed"
     ) -> List[ResourceState]:
         """Every instance of one declaration, sorted by instance key."""
-        out = [
-            r
-            for r in self._resources.values()
-            if r.address.type == rtype
-            and r.address.name == name
-            and r.address.module_path == module_path
-            and r.address.mode == mode
-        ]
-        return sorted(out, key=lambda r: r.address)
+        if self._by_decl is None:
+            index: Dict[tuple, Dict[str, ResourceState]] = {}
+            for key, entry in self._resources.items():
+                index.setdefault(_decl_key(entry.address), {})[key] = entry
+            self._by_decl = index
+        bucket = self._by_decl.get((rtype, name, module_path, mode))
+        if not bucket:
+            return []
+        return sorted(bucket.values(), key=lambda r: r.address)
 
     def by_resource_id(self, resource_id: str) -> Optional[ResourceState]:
-        for entry in self._resources.values():
-            if entry.resource_id == resource_id:
-                return entry
-        return None
+        """Indexed cloud-id -> entry lookup (O(1) amortised).
+
+        Empty ids (a mid-replacement checkpoint clears ``resource_id``)
+        fall back to the historical first-match scan; they are not
+        unique, so they are not indexed.
+        """
+        if not resource_id:
+            for entry in self._resources.values():
+                if entry.resource_id == resource_id:
+                    return entry
+            return None
+        if self._by_id is None:
+            index: Dict[str, Dict[str, ResourceState]] = {}
+            for key, entry in self._resources.items():
+                if entry.resource_id:
+                    index.setdefault(entry.resource_id, {})[key] = entry
+            self._by_id = index
+        PERF.count("state.by_id_lookups")
+        bucket = self._by_id.get(resource_id)
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
 
     def __len__(self) -> int:
         return len(self._resources)
@@ -133,10 +323,24 @@ class StateDocument:
         self.serial += 1
 
     def copy(self) -> "StateDocument":
-        out = StateDocument(serial=self.serial, lineage=self.lineage)
-        for entry in self._resources.values():
-            out.set(entry.copy())
-        out.outputs = json.loads(json.dumps(self.outputs))
+        """O(1) copy-on-write snapshot of this document.
+
+        Entries and the entry map are shared; either side re-materialises
+        the map (references only) on its first mutation. ``outputs`` is
+        deep-copied -- it is small and callers mutate it in place.
+        """
+        out = StateDocument.__new__(StateDocument)
+        out.serial = self.serial
+        out.lineage = self.lineage
+        out._resources = self._resources
+        self._share[0] += 1
+        out._share = self._share
+        out.outputs = deep_value_copy(self.outputs)
+        out._by_id = None
+        out._by_decl = None
+        out._sorted_keys = None
+        PERF.count("state.copies")
+        PERF.count("state.copy_entries_shared", len(self._resources))
         return out
 
     # -- serialization ---------------------------------------------------------

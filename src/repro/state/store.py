@@ -1,12 +1,30 @@
-"""State storage backends."""
+"""State storage backends.
+
+Three homes for the golden state:
+
+* :class:`MemoryStateStore` -- in-process, O(1) reads/writes thanks to
+  the copy-on-write document.
+* :class:`FileStateStore` -- one JSON file, rewritten whole on every
+  write (the Terraform shape).
+* :class:`JournalStateStore` -- a keyframe file plus an append-only
+  delta journal: each write persists only what changed since the last
+  write, and the journal is compacted into a fresh keyframe once it
+  grows past ``compact_threshold`` entries. Replay is idempotent
+  (deltas carry absolute serials and full entry values), so a crash
+  between compaction and journal truncation cannot corrupt the store.
+"""
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
-from typing import Optional
+from typing import List, Optional
 
-from .document import StateDocument
+from ..addressing import ResourceAddress
+from ..perf import PERF
+from .document import ResourceState, StateDocument
+from .snapshots import _map_delta
 
 
 class StateStore:
@@ -65,6 +83,123 @@ class FileStateStore(StateStore):
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+
+
+class JournalStateStore(StateStore):
+    """Keyframe + append-only delta journal backend.
+
+    Layout: ``path`` holds the last compacted keyframe (the same JSON
+    document :class:`FileStateStore` writes); ``path + ".journal"``
+    holds one JSON line per committed write, each an O(changed) delta
+    against the previous write. ``read()`` replays the journal over the
+    keyframe; ``write()`` appends a delta and compacts once the journal
+    reaches ``compact_threshold`` lines.
+    """
+
+    def __init__(self, path: str, compact_threshold: int = 64):
+        self.path = path
+        self.journal_path = path + ".journal"
+        self.compact_threshold = max(1, compact_threshold)
+        self._last: Optional[StateDocument] = None
+        self._journal_len: Optional[int] = None
+
+    # -- reading -----------------------------------------------------------
+
+    def _read_journal(self) -> List[dict]:
+        if not os.path.exists(self.journal_path):
+            return []
+        entries: List[dict] = []
+        with open(self.journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        return entries
+
+    def _load(self) -> StateDocument:
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                doc = StateDocument.from_json(handle.read())
+        else:
+            doc = StateDocument()
+        journal = self._read_journal()
+        for delta in journal:
+            _apply_delta(doc, delta)
+        self._journal_len = len(journal)
+        return doc
+
+    def read(self) -> StateDocument:
+        if self._last is None:
+            self._last = self._load()
+        return self._last.copy()
+
+    # -- writing -----------------------------------------------------------
+
+    def write(self, doc: StateDocument) -> None:
+        if self._last is None:
+            self._last = self._load()
+        if doc.serial < self._last.serial:
+            raise StaleStateError(
+                f"serial {doc.serial} is older than stored {self._last.serial}"
+            )
+        snapshot = doc.copy()
+        delta_set, delta_removed = _map_delta(
+            self._last.entries_map(), snapshot.entries_map()
+        )
+        delta = {
+            "serial": snapshot.serial,
+            "lineage": snapshot.lineage,
+            "set": [delta_set[k].to_dict() for k in sorted(delta_set)],
+            "removed": sorted(delta_removed),
+        }
+        if snapshot.outputs != self._last.outputs:
+            delta["outputs"] = snapshot.outputs
+        directory = os.path.dirname(os.path.abspath(self.journal_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(delta, sort_keys=True) + "\n")
+            handle.flush()
+        self._last = snapshot
+        if self._journal_len is None:
+            self._journal_len = 0
+        self._journal_len += 1
+        PERF.count("persist.journal_appends")
+        if self._journal_len >= self.compact_threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the journal into a fresh keyframe file."""
+        if self._last is None:
+            self._last = self._load()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(self._last.to_json())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        # safe even if we crash before this: replaying the stale journal
+        # over the new keyframe is idempotent
+        with open(self.journal_path, "w", encoding="utf-8"):
+            pass
+        self._journal_len = 0
+        PERF.count("persist.compactions")
+
+
+def _apply_delta(doc: StateDocument, delta: dict) -> None:
+    """Replay one journal delta onto ``doc`` (idempotent)."""
+    for item in delta.get("set", []):
+        doc.set(ResourceState.from_dict(item))
+    for key in delta.get("removed", []):
+        doc.remove(ResourceAddress.parse(key))
+    doc.serial = delta.get("serial", doc.serial)
+    doc.lineage = delta.get("lineage", doc.lineage)
+    if "outputs" in delta:
+        doc.outputs = dict(delta["outputs"])
 
 
 class StaleStateError(RuntimeError):

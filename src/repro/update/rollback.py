@@ -307,8 +307,11 @@ class ReversibilityAwareRollback:
                     resource_id=entry.resource_id,
                     attrs=payload,
                 )
-                entry.attrs = dict(response)
-                entry.updated_at = gateway.clock.now
+                current_state.set(
+                    entry.replace(
+                        attrs=dict(response), updated_at=gateway.clock.now
+                    )
+                )
             except CloudAPIError as exc:
                 errors.append(f"{action.address}: {exc}")
 
@@ -339,7 +342,8 @@ class ReversibilityAwareRollback:
                     current_state.remove(action.address)
                 else:
                     destroyed_ids[str(action.address)] = entry.resource_id
-                    entry.resource_id = ""  # checkpoint: old resource gone
+                    # checkpoint: old resource gone
+                    current_state.set(entry.replace(resource_id=""))
                     current_state.bump()
             except CloudAPIError as exc:
                 errors.append(f"{action.address}: {exc}")
@@ -513,7 +517,7 @@ class NaiveRollback:
                         resource_id=entry.resource_id,
                         attrs=payload,
                     )
-                    entry.attrs = dict(response)
+                    current_state.set(entry.replace(attrs=dict(response)))
                 elif action.kind is RollbackKind.RECREATE:
                     payload = {
                         k: _remap_ids(v, remap)

@@ -78,6 +78,60 @@ class TestStateDocument:
         assert doc.by_resource_id("vpc-7").address.type == "aws_vpc"
         assert doc.by_resource_id("nope") is None
 
+    def test_by_resource_id_index_tracks_mutations(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main", "vpc-1"))
+        doc.set(entry("aws_vm.web", "i-1"))
+        assert doc.by_resource_id("i-1") is not None  # builds the index
+        # overwrite with a new identity (replacement)
+        doc.set(doc.get(ResourceAddress.parse("aws_vm.web")).replace(resource_id="i-2"))
+        assert doc.by_resource_id("i-1") is None
+        assert doc.by_resource_id("i-2").resource_id == "i-2"
+        # removal drops the id
+        doc.remove(ResourceAddress.parse("aws_vm.web"))
+        assert doc.by_resource_id("i-2") is None
+        assert doc.by_resource_id("vpc-1") is not None
+        # copies answer the same lookups with fresh indexes
+        assert doc.copy().by_resource_id("vpc-1").resource_id == "vpc-1"
+
+    def test_by_resource_id_empty_id_falls_back_to_scan(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vm.a", "i-1"))
+        doc.set(entry("aws_vm.b", ""))  # mid-replacement checkpoint shape
+        assert doc.by_resource_id("").address.name == "b"
+        assert doc.by_resource_id("i-1").address.name == "a"
+
+    def test_instances_of_index_tracks_mutations(self):
+        doc = StateDocument()
+        doc.set(entry("aws_vm.web[1]", "r-b"))
+        doc.set(entry("aws_vm.web[0]", "r-a"))
+        assert [e.resource_id for e in doc.instances_of("aws_vm", "web")] == [
+            "r-a",
+            "r-b",
+        ]
+        doc.set(entry("aws_vm.web[2]", "r-c"))
+        doc.remove(ResourceAddress.parse("aws_vm.web[0]"))
+        assert [e.resource_id for e in doc.instances_of("aws_vm", "web")] == [
+            "r-b",
+            "r-c",
+        ]
+        assert doc.instances_of("aws_vm", "other") == []
+
+    def test_copy_is_o1_shared_until_write(self):
+        doc = StateDocument()
+        for i in range(50):
+            doc.set(entry(f"aws_vm.v{i}", f"r-{i}"))
+        dup = doc.copy()
+        # shared entry map, shared (identical) entries
+        assert dup.entries_map() is doc.entries_map()
+        addr = ResourceAddress.parse("aws_vm.v0")
+        assert dup.get(addr) is doc.get(addr)
+        # first write on the copy unshares the map, not the entries
+        dup.set(entry("aws_vm.new", "r-new"))
+        assert dup.entries_map() is not doc.entries_map()
+        assert dup.get(addr) is doc.get(addr)
+        assert len(doc) == 50 and len(dup) == 51
+
     def test_json_round_trip(self):
         doc = StateDocument(serial=4)
         doc.set(entry("aws_vm.web[0]", attrs={"name": "w", "n": 2, "l": [1]}))
@@ -89,12 +143,36 @@ class TestStateDocument:
         copy = restored.get(ResourceAddress.parse("aws_vm.web[0]"))
         assert copy.attrs == original.attrs
 
-    def test_copy_is_deep(self):
+    def test_copies_are_isolated(self):
         doc = StateDocument()
         doc.set(entry("aws_vpc.main", attrs={"tags": {"a": 1}}))
         dup = doc.copy()
-        dup.get(ResourceAddress.parse("aws_vpc.main")).attrs["tags"]["a"] = 9
-        assert doc.get(ResourceAddress.parse("aws_vpc.main")).attrs["tags"]["a"] == 1
+        stored = dup.get(ResourceAddress.parse("aws_vpc.main"))
+        dup.set(stored.replace(attrs={"tags": {"a": 9}}))
+        dup.remove(ResourceAddress.parse("aws_vpc.main")) is not None
+        # mutations on the copy never reach the original
+        assert doc.get(ResourceAddress.parse("aws_vpc.main")).attrs == {
+            "tags": {"a": 1}
+        }
+
+    def test_stored_entries_are_sealed(self):
+        from repro.state import ImmutableEntryError
+
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main"))
+        stored = doc.get(ResourceAddress.parse("aws_vpc.main"))
+        with pytest.raises(ImmutableEntryError):
+            stored.attrs = {"name": "mutated"}
+        with pytest.raises(ImmutableEntryError):
+            stored.resource_id = "other"
+        # replace() hands back a mutable successor sharing unchanged fields
+        successor = stored.replace(region="eu-west-1")
+        assert successor.region == "eu-west-1"
+        assert successor.attrs is stored.attrs
+        # copy() hands back a private deep copy
+        private = stored.copy()
+        private.attrs["name"] = "mine"
+        assert stored.attrs["name"] == "x"
 
 
 class TestStores:
@@ -149,12 +227,27 @@ class TestSnapshots:
         doc.set(entry("aws_vpc.main"))
         history.checkpoint(doc, {}, timestamp=1.0)
         doc.set(entry("aws_vm.web[0]"))
-        doc.get(ResourceAddress.parse("aws_vpc.main")).attrs["name"] = "renamed"
+        vpc = doc.get(ResourceAddress.parse("aws_vpc.main"))
+        doc.set(vpc.replace(attrs={"name": "renamed"}))
         history.checkpoint(doc, {}, timestamp=2.0)
         diff = history.diff(1, 2)
         assert diff.added == ["aws_vm.web[0]"]
         assert diff.changed == ["aws_vpc.main"]
         assert diff.removed == []
+
+    def test_diff_sees_replacement_with_identical_attrs(self):
+        # a delete->create replacement lands the same attrs under a new
+        # resource_id; the diff must report it as changed, not empty
+        history = SnapshotHistory()
+        doc = StateDocument()
+        doc.set(entry("aws_vm.web", rid="i-old", attrs={"name": "x"}))
+        history.checkpoint(doc, {}, timestamp=1.0)
+        doc.remove(ResourceAddress.parse("aws_vm.web"))
+        doc.set(entry("aws_vm.web", rid="i-new", attrs={"name": "x"}))
+        history.checkpoint(doc, {}, timestamp=2.0)
+        diff = history.diff(1, 2)
+        assert diff.changed == ["aws_vm.web"]
+        assert not diff.is_empty
 
     def test_config_hash_stability(self):
         history = SnapshotHistory()
@@ -166,6 +259,124 @@ class TestSnapshots:
     def test_missing_version(self):
         with pytest.raises(KeyError):
             SnapshotHistory().get(1)
+        history = SnapshotHistory()
+        history.checkpoint(StateDocument(), {}, timestamp=0.0)
+        with pytest.raises(KeyError):
+            history.diff(1, 2)
+
+    def test_checkout_is_mutable_working_copy(self):
+        history = SnapshotHistory()
+        doc = StateDocument()
+        doc.set(entry("aws_vpc.main", "vpc-1"))
+        history.checkpoint(doc, {}, timestamp=1.0)
+        working = history.checkout(1)
+        working.remove(ResourceAddress.parse("aws_vpc.main"))
+        # the snapshot itself is untouched
+        assert len(history.get(1).state) == 1
+        assert len(history.checkout(1)) == 1
+
+    def test_delta_chain_reconstruction_across_keyframes(self):
+        history = SnapshotHistory(keyframe_interval=3)
+        doc = StateDocument()
+        expected = []
+        for i in range(10):
+            doc.set(entry(f"aws_vm.v{i}", f"r-{i}", attrs={"step": i}))
+            if i >= 3:
+                doc.remove(ResourceAddress.parse(f"aws_vm.v{i - 3}"))
+            doc.bump()
+            history.checkpoint(doc, {}, timestamp=float(i))
+            expected.append(doc.to_json())
+        # drop the materialisation cache to force true delta replay
+        history._docs = {}
+        for i in range(10):
+            assert history.checkout(i + 1).to_json() == expected[i], f"v{i + 1}"
+
+    def test_export_import_records_round_trip(self):
+        history = SnapshotHistory(keyframe_interval=3)
+        doc = StateDocument()
+        for i in range(8):
+            doc.set(entry(f"aws_vm.v{i}", f"r-{i}"))
+            doc.outputs["last"] = i
+            doc.bump()
+            history.checkpoint(doc, {"main.clc": f"v{i}"}, timestamp=float(i))
+        data = history.export_records()
+        # deltas really are deltas: only keyframes carry full documents
+        keyframes = [item for item in data if "state" in item]
+        deltas = [item for item in data if "delta" in item]
+        assert keyframes and deltas
+        assert all(len(d["delta"]["set"]) <= 2 for d in deltas)
+        restored = SnapshotHistory.import_records(data)
+        assert restored.versions() == history.versions()
+        for v in history.versions():
+            assert restored.checkout(v).to_json() == history.checkout(v).to_json()
+            assert restored.get(v).config_sources == history.get(v).config_sources
+
+
+class TestJournalStore:
+    def _doc(self, n=3, serial=1):
+        doc = StateDocument(serial=serial)
+        for i in range(n):
+            doc.set(entry(f"aws_vm.v{i}", f"r-{i}"))
+        return doc
+
+    def test_round_trip_and_journal_growth(self, tmp_path):
+        from repro.state import JournalStateStore
+
+        path = str(tmp_path / "state.json")
+        store = JournalStateStore(path, compact_threshold=100)
+        assert len(store.read()) == 0
+        doc = self._doc(3, serial=1)
+        store.write(doc)
+        doc = doc.copy()
+        doc.set(entry("aws_vm.v3", "r-3"))
+        doc.bump()
+        store.write(doc)
+        # two appended deltas, no keyframe written yet
+        journal = (tmp_path / "state.json.journal").read_text().splitlines()
+        assert len(journal) == 2
+        assert not (tmp_path / "state.json").exists()
+        # a fresh store replays the journal
+        fresh = JournalStateStore(path)
+        assert fresh.read().to_json() == doc.to_json()
+
+    def test_compaction_folds_journal_into_keyframe(self, tmp_path):
+        from repro.state import JournalStateStore
+
+        path = str(tmp_path / "state.json")
+        store = JournalStateStore(path, compact_threshold=3)
+        doc = StateDocument()
+        for i in range(7):
+            doc = doc.copy()
+            doc.set(entry(f"aws_vm.v{i}", f"r-{i}"))
+            doc.bump()
+            store.write(doc)
+        journal = (tmp_path / "state.json.journal").read_text().splitlines()
+        assert len(journal) == 1  # 7 writes, compacted at 3 and 6
+        assert (tmp_path / "state.json").exists()
+        assert JournalStateStore(path).read().to_json() == doc.to_json()
+
+    def test_stale_journal_replay_is_idempotent(self, tmp_path):
+        # crash between keyframe replace and journal truncate: replaying
+        # the already-folded journal over the new keyframe is a no-op
+        from repro.state import JournalStateStore
+
+        path = str(tmp_path / "state.json")
+        store = JournalStateStore(path, compact_threshold=100)
+        doc = self._doc(4, serial=2)
+        store.write(doc)
+        stale_journal = (tmp_path / "state.json.journal").read_text()
+        store.compact()
+        (tmp_path / "state.json.journal").write_text(stale_journal)
+        assert JournalStateStore(path).read().to_json() == doc.to_json()
+
+    def test_rejects_stale_serial(self, tmp_path):
+        from repro.state import JournalStateStore
+
+        path = str(tmp_path / "state.json")
+        store = JournalStateStore(path)
+        store.write(self._doc(1, serial=5))
+        with pytest.raises(StaleStateError):
+            store.write(self._doc(1, serial=4))
 
 
 class TestLockManagers:
@@ -274,3 +485,65 @@ class TestSerializability:
             txn.set(entry("shared.key", f"r-{i}"))
             txn.commit(now=float(i) + 0.5)
         assert SerializabilityChecker.is_serializable(db.history)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 17])
+    def test_500_txn_history_matches_reference(self, seed):
+        """Key-indexed checker agrees with the frozen all-pairs oracle.
+
+        Random 500-transaction histories with overlapping intervals and
+        contended keys.
+        """
+        import random
+
+        from repro.state.transactions import CommittedTransaction
+
+        rng = random.Random(seed)
+        keys = [f"k{i}.r" for i in range(40)]
+        history = []
+        for i in range(500):
+            begin = rng.uniform(0, 1000)
+            wset = set(rng.sample(keys, rng.randrange(0, 3)))
+            rset = set(rng.sample(keys, rng.randrange(0, 4))) | wset
+            history.append(
+                CommittedTransaction(
+                    txn_id=f"t{i}",
+                    read_set=rset,
+                    write_set=wset,
+                    begin_at=begin,
+                    commit_at=begin + rng.uniform(0.01, 50),
+                )
+            )
+        got = SerializabilityChecker.is_serializable(history)
+        want = SerializabilityChecker.is_serializable_reference(history)
+        assert got == want
+
+    def test_cyclic_history_rejected_by_both(self):
+        # With sane clocks (begin < commit) the precedence relation
+        # follows wall time and can never cycle. Skewed clocks break
+        # that invariant: each txn here "commits" before the other
+        # "begins", producing t1 -> t2 -> t1. Both checkers must reject.
+        from repro.state.transactions import CommittedTransaction
+
+        history = [
+            CommittedTransaction(
+                "t1", {"a.r"}, {"a.r"}, begin_at=5.0, commit_at=0.0
+            ),
+            CommittedTransaction(
+                "t2", {"a.r"}, {"a.r"}, begin_at=1.0, commit_at=2.0
+            ),
+        ]
+        assert not SerializabilityChecker.is_serializable(history)
+        assert not SerializabilityChecker.is_serializable_reference(history)
+
+    def test_500_txn_lock_manager_history_serializable(self):
+        # a real 2PL-produced history over 500 txns must pass the fast
+        # checker (near-linear: disjoint keys never pair up)
+        db = StateDatabase(StateDocument(), ResourceLockManager())
+        for i in range(500):
+            key = f"slot{i % 25}.r"
+            txn = db.begin(f"t{i}", {key}, now=float(i))
+            txn.set(entry(key, f"r-{i}"))
+            txn.commit(now=float(i) + 0.5)
+        assert len(db.history) == 500
+        assert SerializabilityChecker.is_serializable(db.history)
+        assert SerializabilityChecker.is_serializable_reference(db.history)
