@@ -116,8 +116,18 @@ def cmd_plan(args) -> int:
 
 def cmd_apply(args) -> int:
     engine = _load_engine(args)
+    engine.wal_path = _world_path(args) + ".wal"
     sources = _read_sources(args)
-    result = engine.apply(sources, variables=_parse_vars(args.var))
+    try:
+        result = engine.apply(sources, variables=_parse_vars(args.var))
+    except BaseException:
+        # the apply died mid-run (Ctrl-C, crash hook, hard error). The
+        # clouds outlive the client: settle the operations they already
+        # accepted, then persist the world so `python -m repro resume`
+        # can replay the intent journal and adopt the orphans.
+        engine.gateway.settle_inflight()
+        _save_engine(args, engine)
+        raise
     if result.validation is not None and not result.validation.ok:
         print(result.validation)
         return 1
@@ -141,6 +151,50 @@ def cmd_apply(args) -> int:
         print("outputs:")
         for name, value in sorted(engine.state.outputs.items()):
             print(f"  {name} = {value!r}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    engine = _load_engine(args)
+    engine.wal_path = _world_path(args) + ".wal"
+    # the crashed run's cloud-side operations may still be unresolved
+    # in the persisted world; settle them before probing
+    engine.gateway.settle_inflight()
+    try:
+        sources: Any = _read_sources(args)
+    except CliError:
+        sources = None  # fall back to the sources of the crashed apply
+    variables = _parse_vars(args.var) if args.var else None
+    outcome = engine.resume(sources, variables=variables)
+    if outcome.recovery is not None:
+        summary = outcome.recovery.summary()
+        print(
+            f"recovered run {outcome.recovery.run_id}: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+        )
+        for address in outcome.recovery.adopted:
+            print(f"  adopted orphan: {address}")
+        for address in outcome.recovery.removed:
+            print(f"  delete had landed: {address}")
+    else:
+        print("journal clean: nothing to recover; applying normally")
+    result = outcome.result
+    if result.validation is not None and not result.validation.ok:
+        print(result.validation)
+        return 1
+    if result.admission is not None and not result.admission.allowed:
+        print(result.admission)
+        return 1
+    _save_engine(args, engine)
+    if result.apply is None or not result.apply.ok:
+        print("\nresume FAILED:")
+        for diagnosis in result.diagnoses:
+            print(diagnosis.render())
+        return 1
+    print(
+        f"\nresume complete in {result.apply.makespan_s:.1f} simulated "
+        f"seconds ({result.apply.api_calls} API calls)"
+    )
     return 0
 
 
@@ -327,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         if with_vars:
             p.add_argument("--var", action="append", default=[])
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser(
+        "resume", help="recover a crashed apply from the intent journal"
+    )
+    p.add_argument("--var", action="append", default=[])
+    p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("destroy", help="tear down everything in state")
     p.set_defaults(fn=cmd_destroy)

@@ -301,6 +301,14 @@ class ControlPlane:
         self.quotas: Dict[Tuple[str, str], int] = {}  # (rtype, region) -> max
         self._next_id = 1
         self.api_calls: Dict[str, int] = {"read": 0, "write": 0}
+        #: idempotency-token index: token -> minted resource id. A create
+        #: retried with the same token returns the original resource
+        #: instead of provisioning a duplicate (ClientToken semantics).
+        self._tokens: Dict[str, str] = {}
+        #: write operations submitted but not yet resolved by a client.
+        #: The cloud side finishes these even if the client dies --
+        #: ``settle()`` models that by resolving every survivor.
+        self._inflight: List[PendingOperation] = []
         self._register_catalog()
 
     # -- subclass hooks ------------------------------------------------------
@@ -353,6 +361,7 @@ class ControlPlane:
         region: str = "",
         actor: str = "iac",
         t_submit: Optional[float] = None,
+        idempotency_token: str = "",
     ) -> PendingOperation:
         """Enqueue one API call; returns its completion event."""
         now = self.clock.now if t_submit is None else t_submit
@@ -383,8 +392,8 @@ class ControlPlane:
             def fail() -> Any:
                 raise error
 
-            return PendingOperation(
-                operation, rtype, now, t_start, t_complete, fail
+            return self._track(
+                PendingOperation(operation, rtype, now, t_start, t_complete, fail)
             )
 
         builder = {
@@ -397,15 +406,47 @@ class ControlPlane:
         }.get(operation)
         if builder is None:
             raise ValueError(f"unknown operation {operation!r}")
-        return builder(
-            spec,
-            now,
-            t_start,
-            resource_id=resource_id,
-            attrs=attrs or {},
-            region=region,
-            actor=actor,
+        return self._track(
+            builder(
+                spec,
+                now,
+                t_start,
+                resource_id=resource_id,
+                attrs=attrs or {},
+                region=region,
+                actor=actor,
+                token=idempotency_token,
+            )
         )
+
+    def _track(self, pending: PendingOperation) -> PendingOperation:
+        """Register a write op as in flight until resolved or settled."""
+        if pending.operation in WRITE_OPS:
+            if len(self._inflight) > 512:
+                self._inflight = [p for p in self._inflight if not p.resolved]
+            self._inflight.append(pending)
+        return pending
+
+    def settle(self) -> int:
+        """Resolve every submitted-but-unresolved write operation.
+
+        Models the cloud side outliving the client: operations that were
+        accepted before a crash complete (or fail) on the provider even
+        though nobody is listening. Effects land in ``t_complete`` order;
+        errors are swallowed (there is no client to receive them).
+        Returns how many operations were settled.
+        """
+        survivors = [p for p in self._inflight if not p.resolved]
+        self._inflight = []
+        count = 0
+        for pending in sorted(survivors, key=lambda p: p.t_complete):
+            self.clock.advance_to(max(pending.t_complete, self.clock.now))
+            try:
+                pending.resolve()
+            except CloudAPIError:
+                pass
+            count += 1
+        return count
 
     def execute(self, operation: str, rtype: str = "", **kwargs: Any) -> Any:
         """Synchronous convenience: submit, advance the clock, resolve."""
@@ -440,12 +481,22 @@ class ControlPlane:
         attrs: Dict[str, Any],
         region: str,
         actor: str,
+        token: str = "",
     ) -> PendingOperation:
         t_complete = self._finish_time(
             spec.name, "create", t_start, key=str(attrs.get("name", ""))
         )
 
         def apply() -> Dict[str, Any]:
+            if token:
+                # ClientToken semantics: a create retried with the same
+                # token is the *same* logical request -- return the
+                # original resource instead of provisioning a duplicate
+                prior_id = self._tokens.get(token)
+                if prior_id is not None:
+                    prior = self.records.get(prior_id)
+                    if prior is not None:
+                        return prior.snapshot()
             self._check_create(spec, attrs, region)
             new_id = self._mint_id(spec)
             full_attrs = self._attrs_with_defaults(spec, attrs)
@@ -459,6 +510,8 @@ class ControlPlane:
                 updated_at=t_complete,
             )
             self.records[new_id] = record
+            if token:
+                self._tokens[token] = new_id
             self.log.append(
                 t_complete,
                 "create",
@@ -483,6 +536,7 @@ class ControlPlane:
         attrs: Dict[str, Any],
         region: str,
         actor: str,
+        token: str = "",
     ) -> PendingOperation:
         t_complete = self._finish_time(spec.name, "update", t_start, key=resource_id)
 
@@ -529,6 +583,7 @@ class ControlPlane:
         attrs: Dict[str, Any],
         region: str,
         actor: str,
+        token: str = "",
     ) -> PendingOperation:
         t_complete = self._finish_time(spec.name, "delete", t_start, key=resource_id)
 
@@ -569,6 +624,7 @@ class ControlPlane:
         attrs: Dict[str, Any],
         region: str,
         actor: str,
+        token: str = "",
     ) -> PendingOperation:
         rtype = spec.name if spec else ""
         t_complete = t_start + self._sample_latency(rtype or "_read", "read", resource_id)
@@ -591,6 +647,7 @@ class ControlPlane:
         attrs: Dict[str, Any],
         region: str,
         actor: str,
+        token: str = "",
     ) -> PendingOperation:
         rtype = spec.name if spec else ""
         page_token = attrs.get("page_token", 0)
@@ -976,6 +1033,13 @@ class ControlPlane:
             if record.type == rtype and record.attrs.get("name") == name:
                 return record
         return None
+
+    def find_by_token(self, token: str) -> Optional[ResourceRecord]:
+        """The live resource a create with ``token`` minted, if any."""
+        rid = self._tokens.get(token)
+        if rid is None:
+            return None
+        return self.records.get(rid)
 
     def total_api_calls(self) -> int:
         return sum(self.api_calls.values())

@@ -28,7 +28,11 @@ class FaultSpec:
     transient: bool = True  # transient faults succeed on retry
     max_strikes: int = 1  # how many times the rule may fire in total
     extra_delay_s: float = 0.0  # hang before failing (resource hanging)
+    #: let this many matching operations through before arming -- e.g.
+    #: fail the *third* page of a paginated scan, not the first
+    skip_first: int = 0
     _strikes: int = 0
+    _seen: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -42,6 +46,9 @@ class FaultSpec:
         if self.match_type and self.match_type != rtype:
             return False
         if self.match_operation and self.match_operation != operation:
+            return False
+        if self._seen < self.skip_first:
+            self._seen += 1
             return False
         return True
 

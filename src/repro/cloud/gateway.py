@@ -118,3 +118,41 @@ class CloudGateway:
             if resource_id in plane.records:
                 return plane.records[resource_id]
         return None
+
+    def find_record_by_token(self, token: str):
+        """The live resource a create minted under ``token``, if any.
+
+        This is recovery's probe: an open WAL intent whose token maps to
+        a record means the crashed run's create landed cloud-side.
+        """
+        if not token:
+            return None
+        for name in sorted(self.planes):
+            record = self.planes[name].find_by_token(token)
+            if record is not None:
+                return record
+        return None
+
+    def settle_inflight(self) -> int:
+        """Resolve every accepted-but-unresolved write across all planes.
+
+        Models the cloud outliving a crashed client: operations the
+        providers accepted before the process died still complete (or
+        fail) on their own schedule. Effects land in global
+        ``t_complete`` order so cross-plane causality is preserved.
+        Returns how many operations settled.
+        """
+        survivors: List[Any] = []
+        for name in sorted(self.planes):
+            plane = self.planes[name]
+            survivors.extend(p for p in plane._inflight if not p.resolved)
+            plane._inflight = []
+        count = 0
+        for pending in sorted(survivors, key=lambda p: p.t_complete):
+            self.clock.advance_to(max(pending.t_complete, self.clock.now))
+            try:
+                pending.resolve()
+            except CloudAPIError:
+                pass
+            count += 1
+        return count

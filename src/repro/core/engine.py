@@ -24,6 +24,8 @@ from ..deploy.executor import (
     SequentialExecutor,
 )
 from ..deploy.incremental import read_data_sources
+from ..deploy.recovery import CrashRecovery, RecoveryReport
+from ..deploy.wal import IntentJournal
 from ..drift.detector import DetectionRun, DriftFinding, LogWatchDetector
 from ..drift.reconcile import Reconciler, ReconcileReport
 from ..graph.builder import ResourceGraph, build_graph
@@ -76,6 +78,18 @@ class EngineApplyResult:
         return self.apply is not None and self.apply.ok
 
 
+@dataclasses.dataclass
+class EngineResumeResult:
+    """Outcome of a crash-recovery resume: repairs + the continued apply."""
+
+    recovery: Optional[RecoveryReport]
+    result: EngineApplyResult
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
 class CloudlessEngine:
     """One tenant's cloudless control plane."""
 
@@ -89,8 +103,12 @@ class CloudlessEngine:
         concurrency: int = 10,
         retry: Optional[RetryPolicy] = None,
         seed: int = 0,
+        wal_path: Optional[str] = None,
     ):
         self.seed = seed
+        #: when set, every apply journals its intents here and
+        #: :meth:`resume` can recover a crashed run from it
+        self.wal_path = wal_path
         self.gateway = gateway or CloudGateway.simulated(seed=seed)
         # one shared resilience wrapper for the synchronous lifecycle
         # verbs (watch/reconcile/rollback/import/data reads); the deploy
@@ -177,6 +195,8 @@ class CloudlessEngine:
         validate_first: bool = True,
         admit: bool = True,
         checkpoint: bool = True,
+        crash_hook: Optional[Any] = None,
+        _journal: Optional[IntentJournal] = None,
     ) -> EngineApplyResult:
         config, source_texts = self._coerce_sources(sources)
         validation: Optional[ValidationReport] = None
@@ -206,7 +226,21 @@ class CloudlessEngine:
                     apply=None,
                     diagnoses=[],
                 )
-        result = self._executor().apply(plan)
+        journal = _journal
+        if journal is None and self.wal_path:
+            journal = IntentJournal(self.wal_path)
+            journal.begin_run()
+        if journal is not None or crash_hook is not None:
+            result = self._executor().apply(
+                plan, wal=journal, crash_hook=crash_hook
+            )
+        else:
+            # no WAL, no crash hook: the historical call, byte-identical
+            # scheduling to the golden reference
+            result = self._executor().apply(plan)
+        if journal is not None and result.ok:
+            journal.mark_clean()
+            journal.close()
         assert result.state is not None
         self.state = result.state
         self._store_outputs(plan, result)
@@ -252,6 +286,76 @@ class CloudlessEngine:
     def destroy(self) -> EngineApplyResult:
         """Tear down everything the state manages."""
         return self.apply("", validate_first=False, admit=False, checkpoint=False)
+
+    # -- crash recovery -----------------------------------------------------
+
+    def resume(
+        self,
+        sources: Optional[Sources] = None,
+        variables: Optional[Dict[str, Any]] = None,
+        validate_first: bool = True,
+        admit: bool = True,
+        checkpoint: bool = True,
+    ) -> "EngineResumeResult":
+        """Recover a crashed apply from the intent journal and continue.
+
+        Replays the WAL at ``wal_path``, classifies every intent against
+        the live control planes (adopting orphaned creates and noting
+        landed deletes -- see :mod:`repro.deploy.recovery`), then
+        re-plans and applies the same configuration. The continued apply
+        reuses the crashed run's journal and run id, so re-sent creates
+        carry the *same* idempotency tokens and cannot duplicate
+        resources the crashed run already provisioned.
+        """
+        if not self.wal_path:
+            raise EngineError("resume requires an engine wal_path")
+        journal = IntentJournal.resume(self.wal_path)
+        recovery: Optional[RecoveryReport] = None
+        if journal.run_id is not None and journal.records():
+            recovery = CrashRecovery(self.gateway, journal).recover(self.state)
+        if sources is None:
+            sources = self.last_sources
+        if variables is None:
+            variables = dict(self.last_variables)
+        result = self.apply(
+            sources,
+            variables=variables,
+            validate_first=validate_first,
+            admit=admit,
+            checkpoint=checkpoint,
+            _journal=journal if journal.run_id is not None else None,
+        )
+        if result.plan is not None:
+            self._refresh_dependencies(result.plan)
+        return EngineResumeResult(recovery=recovery, result=result)
+
+    def _refresh_dependencies(self, plan: Plan) -> None:
+        """Backfill state dependencies for adopted (recovered) entries.
+
+        ``_commit_step`` records each entry's managed predecessors at
+        commit time; entries adopted by crash recovery never ran a
+        commit, so they carry empty dependency lists. Recompute them
+        from the plan graph with the same rule so a recovered state
+        document matches an uninterrupted run's byte for byte.
+        """
+        changed = False
+        for cid, node in plan.graph.nodes.items():
+            if node is None or node.address.mode != "managed":
+                continue
+            entry = self.state.get(node.address)
+            if entry is None:
+                continue
+            deps = sorted(
+                p
+                for p in plan.graph.dag.predecessors(cid)
+                if plan.graph.nodes.get(p) is not None
+                and plan.graph.nodes[p].address.mode == "managed"
+            )
+            if deps and list(entry.dependencies) != deps:
+                self.state.set(entry.replace(dependencies=deps))
+                changed = True
+        if changed:
+            self.state.bump()
 
     # -- observe / repair -------------------------------------------------------------
 

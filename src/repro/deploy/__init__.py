@@ -9,6 +9,13 @@ from .executor import (
     RetryPolicy,
     SequentialExecutor,
 )
+from .recovery import CrashRecovery, RecoveryAction, RecoveryReport
+from .wal import (
+    IntentJournal,
+    IntentRecord,
+    SimulatedCrash,
+    WALCorruptError,
+)
 from .incremental import (
     RefreshResult,
     UpdatePipeline,
@@ -20,14 +27,21 @@ from .incremental import (
 __all__ = [
     "ApplyResult",
     "BestEffortExecutor",
+    "CrashRecovery",
     "CriticalPathExecutor",
+    "IntentJournal",
+    "IntentRecord",
     "OperationRecord",
     "PlanExecutor",
+    "RecoveryAction",
+    "RecoveryReport",
     "RefreshResult",
     "RetryPolicy",
     "SequentialExecutor",
+    "SimulatedCrash",
     "UpdatePipeline",
     "UpdatePlanResult",
+    "WALCorruptError",
     "read_data_sources",
     "refresh_state",
 ]

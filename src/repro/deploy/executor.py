@@ -38,6 +38,7 @@ from ..graph.plan import Action, Plan, PlannedChange
 from ..lang.values import is_unknown
 from ..perf import PERF
 from ..state.document import ResourceState, StateDocument
+from .wal import IntentJournal
 
 
 @dataclasses.dataclass
@@ -91,6 +92,9 @@ class _Running:
     step_idx: int = 0
     attempts: int = 0
     pending: Optional[PendingOperation] = None
+    #: WAL bookkeeping (unused when no journal is attached): the intent
+    #: id logged for the in-flight step, cleared at commit/abort.
+    open_iid: Optional[int] = None
 
 
 _STEPS = {
@@ -355,8 +359,25 @@ class PlanExecutor:
 
     # -- main loop -------------------------------------------------------------
 
-    def apply(self, plan: Plan) -> ApplyResult:
-        """Execute the plan; mutates ``plan.state`` as the new state."""
+    def apply(
+        self,
+        plan: Plan,
+        wal: Optional[IntentJournal] = None,
+        crash_hook: Optional[Callable[[int], None]] = None,
+    ) -> ApplyResult:
+        """Execute the plan; mutates ``plan.state`` as the new state.
+
+        ``wal`` attaches a write-ahead intent journal: every mutating
+        step logs an intent before dispatch and a commit marker after
+        its state commit, and creates carry idempotency tokens minted
+        from the journal's run id. ``crash_hook`` is called with a
+        monotonically increasing index at every event boundary (after
+        the event is popped, before it is processed); raising
+        :class:`~repro.deploy.wal.SimulatedCrash` from it models the
+        process dying at exactly that boundary. Both default to ``None``
+        and add zero work on that path -- scheduling stays byte-identical
+        to the golden reference.
+        """
         clock = self.gateway.clock
         started = clock.now
         calls_before = self.gateway.total_api_calls()
@@ -383,7 +404,15 @@ class PlanExecutor:
                     ready.push(succ)
 
         def finish_change(cid: str, ok: bool, error: str = "") -> None:
-            running.pop(cid, None)
+            rc = running.pop(cid, None)
+            if (
+                wal is not None
+                and not ok
+                and rc is not None
+                and rc.open_iid is not None
+            ):
+                wal.log_abort(rc.open_iid, error=error)
+                rc.open_iid = None
             if ok:
                 done.add(cid)
                 result.succeeded.append(cid)
@@ -424,8 +453,34 @@ class PlanExecutor:
 
         def submit_step(cid: str, rc: _Running) -> None:
             rc.attempts += 1
+            token = ""
+            if wal is not None:
+                op_name = rc.steps[rc.step_idx]
+                if op_name == "create":
+                    # Stable across retries AND across resume (the
+                    # journal keeps its run id), so a re-sent create
+                    # deduplicates against the crashed run's resource.
+                    token = f"{wal.run_id}/{cid}/{rc.step_idx}"
+                if rc.attempts == 1:
+                    prior_id = ""
+                    if op_name in ("delete", "update"):
+                        prior = (
+                            rc.change.prior
+                            if rc.change.prior
+                            else state.get(rc.change.address)
+                        )
+                        if prior is not None:
+                            prior_id = prior.resource_id
+                    rc.open_iid = wal.log_intent(
+                        cid,
+                        op_name,
+                        rc.change.rtype,
+                        address=str(rc.change.address),
+                        token=token,
+                        resource_id=prior_id,
+                    )
             try:
-                pending = self._submit_operation(plan, rc, state)
+                pending = self._submit_operation(plan, rc, state, token=token)
             except CloudAPIError as exc:
                 result.operations.append(
                     OperationRecord(
@@ -481,6 +536,12 @@ class PlanExecutor:
                 )
             )
             self._commit_step(plan, rc, state, op_name, response, clock.now)
+            if wal is not None and rc.open_iid is not None:
+                committed_id = (
+                    response.get("id", "") if isinstance(response, dict) else ""
+                )
+                wal.log_commit(rc.open_iid, resource_id=committed_id)
+                rc.open_iid = None
             rc.step_idx += 1
             rc.attempts = 0
             if rc.step_idx < len(rc.steps):
@@ -490,6 +551,7 @@ class PlanExecutor:
 
         # drive the event loop
         perf_enabled = PERF.enabled
+        event_index = 0
         while True:
             while len(ready) and len(running) < self.concurrency:
                 if perf_enabled:
@@ -509,6 +571,12 @@ class PlanExecutor:
             popped = events.pop()
             if popped is None:
                 break
+            if crash_hook is not None:
+                # event boundary: the clock has advanced to the popped
+                # event but its effect has not been processed -- exactly
+                # where a process kill strands in-flight operations
+                crash_hook(event_index)
+                event_index += 1
             _, (kind, cid) = popped
             if kind == "complete":
                 on_complete(cid)
@@ -526,7 +594,7 @@ class PlanExecutor:
     # -- operation submission / commit -------------------------------------------
 
     def _submit_operation(
-        self, plan: Plan, rc: _Running, state: StateDocument
+        self, plan: Plan, rc: _Running, state: StateDocument, token: str = ""
     ) -> PendingOperation:
         change = rc.change
         op = rc.steps[rc.step_idx]
@@ -545,7 +613,13 @@ class PlanExecutor:
         region = change.region or self.gateway.region_for(rtype, attrs)
         if op == "create":
             payload = {k: v for k, v in attrs.items() if v is not None}
-            return self.gateway.submit("create", rtype, attrs=payload, region=region)
+            return self.gateway.submit(
+                "create",
+                rtype,
+                attrs=payload,
+                region=region,
+                idempotency_token=token,
+            )
         # update: send only the changed attributes
         changed_names = [d.name for d in change.diffs]
         prior = change.prior if change.prior else state.get(change.address)

@@ -232,6 +232,26 @@ class Reconciler:
             state.remove(entry.address)
             return "removed deleted resource from state"
         if finding.kind == "unmanaged" and policy == ADOPT:
+            if finding.address is not None:
+                # the caller knows where this resource belongs (crash
+                # recovery resolves the address from the WAL intent):
+                # adopt it into state under that address
+                live = self.gateway.find_record(finding.resource_id)
+                if live is None:
+                    return "resource vanished before adoption; nothing to do"
+                provider = self.gateway.provider_of(live.type)
+                state.set(
+                    ResourceState(
+                        address=finding.address,
+                        resource_id=live.id,
+                        provider=provider,
+                        attrs=live.snapshot(),
+                        region=live.region,
+                        created_at=live.created_at,
+                        updated_at=live.updated_at,
+                    )
+                )
+                return f"adopted orphaned resource {live.id} into state"
             return "flagged for import into configuration"
         return "no action"
 

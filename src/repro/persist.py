@@ -67,6 +67,9 @@ def plane_to_dict(plane: ControlPlane) -> Dict[str, Any]:
             for (rtype, region), limit in sorted(plane.quotas.items())
         ],
         "api_calls": dict(plane.api_calls),
+        # idempotency-token index: lets a resumed apply deduplicate
+        # creates against resources a crashed run already provisioned
+        "tokens": {k: v for k, v in sorted(plane._tokens.items())},
     }
 
 
@@ -108,6 +111,7 @@ def plane_from_dict(plane: ControlPlane, data: Dict[str, Any]) -> None:
         (q["rtype"], q["region"]): q["limit"] for q in data.get("quotas", [])
     }
     plane.api_calls = dict(data.get("api_calls", {"read": 0, "write": 0}))
+    plane._tokens = dict(data.get("tokens", {}))
 
 
 # -- history -----------------------------------------------------------------------

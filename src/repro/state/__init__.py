@@ -20,6 +20,7 @@ from .store import (
 from .transactions import (
     CommittedTransaction,
     SerializabilityChecker,
+    StaleLeaseError,
     StateDatabase,
     StateTransaction,
     TransactionError,
@@ -41,6 +42,7 @@ __all__ = [
     "Snapshot",
     "SnapshotDiff",
     "SnapshotHistory",
+    "StaleLeaseError",
     "StaleStateError",
     "StateDatabase",
     "StateDocument",

@@ -10,6 +10,19 @@ Two implementations of one interface:
   resource. Lock sets are acquired atomically (all-or-nothing) so
   deadlock is impossible by construction.
 
+Grants are **leases**: an acquisition may carry a TTL, after which the
+grant silently expires unless the holder heartbeats (:meth:`renew`).
+That removes the crashed-holder deadlock -- Terraform's ``force-unlock``
+problem -- because a dead process simply stops renewing. Every grant
+also carries a **monotonic fencing token**; a holder resuming after its
+lease lapsed (a "zombie") presents a token older than the current
+grant's and is rejected wherever :meth:`check_fence` guards the
+mutation path (see ``update/coordinator.py``'s fenced gateway).
+
+Acquiring without a TTL keeps the original semantics: the lease never
+expires and fencing never rejects, so existing single-process callers
+are untouched.
+
 Lock managers are pure bookkeeping over simulated time; the update
 coordinator (:mod:`repro.update.coordinator`) drives waiting/retry as
 discrete events and records wait statistics.
@@ -18,6 +31,7 @@ discrete events and records wait statistics.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, FrozenSet, List, Optional, Set
 
 GLOBAL_KEY = "__entire_infrastructure__"
@@ -25,53 +39,156 @@ GLOBAL_KEY = "__entire_infrastructure__"
 
 @dataclasses.dataclass
 class LockGrant:
-    """A currently-held lock set."""
+    """A currently-held lock set (a lease when ``expires_at`` is finite)."""
 
     holder: str
     keys: FrozenSet[str]
     acquired_at: float
+    expires_at: float = math.inf
+    fencing_token: int = 0
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
 
 
 class LockManager:
-    """Interface both lock managers implement."""
+    """Interface both lock managers implement.
 
-    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
-        """Atomically acquire every key (or nothing). False on conflict."""
+    ``try_acquire`` returns the grant (truthy) on success and ``None``
+    on conflict -- every pre-lease caller only tested truthiness, so
+    the richer return type is drop-in compatible.
+    """
+
+    def try_acquire(
+        self,
+        holder: str,
+        keys: Set[str],
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> Optional[LockGrant]:
+        """Atomically acquire every key (or nothing). None on conflict."""
         raise NotImplementedError
 
-    def release(self, holder: str) -> None:
+    def renew(
+        self, holder: str, now: float, ttl: Optional[float] = None
+    ) -> Optional[LockGrant]:
+        """Heartbeat: extend ``holder``'s lease from ``now``.
+
+        Returns the refreshed grant, or ``None`` if the holder no
+        longer holds a live grant (never held one, or its lease already
+        expired -- a renew after expiry must NOT resurrect the grant,
+        someone else may hold the keys now).
+        """
+        grant = self._live_grant(holder, now)
+        if grant is None:
+            return None
+        if ttl is not None:
+            grant.expires_at = now + ttl
+        return grant
+
+    def check_fence(
+        self, holder: str, fencing_token: int, now: float
+    ) -> bool:
+        """Is ``(holder, fencing_token)`` still the live grant?
+
+        The fencing check real storage systems do on every write: a
+        zombie presenting a token from a lapsed lease fails here even
+        if it is still convinced it holds the lock.
+        """
+        grant = self._live_grant(holder, now)
+        return grant is not None and grant.fencing_token == fencing_token
+
+    def release(
+        self, holder: str, fencing_token: Optional[int] = None
+    ) -> None:
+        """Release ``holder``'s grant.
+
+        A no-op for an unknown or already-expired holder (recovery
+        paths release unconditionally), and for a stale
+        ``fencing_token`` (a zombie must not release the current
+        holder's grant).
+        """
         raise NotImplementedError
 
     def holders(self) -> List[str]:
         raise NotImplementedError
 
-    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+    def conflicts_with(
+        self, keys: Set[str], now: Optional[float] = None
+    ) -> Set[str]:
         """Which current holders block an acquisition of ``keys``."""
         raise NotImplementedError
 
+    # -- shared lease plumbing (subclasses supply _grant_for) ---------------
+
+    def _grant_for(self, holder: str) -> Optional[LockGrant]:
+        raise NotImplementedError
+
+    def _live_grant(self, holder: str, now: float) -> Optional[LockGrant]:
+        grant = self._grant_for(holder)
+        if grant is None or grant.expired(now):
+            return None
+        return grant
+
 
 class GlobalLockManager(LockManager):
-    """One big lock: a second holder always waits."""
+    """One big lock: a second holder always waits (until the lease lapses)."""
 
     def __init__(self) -> None:
         self._grant: Optional[LockGrant] = None
+        self._next_fence = 1
 
-    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
-        if self._grant is not None:
-            return False
-        self._grant = LockGrant(
-            holder=holder, keys=frozenset([GLOBAL_KEY]), acquired_at=now
-        )
-        return True
-
-    def release(self, holder: str) -> None:
+    def _grant_for(self, holder: str) -> Optional[LockGrant]:
         if self._grant is not None and self._grant.holder == holder:
+            return self._grant
+        return None
+
+    def _sweep(self, now: Optional[float]) -> None:
+        if (
+            now is not None
+            and self._grant is not None
+            and self._grant.expired(now)
+        ):
             self._grant = None
+
+    def try_acquire(
+        self,
+        holder: str,
+        keys: Set[str],
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> Optional[LockGrant]:
+        self._sweep(now)
+        if self._grant is not None:
+            return None
+        fence = self._next_fence
+        self._next_fence += 1
+        self._grant = LockGrant(
+            holder=holder,
+            keys=frozenset([GLOBAL_KEY]),
+            acquired_at=now,
+            expires_at=math.inf if ttl is None else now + ttl,
+            fencing_token=fence,
+        )
+        return self._grant
+
+    def release(
+        self, holder: str, fencing_token: Optional[int] = None
+    ) -> None:
+        grant = self._grant
+        if grant is None or grant.holder != holder:
+            return
+        if fencing_token is not None and grant.fencing_token != fencing_token:
+            return
+        self._grant = None
 
     def holders(self) -> List[str]:
         return [self._grant.holder] if self._grant else []
 
-    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+    def conflicts_with(
+        self, keys: Set[str], now: Optional[float] = None
+    ) -> Set[str]:
+        self._sweep(now)
         return {self._grant.holder} if self._grant else set()
 
 
@@ -81,20 +198,12 @@ class ResourceLockManager(LockManager):
     def __init__(self) -> None:
         self._owner_of: Dict[str, str] = {}  # key -> holder
         self._grants: Dict[str, LockGrant] = {}  # holder -> grant
+        self._next_fence = 1
 
-    def try_acquire(self, holder: str, keys: Set[str], now: float) -> bool:
-        if holder in self._grants:
-            raise RuntimeError(f"{holder!r} already holds a lock set")
-        if any(key in self._owner_of for key in keys):
-            return False
-        for key in keys:
-            self._owner_of[key] = holder
-        self._grants[holder] = LockGrant(
-            holder=holder, keys=frozenset(keys), acquired_at=now
-        )
-        return True
+    def _grant_for(self, holder: str) -> Optional[LockGrant]:
+        return self._grants.get(holder)
 
-    def release(self, holder: str) -> None:
+    def _drop(self, holder: str) -> None:
         grant = self._grants.pop(holder, None)
         if grant is None:
             return
@@ -102,10 +211,60 @@ class ResourceLockManager(LockManager):
             if self._owner_of.get(key) == holder:
                 del self._owner_of[key]
 
+    def _sweep(self, now: Optional[float]) -> None:
+        if now is None:
+            return
+        expired = [
+            holder
+            for holder, grant in self._grants.items()
+            if grant.expired(now)
+        ]
+        for holder in expired:
+            self._drop(holder)
+
+    def try_acquire(
+        self,
+        holder: str,
+        keys: Set[str],
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> Optional[LockGrant]:
+        self._sweep(now)
+        if holder in self._grants:
+            raise RuntimeError(f"{holder!r} already holds a lock set")
+        if any(key in self._owner_of for key in keys):
+            return None
+        for key in keys:
+            self._owner_of[key] = holder
+        fence = self._next_fence
+        self._next_fence += 1
+        grant = LockGrant(
+            holder=holder,
+            keys=frozenset(keys),
+            acquired_at=now,
+            expires_at=math.inf if ttl is None else now + ttl,
+            fencing_token=fence,
+        )
+        self._grants[holder] = grant
+        return grant
+
+    def release(
+        self, holder: str, fencing_token: Optional[int] = None
+    ) -> None:
+        grant = self._grants.get(holder)
+        if grant is None:
+            return
+        if fencing_token is not None and grant.fencing_token != fencing_token:
+            return
+        self._drop(holder)
+
     def holders(self) -> List[str]:
         return sorted(self._grants)
 
-    def conflicts_with(self, keys: Set[str]) -> Set[str]:
+    def conflicts_with(
+        self, keys: Set[str], now: Optional[float] = None
+    ) -> Set[str]:
+        self._sweep(now)
         return {
             self._owner_of[key] for key in keys if key in self._owner_of
         }

@@ -94,10 +94,19 @@ class JournalStateStore(StateStore):
     against the previous write. ``read()`` replays the journal over the
     keyframe; ``write()`` appends a delta and compacts once the journal
     reaches ``compact_threshold`` lines.
+
+    Crash tolerance: a torn *journal tail* (the process died mid-append)
+    is dropped and truncated away; a torn *keyframe* (the process died
+    mid-``os.replace``, or the file was corrupted at rest) falls back to
+    the ``path + ".bak"`` copy compaction writes alongside it. Because
+    deltas are idempotent (absolute serials, full entry values), every
+    crash window -- before either keyframe write, between them, before
+    the journal truncation -- replays to the same document.
     """
 
     def __init__(self, path: str, compact_threshold: int = 64):
         self.path = path
+        self.backup_path = path + ".bak"
         self.journal_path = path + ".journal"
         self.compact_threshold = max(1, compact_threshold)
         self._last: Optional[StateDocument] = None
@@ -108,20 +117,46 @@ class JournalStateStore(StateStore):
     def _read_journal(self) -> List[dict]:
         if not os.path.exists(self.journal_path):
             return []
+        with open(self.journal_path, "rb") as handle:
+            raw = handle.read()
         entries: List[dict] = []
-        with open(self.journal_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    entries.append(json.loads(line))
+        lines = raw.split(b"\n")
+        valid_end = 0
+        offset = 0
+        for index, chunk in enumerate(lines):
+            line_end = offset + len(chunk) + 1
+            stripped = chunk.strip()
+            if stripped:
+                try:
+                    entries.append(json.loads(stripped.decode("utf-8")))
+                except (ValueError, UnicodeDecodeError):
+                    if any(c.strip() for c in lines[index + 1 :]):
+                        raise
+                    # torn final append: drop it and truncate it away so
+                    # future appends produce a well-formed journal
+                    with open(self.journal_path, "r+b") as trunc:
+                        trunc.truncate(valid_end)
+                    PERF.count("persist.torn_tail_recoveries")
+                    break
+            valid_end = min(line_end, len(raw))
+            offset = line_end
         return entries
 
+    def _read_keyframe(self) -> StateDocument:
+        for candidate in (self.path, self.backup_path):
+            if not os.path.exists(candidate):
+                continue
+            try:
+                with open(candidate, "r", encoding="utf-8") as handle:
+                    return StateDocument.from_json(handle.read())
+            except (ValueError, KeyError):
+                # torn/corrupt keyframe: fall through to the backup copy
+                PERF.count("persist.keyframe_fallbacks")
+                continue
+        return StateDocument()
+
     def _load(self) -> StateDocument:
-        if os.path.exists(self.path):
-            with open(self.path, "r", encoding="utf-8") as handle:
-                doc = StateDocument.from_json(handle.read())
-        else:
-            doc = StateDocument()
+        doc = self._read_keyframe()
         journal = self._read_journal()
         for delta in journal:
             _apply_delta(doc, delta)
@@ -168,20 +203,30 @@ class JournalStateStore(StateStore):
             self.compact()
 
     def compact(self) -> None:
-        """Fold the journal into a fresh keyframe file."""
+        """Fold the journal into a fresh keyframe file.
+
+        The keyframe is written twice -- atomically to ``path`` and then
+        to ``path + ".bak"`` -- *before* the journal is truncated. Any
+        single torn file is survivable: a torn primary reads from the
+        backup (same content), a torn backup never matters until the
+        primary is also damaged, and a crash before the truncation just
+        replays the now-stale journal idempotently.
+        """
         if self._last is None:
             self._last = self._load()
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(self._last.to_json())
-            os.replace(tmp_path, self.path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+        payload = self._last.to_json()
+        for target in (self.path, self.backup_path):
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp_path, target)
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
         # safe even if we crash before this: replaying the stale journal
         # over the new keyframe is idempotent
         with open(self.journal_path, "w", encoding="utf-8"):

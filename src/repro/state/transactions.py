@@ -14,11 +14,21 @@ from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..addressing import ResourceAddress
 from .document import ResourceState, StateDocument
-from .locks import LockManager
+from .locks import LockGrant, LockManager
 
 
 class TransactionError(RuntimeError):
     """Raised on commit/usage protocol violations."""
+
+
+class StaleLeaseError(TransactionError):
+    """A commit arrived after the transaction's lock lease expired.
+
+    The fencing check failed: some other holder may have acquired the
+    keys in the meantime, so applying this transaction's writes could
+    clobber theirs. The transaction is aborted; the caller must re-begin
+    and redo its work against the current document.
+    """
 
 
 @dataclasses.dataclass
@@ -33,10 +43,17 @@ class _Op:
 class StateTransaction:
     """One atomic, isolated batch of state mutations."""
 
-    def __init__(self, txn_id: str, database: "StateDatabase", keys: Set[str]):
+    def __init__(
+        self,
+        txn_id: str,
+        database: "StateDatabase",
+        keys: Set[str],
+        grant: Optional[LockGrant] = None,
+    ):
         self.txn_id = txn_id
         self._db = database
         self.keys = set(keys)
+        self.grant = grant
         self._ops: List[_Op] = []
         self._reads: Set[str] = set()
         self.status = "active"  # active | committed | aborted
@@ -68,7 +85,11 @@ class StateTransaction:
 
     def commit(self, now: float = 0.0) -> None:
         self._require_active()
-        self._db._apply(self, now)
+        try:
+            self._db._apply(self, now)
+        except StaleLeaseError:
+            self.status = "aborted"
+            raise
         self.status = "committed"
 
     def abort(self) -> None:
@@ -113,9 +134,19 @@ class CommittedTransaction:
 class StateDatabase:
     """The lock-managed, transactional home of the golden state."""
 
-    def __init__(self, document: StateDocument, lock_manager: LockManager):
+    def __init__(
+        self,
+        document: StateDocument,
+        lock_manager: LockManager,
+        lease_ttl: Optional[float] = None,
+    ):
         self.document = document
         self.locks = lock_manager
+        #: when set, every transaction's locks are TTL leases: the
+        #: holder must heartbeat via :meth:`renew` and commits are
+        #: fence-checked, so a crashed holder's grant expires instead of
+        #: blocking every other team forever
+        self.lease_ttl = lease_ttl
         self.history: List[CommittedTransaction] = []
         self._active: Dict[str, StateTransaction] = {}
         self._begin_times: Dict[str, float] = {}
@@ -126,14 +157,30 @@ class StateDatabase:
         """Start a transaction holding ``keys``; None if locks unavailable."""
         if txn_id in self._active:
             raise TransactionError(f"transaction id {txn_id} already active")
-        if not self.locks.try_acquire(txn_id, keys, now):
+        grant = self.locks.try_acquire(txn_id, keys, now, ttl=self.lease_ttl)
+        if not grant:
             return None
-        txn = StateTransaction(txn_id, self, keys)
+        txn = StateTransaction(txn_id, self, keys, grant=grant)
         self._active[txn_id] = txn
         self._begin_times[txn_id] = now
         return txn
 
+    def renew(self, txn_id: str, now: float) -> bool:
+        """Heartbeat a transaction's lease; False if it already lapsed."""
+        if self.lease_ttl is None:
+            return True
+        return self.locks.renew(txn_id, now, ttl=self.lease_ttl) is not None
+
     def _apply(self, txn: StateTransaction, now: float) -> None:
+        if self.lease_ttl is not None:
+            grant = txn.grant
+            fence = grant.fencing_token if grant is not None else -1
+            if not self.locks.check_fence(txn.txn_id, fence, now):
+                self._abort(txn)
+                raise StaleLeaseError(
+                    f"transaction {txn.txn_id} outlived its lock lease; "
+                    f"commit rejected by fencing check"
+                )
         for op in txn._ops:
             if op.kind == "set" and op.entry is not None:
                 self.document.set(op.entry)

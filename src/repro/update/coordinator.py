@@ -12,16 +12,69 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Set
 
-from ..cloud.base import CloudAPIError
+from ..cloud.base import CloudAPIError, WRITE_OPS
 from ..cloud.clock import EventQueue, SimClock
 from ..cloud.resilience import ResilientGateway, RetryPolicy
 from ..state.document import StateDocument
 from ..state.locks import LockManager
 from ..state.transactions import (
     SerializabilityChecker,
+    StaleLeaseError,
     StateDatabase,
     StateTransaction,
 )
+
+
+class FencedGateway:
+    """A gateway proxy that applies lease fencing to every mutating call.
+
+    The distributed-systems pattern: the *storage side* checks the
+    fencing token, not the client's own belief about its lease. A team
+    whose lease expired mid-update (a "zombie") still thinks it holds
+    the locks; its writes arrive here carrying a stale token and are
+    rejected with HTTP 412 before they can clobber the new holder's
+    work. Reads pass through unchecked.
+    """
+
+    def __init__(
+        self,
+        gateway: Any,
+        locks: LockManager,
+        holder: str,
+        fencing_token: int,
+        clock: SimClock,
+    ):
+        self._gateway = gateway
+        self._locks = locks
+        self._holder = holder
+        self._token = fencing_token
+        self._clock = clock
+
+    def _check(self, operation: str) -> None:
+        if operation not in WRITE_OPS:
+            return
+        if not self._locks.check_fence(
+            self._holder, self._token, self._clock.now
+        ):
+            raise CloudAPIError(
+                "StaleLeaseFence",
+                f"Lock lease for '{self._holder}' has expired; fencing "
+                f"token {self._token} is stale. The mutation was rejected "
+                f"to protect the current lease holder.",
+                http_status=412,
+                operation=operation,
+            )
+
+    def execute(self, operation: str, rtype: str = "", **kwargs: Any) -> Any:
+        self._check(operation)
+        return self._gateway.execute(operation, rtype, **kwargs)
+
+    def submit(self, operation: str, rtype: str = "", **kwargs: Any) -> Any:
+        self._check(operation)
+        return self._gateway.submit(operation, rtype, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._gateway, name)
 
 
 @dataclasses.dataclass
@@ -44,6 +97,10 @@ class UpdateRequest:
     duration_s: float
     mutate: Optional[Callable[[StateTransaction], None]] = None
     cloud_ops: Optional[Callable[[Any], None]] = None
+    #: chaos knob: the operator process dies right after acquiring its
+    #: locks -- it never completes, never heartbeats, and (with leases
+    #: enabled) its grant expires instead of deadlocking everyone else
+    crashes: bool = False
 
 
 @dataclasses.dataclass
@@ -116,6 +173,8 @@ class UpdateCoordinator:
         scheduling: str = "fifo",
         gateway: Optional[Any] = None,
         retry: Optional[RetryPolicy] = None,
+        lease_ttl: Optional[float] = None,
+        heartbeat_every: Optional[float] = None,
     ):
         if scheduling not in SCHEDULING_POLICIES:
             raise ValueError(
@@ -130,7 +189,13 @@ class UpdateCoordinator:
             self.gateway.clock if self.gateway is not None else SimClock()
         )
         self.scheduling = scheduling
-        self.database = StateDatabase(state, lock_manager)
+        #: leases off (None) keeps the historical event stream exactly:
+        #: no heartbeat events, no expiry events, no fencing
+        self.lease_ttl = lease_ttl
+        self.heartbeat_every = heartbeat_every or (
+            lease_ttl / 3.0 if lease_ttl else None
+        )
+        self.database = StateDatabase(state, lock_manager, lease_ttl=lease_ttl)
 
     def _order_waiting(self, waiting: List[UpdateRequest]) -> List[UpdateRequest]:
         if self.scheduling == "shortest-job":
@@ -161,10 +226,37 @@ class UpdateCoordinator:
                 conflicts[request.team] += 1
                 return False
             active[request.team] = (request, txn, self.clock.now)
+            if request.crashes:
+                # the operator dies here: no completion, no heartbeats.
+                # With leases the grant lapses on its own; the expiry
+                # event is when the coordinator notices and re-admits
+                # waiters. Without leases the keys stay locked forever
+                # (the Terraform force-unlock failure mode).
+                if self.lease_ttl is not None:
+                    events.schedule(
+                        self.clock.now + self.lease_ttl,
+                        ("lease-expiry", request.team),
+                    )
+                return True
             events.schedule(
                 self.clock.now + request.duration_s, ("complete", request.team)
             )
+            if self.heartbeat_every is not None:
+                events.schedule(
+                    self.clock.now + self.heartbeat_every,
+                    ("renew", request.team),
+                )
             return True
+
+        def admit_waiters() -> None:
+            # a release may unblock waiters; admit per the configured
+            # scheduling policy
+            nonlocal waiting
+            still_waiting: List[UpdateRequest] = []
+            for waiter in self._order_waiting(waiting):
+                if not try_start(waiter):
+                    still_waiting.append(waiter)
+            waiting = still_waiting
 
         while events:
             popped = events.pop()
@@ -174,6 +266,27 @@ class UpdateCoordinator:
                 request = payload
                 if not try_start(request):
                     waiting.append(request)
+            elif kind == "renew":
+                team = payload
+                if team in active and self.heartbeat_every is not None:
+                    self.database.renew(team, self.clock.now)
+                    events.schedule(
+                        self.clock.now + self.heartbeat_every, ("renew", team)
+                    )
+            elif kind == "lease-expiry":
+                team = payload
+                entry = active.pop(team, None)
+                if entry is None:
+                    continue
+                request, txn, acquired_at = entry
+                # the grant already lapsed; abort releases nothing but
+                # cleans up the transaction bookkeeping
+                txn.abort()
+                errors.append(
+                    f"{team}: operator crashed while holding locks; lease "
+                    f"expired after {self.lease_ttl}s and waiters proceed"
+                )
+                admit_waiters()
             elif kind == "complete":
                 team = payload
                 request, txn, acquired_at = active.pop(team)
@@ -181,31 +294,53 @@ class UpdateCoordinator:
                 if request.cloud_ops is not None:
                     # the real cloud work, behind the resilience layer;
                     # retry backoff advances the shared clock, so the
-                    # outcome's completion time includes it
+                    # outcome's completion time includes it. With leases
+                    # on, writes also pass the fencing check.
+                    cloud_gateway = self.gateway
+                    if self.lease_ttl is not None and txn.grant is not None:
+                        cloud_gateway = FencedGateway(
+                            self.gateway,
+                            self.database.locks,
+                            team,
+                            txn.grant.fencing_token,
+                            self.clock,
+                        )
                     try:
-                        request.cloud_ops(self.gateway)
+                        request.cloud_ops(cloud_gateway)
                     except CloudAPIError as exc:
                         cloud_failed = True
                         errors.append(f"{team}: {exc}")
                 if request.mutate is not None and not cloud_failed:
                     request.mutate(txn)
-                txn.commit(self.clock.now)
-                outcomes.append(
-                    UpdateOutcome(
-                        team=team,
-                        submitted_at=request.submitted_at,
-                        acquired_at=acquired_at,
-                        completed_at=self.clock.now,
-                        conflicts_seen=conflicts[team],
+                try:
+                    txn.commit(self.clock.now)
+                except StaleLeaseError as exc:
+                    errors.append(f"{team}: {exc}")
+                else:
+                    outcomes.append(
+                        UpdateOutcome(
+                            team=team,
+                            submitted_at=request.submitted_at,
+                            acquired_at=acquired_at,
+                            completed_at=self.clock.now,
+                            conflicts_seen=conflicts[team],
+                        )
                     )
-                )
-                # a release may unblock waiters; admit per the
-                # configured scheduling policy
-                still_waiting: List[UpdateRequest] = []
-                for waiter in self._order_waiting(waiting):
-                    if not try_start(waiter):
-                        still_waiting.append(waiter)
-                waiting = still_waiting
+                admit_waiters()
+        # anything still waiting or active is stranded: a crashed holder
+        # without a lease keeps its keys forever (the force-unlock
+        # failure mode), so the run ends with the estate deadlocked
+        for team in sorted(active):
+            errors.append(
+                f"{team}: operator crashed while holding locks and no "
+                f"lease was configured; locks are held forever"
+            )
+        for request in waiting:
+            holders = self.database.locks.holders()
+            errors.append(
+                f"{request.team}: deadlocked waiting on locks held by "
+                f"{holders} when the run ended"
+            )
         serializable = SerializabilityChecker.is_serializable(
             self.database.history
         )

@@ -1,0 +1,247 @@
+"""Process-crash chaos: kill apply at every event boundary, resume.
+
+The executor's event loop calls a ``crash_hook`` before processing each
+popped completion; the hook raises :class:`SimulatedCrash` (a
+``BaseException``, like a real ``SIGKILL``-adjacent death) at a chosen
+boundary. At that instant the engine's in-memory working state is lost,
+in-flight operations are stranded at the control planes, and only two
+artifacts survive: the write-ahead intent journal and the cloud itself.
+
+``engine.resume()`` must then converge to the *same estate* an
+uninterrupted apply produces. "Same" is canonical, not byte-identical:
+a resumed run re-discovers orphans in a different order, so resource
+*id numbering* permutes and simulated timestamps shift, but everything
+addressable must match once ids are rewritten to the owning address.
+
+Sweep size is env-tunable for CI smoke tiers:
+
+    CRASH_SEEDS=0,1 CRASH_KILL_POINTS=3 python -m pytest tests/chaos/test_crash_recovery.py -q
+
+``CRASH_KILL_POINTS=N`` picks N evenly spaced boundaries; unset runs
+every boundary of the workload.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.core import CloudlessEngine
+from repro.deploy import SimulatedCrash
+from repro.workloads import web_tier
+
+SEEDS = [
+    int(s)
+    for s in os.environ.get("CRASH_SEEDS", "0,1").split(",")
+    if s.strip()
+]
+
+SRC = web_tier(web_vms=3, app_vms=2)
+
+
+# -- canonical comparison ------------------------------------------------------
+
+
+def canonical_state(engine):
+    """State JSON with run-dependent noise removed.
+
+    Rewrites every occurrence of a live resource id (including inside
+    computed attrs such as endpoints and DNS names) to the owning
+    address, masks cloud-assigned random IPs (real clouds hand out
+    whatever address DHCP has free), and drops serials, lineage, and
+    timestamps.
+    """
+    id_map = {
+        entry.resource_id: f"<{entry.address}>"
+        for entry in engine.state.resources()
+        if entry.resource_id
+    }
+    # longest-first so e.g. "db-00000010" never partially matches
+    ordered = sorted(id_map, key=len, reverse=True)
+
+    ip = re.compile(r"\b10\.\d+\.\d+\.\d+\b")
+
+    def rewrite(value):
+        if isinstance(value, str):
+            for rid in ordered:
+                if rid in value:
+                    value = value.replace(rid, id_map[rid])
+            return ip.sub("<ip>", value)
+        if isinstance(value, list):
+            return [rewrite(v) for v in value]
+        if isinstance(value, dict):
+            return {k: rewrite(v) for k, v in value.items()}
+        return value
+
+    doc = json.loads(engine.state.to_json())
+    doc.pop("serial", None)
+    doc.pop("lineage", None)
+    live_addresses = {entry["address"] for entry in doc.get("resources", [])}
+    for entry in doc.get("resources", []):
+        entry.pop("created_at", None)
+        entry.pop("updated_at", None)
+        # a plain apply leaves dependency edges pointing at addresses a
+        # downscale deleted; resume's dependency refresh prunes them.
+        # Dangling edges carry no information either way -- drop both.
+        entry["dependencies"] = [
+            d for d in entry.get("dependencies", []) if d in live_addresses
+        ]
+    return rewrite(doc)
+
+
+def live_prefix_counts(engine):
+    """How many live records exist per id prefix (type family)."""
+    counts = {}
+    for record in engine.gateway.all_records():
+        prefix = record.id.rsplit("-", 1)[0]
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return counts
+
+
+def assert_converged_like(resumed, baseline):
+    # 1. canonical state equality: everything addressable matches once
+    #    ids are rewritten to addresses
+    assert canonical_state(resumed) == canonical_state(baseline)
+    # 2. the clouds hold the same estate shape: no leaked duplicates,
+    #    no missing resources
+    assert live_prefix_counts(resumed) == live_prefix_counts(baseline)
+    # 3. state ids <-> live record ids is a bijection (zero orphans,
+    #    zero dangling state entries)
+    state_ids = {
+        e.resource_id for e in resumed.state.resources() if e.resource_id
+    }
+    live_ids = {r.id for r in resumed.gateway.all_records()}
+    assert state_ids == live_ids
+
+
+# -- sweep ---------------------------------------------------------------------
+
+
+def count_boundaries(seed, tmp_path):
+    """An uninterrupted run, counting event boundaries the hook sees."""
+    boundaries = []
+    engine = CloudlessEngine(
+        seed=seed, wal_path=str(tmp_path / f"base-{seed}.wal")
+    )
+    result = engine.apply(SRC, crash_hook=boundaries.append)
+    assert result.ok
+    return engine, len(boundaries)
+
+
+def kill_points(total):
+    requested = os.environ.get("CRASH_KILL_POINTS", "")
+    if not requested.strip():
+        return list(range(total))
+    n = max(1, int(requested))
+    if n >= total:
+        return list(range(total))
+    step = total / n
+    return sorted({int(i * step) for i in range(n)})
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_at_every_boundary_resumes_to_same_estate(seed, tmp_path):
+    baseline, total = count_boundaries(seed, tmp_path)
+    assert total > 0
+
+    for k in kill_points(total):
+        wal = str(tmp_path / f"crash-{seed}-{k}.wal")
+        engine = CloudlessEngine(seed=seed, wal_path=wal)
+
+        def hook(index, _k=k):
+            if index == _k:
+                raise SimulatedCrash(f"killed at boundary {_k}")
+
+        with pytest.raises(SimulatedCrash):
+            engine.apply(SRC, crash_hook=hook)
+
+        # the cloud outlives the dead client: accepted in-flight
+        # operations still land
+        engine.gateway.settle_inflight()
+
+        outcome = engine.resume(SRC)
+        assert outcome.ok, (
+            f"seed {seed} kill point {k}: resume failed: "
+            f"{outcome.result.diagnoses}"
+        )
+        assert_converged_like(engine, baseline)
+        # the journal is retired once the resumed apply converges
+        assert os.path.getsize(wal) == 0, (
+            f"seed {seed} kill point {k}: WAL not marked clean"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_crash_during_downscale_recovers_deletes(seed, tmp_path):
+    """Crashing a destructive second apply must not strand deletes."""
+    before = web_tier(web_vms=3, app_vms=2)
+    after = web_tier(web_vms=2, app_vms=1)
+
+    baseline = CloudlessEngine(
+        seed=seed, wal_path=str(tmp_path / "base.wal")
+    )
+    assert baseline.apply(before).ok
+    boundaries = []
+    assert baseline.apply(after, crash_hook=boundaries.append).ok
+    total = len(boundaries)
+    assert total > 0
+
+    step = max(1, total // 4)
+    for k in range(0, total, step):
+        wal = str(tmp_path / f"down-{k}.wal")
+        engine = CloudlessEngine(seed=seed, wal_path=wal)
+        assert engine.apply(before).ok
+
+        def hook(index, _k=k):
+            if index == _k:
+                raise SimulatedCrash(f"killed at boundary {_k}")
+
+        with pytest.raises(SimulatedCrash):
+            engine.apply(after, crash_hook=hook)
+        engine.gateway.settle_inflight()
+
+        outcome = engine.resume(after)
+        assert outcome.ok, f"kill point {k}: resume failed"
+        assert_converged_like(engine, baseline)
+
+
+def test_resume_without_crash_is_a_plain_apply(tmp_path):
+    """A clean journal resumes straight into a no-op apply."""
+    wal = str(tmp_path / "clean.wal")
+    engine = CloudlessEngine(seed=0, wal_path=wal)
+    assert engine.apply(SRC).ok
+    before = canonical_state(engine)
+    outcome = engine.resume()
+    assert outcome.ok
+    assert outcome.recovery is None or not outcome.recovery.actions
+    assert canonical_state(engine) == before
+
+
+def test_recovery_report_classifies_orphans(tmp_path):
+    """A mid-apply crash leaves a mix of committed and orphaned
+    intents, and the report says which repairs actually ran."""
+    wal = str(tmp_path / "report.wal")
+    engine = CloudlessEngine(seed=0, wal_path=wal)
+
+    def hook(index):
+        if index == 6:
+            raise SimulatedCrash()
+
+    with pytest.raises(SimulatedCrash):
+        engine.apply(SRC, crash_hook=hook)
+    engine.gateway.settle_inflight()
+
+    outcome = engine.resume(SRC)
+    assert outcome.ok
+    report = outcome.recovery
+    assert report is not None and report.actions
+    summary = report.summary()
+    assert sum(summary.values()) == len(report.actions)
+    # every adopted orphan corresponds to a live record in state
+    from repro.addressing import ResourceAddress
+
+    for address in report.adopted:
+        entry = engine.state.get(ResourceAddress.parse(address))
+        assert entry is not None
+        assert engine.gateway.find_record(entry.resource_id) is not None

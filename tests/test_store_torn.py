@@ -1,0 +1,154 @@
+"""Torn-write tolerance of the journaled state store.
+
+Satellite of the crash-safe apply PR: corrupt the last bytes of the
+keyframe and the delta journal *independently* and show the store still
+loads. A torn journal tail is dropped and truncated away; a torn
+keyframe falls back to the ``.bak`` copy compaction writes alongside
+it. Scheme: compaction writes the identical keyframe to both paths
+*before* truncating the journal, so every single-file tear is
+survivable and every crash window replays idempotently.
+"""
+
+import os
+
+import pytest
+
+from repro.addressing import ResourceAddress
+from repro.perf import PERF
+from repro.state import JournalStateStore, ResourceState, StateDocument
+
+
+def entry(addr_text, rid="r-1", attrs=None):
+    return ResourceState(
+        address=ResourceAddress.parse(addr_text),
+        resource_id=rid,
+        provider="aws",
+        attrs=attrs or {"name": "x"},
+        region="us-east-1",
+    )
+
+
+def populated_store(path, writes=5, compact_threshold=100):
+    store = JournalStateStore(path, compact_threshold=compact_threshold)
+    doc = StateDocument()
+    for i in range(writes):
+        doc = doc.copy()
+        doc.set(entry(f"aws_vm.v{i}", f"r-{i}"))
+        doc.bump()
+        store.write(doc)
+    return store, doc
+
+
+def tear_tail(path, nbytes=7):
+    """Chop the last bytes off a file, as an interrupted write would."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - nbytes))
+
+
+class TestTornJournal:
+    def test_torn_journal_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        _, doc = populated_store(path, writes=5)
+        tear_tail(path + ".journal")
+        loaded = JournalStateStore(path).read()
+        # the last delta is lost, everything before it survives
+        addresses = {str(e.address) for e in loaded.resources()}
+        assert addresses == {f"aws_vm.v{i}" for i in range(4)}
+
+    def test_torn_tail_is_physically_truncated(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        populated_store(path, writes=3)
+        tear_tail(path + ".journal")
+        JournalStateStore(path).read()
+        # recovery rewrote the journal to end on a record boundary, so a
+        # later append produces a well-formed file
+        raw = open(path + ".journal", "rb").read()
+        assert raw.endswith(b"\n")
+        store = JournalStateStore(path)
+        doc = store.read()
+        doc = doc.copy()
+        doc.set(entry("aws_vm.extra", "r-x"))
+        doc.bump()
+        store.write(doc)
+        reloaded = JournalStateStore(path).read()
+        assert reloaded.get(ResourceAddress.parse("aws_vm.extra")) is not None
+
+    def test_mid_journal_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        populated_store(path, writes=4)
+        journal = path + ".journal"
+        lines = open(journal, "r", encoding="utf-8").read().splitlines()
+        lines[1] = lines[1][:10]  # damage a middle record
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            JournalStateStore(path).read()
+
+
+class TestTornKeyframe:
+    def test_torn_keyframe_falls_back_to_backup(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store, doc = populated_store(path, writes=5)
+        store.compact()
+        assert os.path.exists(path + ".bak")
+        tear_tail(path, nbytes=20)
+        loaded = JournalStateStore(path).read()
+        assert loaded.to_json() == doc.to_json()
+
+    def test_torn_backup_alone_is_harmless(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store, doc = populated_store(path, writes=5)
+        store.compact()
+        tear_tail(path + ".bak", nbytes=20)
+        loaded = JournalStateStore(path).read()
+        assert loaded.to_json() == doc.to_json()
+
+    def test_keyframe_and_journal_torn_independently(self, tmp_path):
+        """The satellite's exact scenario: damage the last bytes of each
+        file in turn; the store loads either way."""
+        path = str(tmp_path / "state.json")
+        store, doc = populated_store(path, writes=4, compact_threshold=3)
+        # threshold 3 => one compaction happened, journal holds delta #4
+        assert os.path.getsize(path + ".journal") > 0
+        tear_tail(path, nbytes=11)
+        tear_tail(path + ".journal", nbytes=11)
+        loaded = JournalStateStore(path).read()
+        # keyframe came from .bak (first 3 writes) and the torn fourth
+        # delta was dropped
+        addresses = {str(e.address) for e in loaded.resources()}
+        assert addresses == {f"aws_vm.v{i}" for i in range(3)}
+
+    def test_fallbacks_are_counted(self, tmp_path):
+        PERF.enable()
+        PERF.reset()
+        try:
+            path = str(tmp_path / "state.json")
+            store, _ = populated_store(path, writes=4)
+            store.compact()
+            tear_tail(path, nbytes=15)
+            JournalStateStore(path).read()
+            counters = PERF.snapshot()["counters"]
+            assert counters.get("persist.keyframe_fallbacks", 0) >= 1
+        finally:
+            PERF.reset()
+            PERF.disable()
+
+    def test_compaction_writes_identical_twins(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store, _ = populated_store(path, writes=5)
+        store.compact()
+        assert open(path).read() == open(path + ".bak").read()
+
+    def test_both_keyframes_torn_resets_to_journal_only(self, tmp_path):
+        """Total keyframe loss degrades to an empty base document; the
+        (post-compaction) journal is empty, so the store reads empty
+        rather than crashing -- the worst case is explicit, not silent
+        corruption of a partial parse."""
+        path = str(tmp_path / "state.json")
+        store, _ = populated_store(path, writes=5)
+        store.compact()
+        tear_tail(path, nbytes=25)
+        tear_tail(path + ".bak", nbytes=25)
+        loaded = JournalStateStore(path).read()
+        assert len(loaded) == 0
