@@ -81,6 +81,30 @@ def _parse_vars(pairs: List[str]) -> Dict[str, Any]:
     return out
 
 
+def _print_quarantine(result) -> None:
+    """Summarize a degraded-mode (partial) apply: what converged, what
+    was parked, and when the dark partitions are expected back."""
+    apply_result = result.apply
+    print(
+        f"\napply DEGRADED: {len(apply_result.succeeded)} resource(s) "
+        f"converged, {len(apply_result.quarantined)} parked behind "
+        f"unreachable partitions"
+    )
+    for part in apply_result.quarantined_partitions():
+        held = sorted(
+            cid
+            for cid, q in apply_result.quarantined.items()
+            if q.partition == part
+        )
+        print(f"  partition {part} unreachable:")
+        for cid in held:
+            print(f"    quarantined: {cid}")
+    print(
+        "run `python -m repro resume` once the partition recovers to "
+        "drain the quarantined work"
+    )
+
+
 # -- subcommands ------------------------------------------------------------------
 
 
@@ -137,6 +161,9 @@ def cmd_apply(args) -> int:
     assert result.plan is not None and result.apply is not None
     print(result.plan.render())
     _save_engine(args, engine)
+    if result.apply.partial:
+        _print_quarantine(result)
+        return 2
     if not result.apply.ok:
         print("\napply FAILED:")
         for diagnosis in result.diagnoses:
@@ -186,6 +213,9 @@ def cmd_resume(args) -> int:
         print(result.admission)
         return 1
     _save_engine(args, engine)
+    if result.apply is not None and result.apply.partial:
+        _print_quarantine(result)
+        return 2
     if result.apply is None or not result.apply.ok:
         print("\nresume FAILED:")
         for diagnosis in result.diagnoses:

@@ -17,13 +17,18 @@ from .base import (
     ResourceRecord,
 )
 from .clock import EventQueue, SimClock
-from .faults import FaultInjector, FaultSpec, InjectedFault
+from .faults import FaultInjector, FaultSpec, InjectedFault, OutageSpec
 from .gateway import CloudGateway
 from .latency import DEFAULT_PROFILE, LatencyModel, LatencyProfile
 from .ratelimit import RateLimiterBank, RateLimitStats, TokenBucket
 from .resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
     DEFAULT_TIMEOUTS,
+    HealthMonitor,
     OperationTimeout,
+    OUTAGE_CODES,
+    PartitionUnavailableError,
     ResilientGateway,
     RetryPolicy,
     RetryStats,
@@ -31,7 +36,9 @@ from .resilience import (
     THROTTLED,
     TIMEOUT,
     TRANSIENT,
+    UNAVAILABLE,
     classify,
+    is_outage_error,
 )
 from .resources import AttributeSpec, ResourceTypeSpec
 
@@ -45,6 +52,8 @@ __all__ = [
     "AZURE_LOCATIONS",
     "AzureControlPlane",
     "azure_catalog",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "classify",
     "CloudAPIError",
     "CloudGateway",
@@ -54,10 +63,15 @@ __all__ = [
     "EventQueue",
     "FaultInjector",
     "FaultSpec",
+    "HealthMonitor",
     "InjectedFault",
+    "is_outage_error",
     "LatencyModel",
     "LatencyProfile",
     "OperationTimeout",
+    "OUTAGE_CODES",
+    "OutageSpec",
+    "PartitionUnavailableError",
     "PendingOperation",
     "RateLimiterBank",
     "RateLimitStats",
@@ -72,4 +86,5 @@ __all__ = [
     "TIMEOUT",
     "TokenBucket",
     "TRANSIENT",
+    "UNAVAILABLE",
 ]

@@ -309,6 +309,9 @@ class ControlPlane:
         #: The cloud side finishes these even if the client dies --
         #: ``settle()`` models that by resolving every survivor.
         self._inflight: List[PendingOperation] = []
+        #: brownout latency multiplier for the operation currently being
+        #: built (set around the builder call in ``submit``)
+        self._latency_scale = 1.0
         self._register_catalog()
 
     # -- subclass hooks ------------------------------------------------------
@@ -370,54 +373,90 @@ class ControlPlane:
         t_start = self.limiter.consume(op_class, now)
         spec = self.spec_for(rtype) if rtype else None
 
-        # scheduled fault rules may target any operation class (a list
-        # page mid-scan, a log read); the blanket transient_rate still
-        # only hits mutating calls (see FaultInjector.check)
-        fault = self.faults.check(rtype, operation)
-        if fault is not None:
-            t_complete = (
-                t_start
-                + self._sample_latency(rtype, operation, resource_id or "fault")
-                + fault.extra_delay_s
-            )
-            error = CloudAPIError(
-                fault.error_code,
-                fault.message,
-                http_status=500 if fault.transient else 400,
-                transient=fault.transient,
+        # where does this call land? explicit region kwarg, else the
+        # targeted record's home region, else "" (a region-less call --
+        # log reads, token probes -- only a provider-wide outage hits it)
+        op_region = region
+        if not op_region and resource_id:
+            targeted = self.records.get(resource_id)
+            if targeted is not None:
+                op_region = targeted.region
+
+        # sustained outages dominate point faults: a dark partition
+        # rejects *every* operation class fast, and brownouts stretch
+        # whatever latency the operation would otherwise have had
+        outage = self.faults.outage_at(now, rtype, op_region)
+        if outage is not None:
+            t_complete = t_start + outage.error_latency_s
+            outage_error = CloudAPIError(
+                outage.error_code,
+                outage.message,
+                http_status=503,
+                transient=True,
                 resource_type=rtype,
                 operation=operation,
             )
 
-            def fail() -> Any:
-                raise error
+            def unavailable() -> Any:
+                raise outage_error
 
             return self._track(
-                PendingOperation(operation, rtype, now, t_start, t_complete, fail)
+                PendingOperation(
+                    operation, rtype, now, t_start, t_complete, unavailable
+                )
             )
+        self._latency_scale = self.faults.brownout_scale(now, rtype, op_region)
+        try:
+            # scheduled fault rules may target any operation class (a list
+            # page mid-scan, a log read); the blanket transient_rate still
+            # only hits mutating calls (see FaultInjector.check)
+            fault = self.faults.check(rtype, operation)
+            if fault is not None:
+                t_complete = (
+                    t_start
+                    + self._sample_latency(rtype, operation, resource_id or "fault")
+                    + fault.extra_delay_s
+                )
+                error = CloudAPIError(
+                    fault.error_code,
+                    fault.message,
+                    http_status=500 if fault.transient else 400,
+                    transient=fault.transient,
+                    resource_type=rtype,
+                    operation=operation,
+                )
 
-        builder = {
-            "create": self._build_create,
-            "update": self._build_update,
-            "delete": self._build_delete,
-            "read": self._build_read,
-            "log": self._build_read,
-            "list": self._build_list,
-        }.get(operation)
-        if builder is None:
-            raise ValueError(f"unknown operation {operation!r}")
-        return self._track(
-            builder(
-                spec,
-                now,
-                t_start,
-                resource_id=resource_id,
-                attrs=attrs or {},
-                region=region,
-                actor=actor,
-                token=idempotency_token,
+                def fail() -> Any:
+                    raise error
+
+                return self._track(
+                    PendingOperation(operation, rtype, now, t_start, t_complete, fail)
+                )
+
+            builder = {
+                "create": self._build_create,
+                "update": self._build_update,
+                "delete": self._build_delete,
+                "read": self._build_read,
+                "log": self._build_read,
+                "list": self._build_list,
+            }.get(operation)
+            if builder is None:
+                raise ValueError(f"unknown operation {operation!r}")
+            return self._track(
+                builder(
+                    spec,
+                    now,
+                    t_start,
+                    resource_id=resource_id,
+                    attrs=attrs or {},
+                    region=region,
+                    actor=actor,
+                    token=idempotency_token,
+                )
             )
-        )
+        finally:
+            self._latency_scale = 1.0
 
     def _track(self, pending: PendingOperation) -> PendingOperation:
         """Register a write op as in flight until resolved or settled."""
@@ -469,7 +508,7 @@ class ControlPlane:
         scheduling, never RNG stream divergence.
         """
         rng = random.Random(f"{self.provider}|{rtype}|{operation}|{key}|{self.seed}")
-        return self.latency.sample(rtype, operation, rng)
+        return self.latency.sample(rtype, operation, rng) * self._latency_scale
 
     def _build_create(
         self,
@@ -656,12 +695,17 @@ class ControlPlane:
         )
 
         def apply() -> Dict[str, Any]:
+            # records in a dark region vanish from cross-region scans --
+            # exactly the phantom-delete trap a naive drift scanner
+            # falls into; outage-aware callers check the status page
+            now = self.clock.now
             matches = sorted(
                 (
                     r
                     for r in self.records.values()
                     if (not rtype or r.type == rtype)
                     and (not region or r.region == region)
+                    and not self.faults.is_dark(now, r.type, r.region)
                 ),
                 key=lambda r: r.id,
             )
@@ -1016,6 +1060,23 @@ class ControlPlane:
                 if resource_id in [t for t in targets if t]:
                     out.append(record.id)
         return out
+
+    # -- status page ---------------------------------------------------------
+
+    def unavailable_regions(self, now: Optional[float] = None) -> Dict[str, float]:
+        """The provider's status page: dark region -> expected recovery
+        time (``"*"`` = the whole provider). Empty when healthy."""
+        return self.faults.unavailable_regions(
+            self.clock.now if now is None else now
+        )
+
+    def outage_horizon(
+        self, region: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """When ``region`` is expected back, or None if reachable now."""
+        return self.faults.outage_horizon(
+            self.clock.now if now is None else now, region
+        )
 
     # -- introspection -----------------------------------------------------------
 

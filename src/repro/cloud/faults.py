@@ -1,12 +1,18 @@
 """Fault injection for the simulated control planes.
 
 Deployments in the paper's world "error out at the cloud level" (3.5);
-this module decides when. Two mechanisms:
+this module decides when. Three mechanisms:
 
 * probabilistic transient faults (throttle bursts, capacity errors,
-  hangs) applied per operation class, and
+  hangs) applied per operation class,
 * scheduled faults targeted at specific resource types/names, for
-  reproducible failure-handling tests.
+  reproducible failure-handling tests, and
+* sustained **outage windows** (:class:`OutageSpec`): a region or a
+  whole provider goes dark (hard outage) or slow (brownout) for a span
+  of simulated time. Outages hit *every* operation class -- list pages,
+  log reads, and probes fail just like mutations do -- which is what
+  makes them a different beast from point faults: retrying does not
+  help until the window closes.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 import random
 from typing import Dict, List, Optional
+
+OUTAGE_MODES = ("hard", "brownout")
 
 
 @dataclasses.dataclass
@@ -39,21 +47,99 @@ class FaultSpec:
             raise ValueError(
                 f"probability must be in [0, 1], got {self.probability}"
             )
+        if self.skip_first < 0:
+            raise ValueError(
+                f"skip_first must be >= 0, got {self.skip_first}"
+            )
+        if self.max_strikes < -1:
+            raise ValueError(
+                "max_strikes must be -1 (unlimited) or >= 0, "
+                f"got {self.max_strikes}"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        """Has the rule fired its full strike budget?"""
+        return self.max_strikes >= 0 and self._strikes >= self.max_strikes
 
     def matches(self, rtype: str, operation: str) -> bool:
-        if self.max_strikes >= 0 and self._strikes >= self.max_strikes:
+        """Does the rule's filter cover this operation? Pure -- all
+        accounting (skip window, strikes) lives in
+        :meth:`FaultInjector.check` so a match that loses the dice roll
+        never consumes anything."""
+        if self.exhausted:
             return False
         if self.match_type and self.match_type != rtype:
             return False
         if self.match_operation and self.match_operation != operation:
             return False
-        if self._seen < self.skip_first:
-            self._seen += 1
-            return False
         return True
 
     def strike(self) -> None:
         self._strikes += 1
+
+
+@dataclasses.dataclass
+class OutageSpec:
+    """A sustained unavailability window on the simulated clock.
+
+    * ``region`` scopes the outage to one region; ``""`` takes down the
+      whole provider (any region, plus region-less operations such as
+      log reads).
+    * ``match_type`` scopes to one resource type (e.g. only the VM
+      service browns out); ``""`` hits every type.
+    * ``mode="hard"``: every covered call fails fast with
+      ``error_code`` (transient -- retrying *after* the window succeeds).
+      ``mode="brownout"``: calls succeed but latency is multiplied by
+      ``latency_multiplier``.
+
+    Windows may overlap freely; hard outages dominate brownouts, and
+    overlapping brownout multipliers compound.
+    """
+
+    start_s: float
+    end_s: float
+    region: str = ""
+    match_type: str = ""
+    mode: str = "hard"
+    latency_multiplier: float = 5.0
+    error_code: str = "ServiceUnavailable"
+    message: str = ""
+    #: how long a call into a dark partition takes to come back with the
+    #: error -- real outages fail fast, not after provisioning latency
+    error_latency_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"outage window must be non-empty: "
+                f"[{self.start_s}, {self.end_s})"
+            )
+        if self.mode not in OUTAGE_MODES:
+            raise ValueError(f"mode must be one of {OUTAGE_MODES}")
+        if self.latency_multiplier < 1.0:
+            raise ValueError("latency_multiplier must be >= 1.0")
+        if not self.message:
+            scope = self.region or "the service"
+            self.message = (
+                f"The service is temporarily unavailable in {scope}. "
+                f"Please try again later."
+            )
+
+    def active_at(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    def covers(self, rtype: str, region: str) -> bool:
+        """Does this outage hit an operation on (rtype, region)?
+
+        A region-scoped outage never covers a region-less operation
+        (region ``""``) -- those only go down with the whole provider.
+        """
+        if self.region and self.region != region:
+            return False
+        if self.match_type and self.match_type != rtype:
+            return False
+        return True
 
 
 @dataclasses.dataclass
@@ -72,11 +158,18 @@ class FaultInjector:
     def __init__(self, rng: Optional[random.Random] = None):
         self.rng = rng or random.Random(0)
         self.rules: List[FaultSpec] = []
+        self.outages: List[OutageSpec] = []
         self.transient_rate: float = 0.0  # blanket transient failure rate
         self.fired: int = 0
+        #: operations that hit an active hard outage -- the bench gates
+        #: on this to prove breakers stop the retry storm
+        self.outage_hits: int = 0
 
     def add_rule(self, rule: FaultSpec) -> None:
         self.rules.append(rule)
+
+    def add_outage(self, outage: OutageSpec) -> None:
+        self.outages.append(outage)
 
     def set_transient_rate(self, rate: float) -> None:
         """Blanket probability that any mutating call fails transiently."""
@@ -84,22 +177,111 @@ class FaultInjector:
             raise ValueError("transient rate must be in [0, 1)")
         self.transient_rate = rate
 
+    # -- outage queries ------------------------------------------------------
+
+    def outage_at(
+        self, now: float, rtype: str, region: str
+    ) -> Optional[OutageSpec]:
+        """The active *hard* outage covering this operation, if any.
+
+        Counts the hit: every call that lands in a dark window is one
+        wasted API round-trip the resilience layer should have avoided.
+        """
+        for spec in self.outages:
+            if (
+                spec.mode == "hard"
+                and spec.active_at(now)
+                and spec.covers(rtype, region)
+            ):
+                self.outage_hits += 1
+                self.fired += 1
+                return spec
+        return None
+
+    def brownout_scale(self, now: float, rtype: str, region: str) -> float:
+        """Compound latency multiplier from active brownouts."""
+        scale = 1.0
+        for spec in self.outages:
+            if (
+                spec.mode == "brownout"
+                and spec.active_at(now)
+                and spec.covers(rtype, region)
+            ):
+                scale *= spec.latency_multiplier
+        return scale
+
+    def is_dark(self, now: float, rtype: str, region: str) -> bool:
+        """Pure query (no hit accounting): is (rtype, region) in an
+        active hard outage right now?"""
+        return any(
+            spec.mode == "hard"
+            and spec.active_at(now)
+            and spec.covers(rtype, region)
+            for spec in self.outages
+        )
+
+    def outage_horizon(self, now: float, region: str) -> Optional[float]:
+        """When the last active *untyped* hard outage covering
+        ``region`` ends, or None if the region is reachable.
+
+        This is the provider's status page: type-scoped outages are a
+        service degradation, not a dark region, so they do not count.
+        """
+        horizon: Optional[float] = None
+        for spec in self.outages:
+            if (
+                spec.mode == "hard"
+                and not spec.match_type
+                and spec.active_at(now)
+                and spec.region in ("", region)
+            ):
+                horizon = spec.end_s if horizon is None else max(horizon, spec.end_s)
+        return horizon
+
+    def unavailable_regions(self, now: float) -> Dict[str, float]:
+        """Status page: dark scope -> when it is expected back.
+
+        Keys are region names; a provider-wide outage appears under
+        ``"*"``. Only untyped hard outages count (see
+        :meth:`outage_horizon`).
+        """
+        out: Dict[str, float] = {}
+        for spec in self.outages:
+            if spec.mode != "hard" or spec.match_type or not spec.active_at(now):
+                continue
+            key = spec.region or "*"
+            out[key] = max(out.get(key, spec.end_s), spec.end_s)
+        return out
+
+    # -- the per-operation dice roll -----------------------------------------
+
     def check(self, rtype: str, operation: str) -> Optional[InjectedFault]:
-        """Decide whether this operation fails, and how."""
+        """Decide whether this operation fails, and how.
+
+        Accounting invariants (regression-tested):
+
+        * the skip window consumes exactly one slot per *matching*
+          operation, before the dice are rolled;
+        * a strike is consumed only when the rule actually fires -- a
+          probability-gated rule that loses the roll stays armed.
+        """
         for rule in self.rules:
-            if rule.matches(rtype, operation):
-                # strict <, matching transient_rate below: a
-                # probability-0 rule must never fire, even when the RNG
-                # returns exactly 0.0
-                if self.rng.random() < rule.probability:
-                    rule.strike()
-                    self.fired += 1
-                    return InjectedFault(
-                        error_code=rule.error_code,
-                        message=rule.message,
-                        transient=rule.transient,
-                        extra_delay_s=rule.extra_delay_s,
-                    )
+            if not rule.matches(rtype, operation):
+                continue
+            if rule._seen < rule.skip_first:
+                rule._seen += 1
+                continue
+            # strict <, matching transient_rate below: a probability-0
+            # rule must never fire, even when the RNG returns exactly 0.0
+            if self.rng.random() < rule.probability:
+                rule.strike()
+                self.fired += 1
+                return InjectedFault(
+                    error_code=rule.error_code,
+                    message=rule.message,
+                    transient=rule.transient,
+                    extra_delay_s=rule.extra_delay_s,
+                )
         if (
             self.transient_rate > 0.0
             and operation in ("create", "update", "delete")

@@ -95,6 +95,34 @@ class CloudGateway:
     def mean_latency(self, rtype: str, operation: str) -> float:
         return self.plane_for(rtype).latency.mean(rtype, operation)
 
+    # -- outages ------------------------------------------------------------
+
+    def inject_outage(self, provider: str, outage: Any) -> None:
+        """Schedule an :class:`~repro.cloud.faults.OutageSpec` on one
+        provider's control plane."""
+        self.planes[provider].faults.add_outage(outage)
+
+    def dark_partitions(self, now: Optional[float] = None) -> Dict[tuple, float]:
+        """Every (provider, region) currently in a hard outage, mapped
+        to its expected recovery time. A provider-wide outage appears
+        as ``(provider, "*")``."""
+        now = self.clock.now if now is None else now
+        out: Dict[tuple, float] = {}
+        for name in sorted(self.planes):
+            for region, horizon in self.planes[name].unavailable_regions(now).items():
+                out[(name, region)] = horizon
+        return out
+
+    def partition_dark(
+        self, provider: str, region: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """When (provider, region) is expected back, or None if it is
+        reachable according to the status page."""
+        plane = self.planes.get(provider)
+        if plane is None:
+            return None
+        return plane.outage_horizon(region, now)
+
     # -- aggregate introspection ---------------------------------------------
 
     def total_api_calls(self) -> int:

@@ -13,7 +13,7 @@ import dataclasses
 from typing import Any, Dict, List, Optional, Union
 
 from ..cloud.gateway import CloudGateway
-from ..cloud.resilience import ResilientGateway
+from ..cloud.resilience import BreakerPolicy, HealthMonitor, ResilientGateway
 from ..debug.correlate import Diagnosis, IaCDebugger
 from ..deploy.executor import (
     ApplyResult,
@@ -77,6 +77,16 @@ class EngineApplyResult:
             return False
         return self.apply is not None and self.apply.ok
 
+    @property
+    def partial(self) -> bool:
+        """Degraded-mode completion: the reachable subgraph converged
+        and the rest is quarantined behind unreachable partitions."""
+        return self.apply is not None and self.apply.partial
+
+    @property
+    def quarantined(self) -> Dict[str, Any]:
+        return self.apply.quarantined if self.apply is not None else {}
+
 
 @dataclasses.dataclass
 class EngineResumeResult:
@@ -104,17 +114,24 @@ class CloudlessEngine:
         retry: Optional[RetryPolicy] = None,
         seed: int = 0,
         wal_path: Optional[str] = None,
+        health: Optional[HealthMonitor] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
     ):
         self.seed = seed
         #: when set, every apply journals its intents here and
         #: :meth:`resume` can recover a crashed run from it
         self.wal_path = wal_path
         self.gateway = gateway or CloudGateway.simulated(seed=seed)
+        #: one partition-health ledger shared by every layer: the
+        #: executors gate dispatch on it, the resilient wrapper fails
+        #: fast on it, and drift detection skips partitions it marks
+        #: unreachable
+        self.health = health or HealthMonitor(policy=breaker_policy)
         # one shared resilience wrapper for the synchronous lifecycle
         # verbs (watch/reconcile/rollback/import/data reads); the deploy
         # executors keep the raw gateway -- their event-loop retry must
         # stay byte-identical to the golden reference
-        self.resilient = ResilientGateway.wrap(self.gateway)
+        self.resilient = ResilientGateway.wrap(self.gateway, health=self.health)
         self.registry = registry or SchemaRegistry.default()
         self.loader = loader
         self.executor_name = executor
@@ -157,8 +174,13 @@ class CloudlessEngine:
         if cls is None:
             raise EngineError(f"unknown executor {self.executor_name!r}")
         if cls is SequentialExecutor:
-            return cls(self.gateway, retry=self.retry)
-        return cls(self.gateway, concurrency=self.concurrency, retry=self.retry)
+            return cls(self.gateway, retry=self.retry, health=self.health)
+        return cls(
+            self.gateway,
+            concurrency=self.concurrency,
+            retry=self.retry,
+            health=self.health,
+        )
 
     # -- lifecycle verbs ---------------------------------------------------------
 
@@ -240,6 +262,11 @@ class CloudlessEngine:
             result = self._executor().apply(plan)
         if journal is not None and result.ok:
             journal.mark_clean()
+            journal.close()
+        elif journal is not None and result.partial:
+            # degraded-mode completion: keep the journal's contents (the
+            # quarantined intents are the resume's work list) but close
+            # the handle so an in-process resume re-reads a flushed file
             journal.close()
         assert result.state is not None
         self.state = result.state

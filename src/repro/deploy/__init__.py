@@ -6,6 +6,7 @@ from .executor import (
     CriticalPathExecutor,
     OperationRecord,
     PlanExecutor,
+    Quarantine,
     RetryPolicy,
     SequentialExecutor,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "IntentRecord",
     "OperationRecord",
     "PlanExecutor",
+    "Quarantine",
     "RecoveryAction",
     "RecoveryReport",
     "RefreshResult",

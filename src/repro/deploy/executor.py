@@ -31,7 +31,13 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 from ..cloud.base import CloudAPIError, PendingOperation
 from ..cloud.clock import EventQueue
 from ..cloud.gateway import CloudGateway
-from ..cloud.resilience import RetryPolicy
+from ..cloud.resilience import (
+    GATE_OPEN,
+    GATE_WAIT,
+    HealthMonitor,
+    RetryPolicy,
+    is_outage_error,
+)
 from ..graph.critical_path import analyze
 from ..graph.dag import Dag
 from ..graph.plan import Action, Plan, PlannedChange
@@ -59,6 +65,26 @@ class OperationRecord:
 
 
 @dataclasses.dataclass
+class Quarantine:
+    """A change parked because its partition is unreachable.
+
+    Not a failure: the work is deferred, not lost. A later apply or
+    ``resume`` re-plans it once the partition's breaker lets probes
+    through again.
+    """
+
+    change_id: str
+    provider: str
+    region: str
+    reason: str
+    at: float  # sim time the change was parked
+
+    @property
+    def partition(self) -> str:
+        return f"{self.provider}/{self.region}" if self.region else self.provider
+
+
+@dataclasses.dataclass
 class ApplyResult:
     """Outcome of one apply run."""
 
@@ -70,6 +96,9 @@ class ApplyResult:
     operations: List[OperationRecord] = dataclasses.field(default_factory=list)
     state: Optional[StateDocument] = None
     api_calls: int = 0
+    #: changes parked behind unreachable partitions (degraded mode);
+    #: typed dispositions, not failures -- see :class:`Quarantine`
+    quarantined: Dict[str, Quarantine] = dataclasses.field(default_factory=dict)
 
     @property
     def makespan_s(self) -> float:
@@ -77,7 +106,16 @@ class ApplyResult:
 
     @property
     def ok(self) -> bool:
-        return not self.failed and not self.skipped
+        return not self.failed and not self.skipped and not self.quarantined
+
+    @property
+    def partial(self) -> bool:
+        """Degraded-mode completion: everything reachable converged,
+        the rest is parked awaiting partition recovery."""
+        return bool(self.quarantined) and not self.failed and not self.skipped
+
+    def quarantined_partitions(self) -> List[str]:
+        return sorted({q.partition for q in self.quarantined.values()})
 
     def errors_for(self, change_id: str) -> List[OperationRecord]:
         return [
@@ -312,10 +350,16 @@ class PlanExecutor:
         gateway: CloudGateway,
         concurrency: int = 10,
         retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthMonitor] = None,
     ):
         self.gateway = gateway
         self.concurrency = max(1, concurrency)
         self.retry = retry or RetryPolicy()
+        #: optional partition health: when set, dispatch consults the
+        #: circuit breakers and unreachable partitions are quarantined
+        #: instead of failed. ``None`` (the default) keeps scheduling
+        #: byte-identical to the golden reference.
+        self.health = health
 
     # -- scheduling hooks ---------------------------------------------------
 
@@ -394,8 +438,12 @@ class PlanExecutor:
             ready.push(cid)
         running: Dict[str, _Running] = {}
         done: Set[str] = set()
-        dead: Set[str] = set()  # failed or skipped
+        dead: Set[str] = set()  # failed, skipped, or quarantined
         events = EventQueue(clock)
+        health = self.health
+        #: (provider, region) -> change ids held back while that
+        #: partition's half-open breaker has its probe in flight
+        paused: Dict[Tuple[str, str], List[str]] = {}
 
         def release_successors(cid: str) -> None:
             for succ in sorted(dag.successors(cid)):
@@ -436,6 +484,55 @@ class PlanExecutor:
                     result.skipped.append(succ)
                     stack.append(succ)
 
+        def quarantine_change(
+            cid: str, reason: str, part: Tuple[str, str]
+        ) -> None:
+            """Park ``cid`` and its live descendant closure as
+            Quarantined: typed deferral, not failure. An open WAL
+            intent is aborted with a ``quarantined:`` marker so
+            recovery classifies it as parked work."""
+            rc = running.pop(cid, None)
+            if wal is not None and rc is not None and rc.open_iid is not None:
+                wal.log_abort(rc.open_iid, error=f"quarantined: {reason}")
+                rc.open_iid = None
+            if cid in dead or cid in done:
+                return
+            dead.add(cid)
+            result.quarantined[cid] = Quarantine(
+                cid, part[0], part[1], reason, clock.now
+            )
+            PERF.count("executor.quarantined")
+            stack = [cid]
+            while stack:
+                cur = stack.pop()
+                for succ in sorted(dag.successors(cur)):
+                    if succ in dead:
+                        continue
+                    dead.add(succ)
+                    result.quarantined[succ] = Quarantine(
+                        succ,
+                        part[0],
+                        part[1],
+                        f"depends on quarantined {cur}",
+                        clock.now,
+                    )
+                    stack.append(succ)
+
+        def quarantine_paused(part: Tuple[str, str], reason: str) -> None:
+            for held in paused.pop(part, []):
+                if held not in dead and held not in done:
+                    quarantine_change(held, reason, part)
+
+        def drain_paused(part: Tuple[str, str]) -> None:
+            """Re-gate changes held behind ``part``'s probe (called when
+            the probe succeeded and the breaker closed)."""
+            for held in paused.pop(part, []):
+                if held in dead or held in done:
+                    continue
+                held_rc = running.get(held)
+                if held_rc is not None:
+                    submit_step(held, held_rc)
+
         def start(cid: str) -> None:
             change = plan.changes[cid]
             steps = list(_STEPS[change.action])
@@ -452,6 +549,26 @@ class PlanExecutor:
             submit_step(cid, rc)
 
         def submit_step(cid: str, rc: _Running) -> None:
+            if health is not None:
+                part = self._partition(rc.change, state)
+                if part[0]:
+                    verdict = health.gate(part[0], part[1], clock.now)
+                    if verdict == GATE_OPEN:
+                        # fail fast locally: zero API calls into the
+                        # dark partition once its breaker is open
+                        PERF.count("executor.fast_fails")
+                        quarantine_change(
+                            cid,
+                            f"partition {part[0]}/{part[1] or '*'} "
+                            f"unreachable (circuit open)",
+                            part,
+                        )
+                        return
+                    if verdict == GATE_WAIT:
+                        # a probe is already in flight; hold this change
+                        # until the probe settles the partition's fate
+                        paused.setdefault(part, []).append(cid)
+                        return
             rc.attempts += 1
             token = ""
             if wal is not None:
@@ -516,6 +633,45 @@ class PlanExecutor:
                         False, exc.code, rc.attempts,
                     )
                 )
+                if health is not None:
+                    part = self._partition(rc.change, state)
+                    outage = is_outage_error(exc)
+                    if part[0]:
+                        health.record(
+                            part[0],
+                            part[1],
+                            ok=False,
+                            now=clock.now,
+                            latency_s=clock.now - rc.pending.t_submit,
+                            code=exc.code,
+                            outage=outage,
+                        )
+                    if outage and part[0]:
+                        if health.blocked(part[0], part[1], clock.now):
+                            # this failure tripped (or re-tripped) the
+                            # breaker: park the change and everything
+                            # held behind the failed probe
+                            reason = (
+                                f"partition {part[0]}/{part[1] or '*'} "
+                                f"unreachable: {exc.code}"
+                            )
+                            quarantine_change(cid, reason, part)
+                            quarantine_paused(part, reason)
+                            return
+                        if not (
+                            exc.transient
+                            and rc.attempts < self.retry.max_attempts
+                        ):
+                            # outage-class exhaustion parks instead of
+                            # failing: the change is fine, the cloud is
+                            # not
+                            quarantine_change(
+                                cid,
+                                f"retries exhausted against "
+                                f"{part[0]}/{part[1] or '*'}: {exc.code}",
+                                part,
+                            )
+                            return
                 if exc.transient and rc.attempts < self.retry.max_attempts:
                     # event-loop retry over the same RetryPolicy the
                     # resilience layer uses; schedule order (and hence
@@ -535,6 +691,18 @@ class PlanExecutor:
                     "", rc.attempts,
                 )
             )
+            if health is not None:
+                part = self._partition(rc.change, state)
+                if part[0]:
+                    health.record(
+                        part[0],
+                        part[1],
+                        ok=True,
+                        now=clock.now,
+                        latency_s=clock.now - rc.pending.t_submit,
+                    )
+                    if paused:
+                        drain_paused(part)
             self._commit_step(plan, rc, state, op_name, response, clock.now)
             if wal is not None and rc.open_iid is not None:
                 committed_id = (
@@ -585,6 +753,15 @@ class PlanExecutor:
                 if rc is not None:
                     submit_step(cid, rc)
 
+        # changes still held behind a probe when the loop ran dry: the
+        # probe never resolved in this run's horizon, so park them too
+        for part in sorted(paused):
+            quarantine_paused(
+                part,
+                f"partition {part[0]}/{part[1] or '*'} probe did not "
+                f"resolve before the run ended",
+            )
+
         result.finished_at = clock.now
         result.state = state
         result.api_calls = self.gateway.total_api_calls() - calls_before
@@ -592,6 +769,31 @@ class PlanExecutor:
         return result
 
     # -- operation submission / commit -------------------------------------------
+
+    def _partition(
+        self, change: PlannedChange, state: StateDocument
+    ) -> Tuple[str, str]:
+        """(provider, region) a change's operations land in.
+
+        Planner-populated ``change.region`` first (set from provider
+        config, location attrs, or prior state), then the prior state
+        entry's home region, then the provider default. Provider ""
+        means unknown -- the caller skips gating."""
+        try:
+            provider = change.provider or self.gateway.provider_of(change.rtype)
+        except CloudAPIError:
+            return ("", "")
+        region = change.region or ""
+        if not region:
+            prior = change.prior if change.prior else state.get(change.address)
+            if prior is not None and prior.region:
+                region = prior.region
+        if not region:
+            try:
+                region = self.gateway.default_region(change.rtype)
+            except (CloudAPIError, KeyError):
+                region = ""
+        return (provider, region)
 
     def _submit_operation(
         self, plan: Plan, rc: _Running, state: StateDocument, token: str = ""
@@ -704,8 +906,13 @@ class SequentialExecutor(PlanExecutor):
 
     name = "sequential"
 
-    def __init__(self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None):
-        super().__init__(gateway, concurrency=1, retry=retry)
+    def __init__(
+        self,
+        gateway: CloudGateway,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthMonitor] = None,
+    ):
+        super().__init__(gateway, concurrency=1, retry=retry, health=health)
 
     def pick_next(self, ready: List[str]) -> str:
         return min(ready)
@@ -729,8 +936,11 @@ class BestEffortExecutor(PlanExecutor):
         gateway: CloudGateway,
         concurrency: int = 10,
         retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthMonitor] = None,
     ):
-        super().__init__(gateway, concurrency=concurrency, retry=retry)
+        super().__init__(
+            gateway, concurrency=concurrency, retry=retry, health=health
+        )
 
     def pick_next(self, ready: List[str]) -> str:
         return ready[0]
@@ -755,8 +965,11 @@ class CriticalPathExecutor(PlanExecutor):
         concurrency: int = 10,
         retry: Optional[RetryPolicy] = None,
         rate_aware: bool = True,
+        health: Optional[HealthMonitor] = None,
     ):
-        super().__init__(gateway, concurrency=concurrency, retry=retry)
+        super().__init__(
+            gateway, concurrency=concurrency, retry=retry, health=health
+        )
         self.rate_aware = rate_aware
         self._priority: Dict[str, float] = {}
         self._plan: Optional[Plan] = None

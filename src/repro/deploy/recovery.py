@@ -41,6 +41,7 @@ ORPHANED = "orphaned"
 LANDED = "landed"
 NEVER_STARTED = "never-started"
 ABORTED = "aborted"
+QUARANTINED = "quarantined"
 
 
 @dataclasses.dataclass
@@ -100,6 +101,15 @@ class CrashRecovery:
         self, intent: IntentRecord, state: StateDocument
     ) -> RecoveryAction:
         if intent.status == "aborted":
+            if intent.error.startswith("quarantined"):
+                # Parked by a degraded-mode apply, not failed: the
+                # partition was unreachable. The resumed apply re-plans
+                # and re-sends the work once the partition recovers.
+                return RecoveryAction(
+                    intent,
+                    QUARANTINED,
+                    f"parked by degraded-mode apply: {intent.error}",
+                )
             return RecoveryAction(
                 intent, ABORTED, f"run recorded terminal failure: {intent.error}"
             )

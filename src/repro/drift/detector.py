@@ -18,8 +18,14 @@ from typing import Any, Dict, List, Optional, Set
 
 from ..addressing import ResourceAddress
 from ..cloud.activitylog import ActivityEvent
+from ..cloud.base import CloudAPIError
 from ..cloud.gateway import CloudGateway
-from ..cloud.resilience import ResilientGateway, RetryPolicy
+from ..cloud.resilience import (
+    HealthMonitor,
+    ResilientGateway,
+    RetryPolicy,
+    is_outage_error,
+)
 from ..lang.values import values_equal
 from ..state.document import StateDocument
 
@@ -49,6 +55,11 @@ class DetectionRun:
     api_calls: int
     duration_s: float
     finished_at: float
+    #: partitions ("provider" or "provider/region") the pass could not
+    #: observe -- outage or open breaker. State entries behind them are
+    #: *not* reported as drift: absence of evidence during an outage is
+    #: not evidence of deletion.
+    unreachable: List[str] = dataclasses.field(default_factory=list)
 
 
 class FullScanDetector:
@@ -57,12 +68,42 @@ class FullScanDetector:
     Page reads go through the resilience layer: a transient fault mid-
     pagination retries that page (same token) instead of aborting the
     scan, so one flaky list call cannot hide a drifted estate.
+
+    The scan is outage-aware: a provider whose list API is down (or
+    whose breaker is open) is reported in ``DetectionRun.unreachable``
+    instead of aborting the whole pass, partial pages from it are
+    discarded, and state entries behind any unreachable partition are
+    skipped rather than flagged as phantom "deleted" drift.
     """
 
     def __init__(
-        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+        self,
+        gateway: CloudGateway,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthMonitor] = None,
     ):
-        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry, health=health)
+        self.health = self.gateway.health
+
+    def _unreachable_partition(
+        self, provider: str, region: str, now: float, dark_providers: Set[str]
+    ) -> Optional[str]:
+        """The partition label hiding (provider, region) from this scan,
+        or None if the partition is observable."""
+        if provider in dark_providers:
+            return provider
+        if self.health is not None and self.health.blocked(provider, "", now):
+            return provider
+        plane = self.gateway.planes.get(provider)
+        if plane is not None and plane.outage_horizon(region, now) is not None:
+            return f"{provider}/{region}" if region else provider
+        if (
+            region
+            and self.health is not None
+            and self.health.blocked(provider, region, now)
+        ):
+            return f"{provider}/{region}"
+        return None
 
     def scan(self, state: StateDocument) -> DetectionRun:
         clock = self.gateway.clock
@@ -70,22 +111,47 @@ class FullScanDetector:
         calls_before = self.gateway.total_api_calls()
         live: Dict[str, Dict[str, Any]] = {}
         live_types: Dict[str, str] = {}
+        dark_providers: Set[str] = set()
+        unreachable: Set[str] = set()
         for provider, plane in sorted(self.gateway.planes.items()):
             token: Any = 0
-            while token is not None:
-                page = self.gateway.execute_on(
-                    plane, "list", attrs={"page_token": token}
-                )
-                for item, rtype in zip(page["items"], page["types"]):
-                    live[item["id"]] = item
-                    live_types[item["id"]] = rtype
-                token = page["next_token"]
+            items: Dict[str, Dict[str, Any]] = {}
+            types: Dict[str, str] = {}
+            try:
+                while token is not None:
+                    page = self.gateway.execute_on(
+                        plane, "list", attrs={"page_token": token}
+                    )
+                    for item, rtype in zip(page["items"], page["types"]):
+                        items[item["id"]] = item
+                        types[item["id"]] = rtype
+                    token = page["next_token"]
+            except CloudAPIError as exc:
+                if not is_outage_error(exc):
+                    raise
+                # the provider's list plane is down: drop its partial
+                # pages (a half-seen estate would fabricate deletions)
+                # and mark it unreachable for the diff below
+                dark_providers.add(provider)
+                unreachable.add(provider)
+                continue
+            live.update(items)
+            live_types.update(types)
         findings: List[DriftFinding] = []
         managed_ids: Set[str] = set()
         for entry in state.resources():
             managed_ids.add(entry.resource_id)
             snapshot = live.get(entry.resource_id)
             if snapshot is None:
+                provider = entry.address.type.split("_", 1)[0]
+                hidden = self._unreachable_partition(
+                    provider, entry.region, clock.now, dark_providers
+                )
+                if hidden is not None:
+                    # unreachable, not deleted: the record may well be
+                    # alive behind the outage. No phantom drift.
+                    unreachable.add(hidden)
+                    continue
                 findings.append(
                     DriftFinding(
                         kind="deleted",
@@ -127,16 +193,25 @@ class FullScanDetector:
             api_calls=self.gateway.total_api_calls() - calls_before,
             duration_s=clock.now - started,
             finished_at=clock.now,
+            unreachable=sorted(unreachable),
         )
 
 
 class LogWatchDetector:
-    """Cloudless: consume activity-log events since the last poll."""
+    """Cloudless: consume activity-log events since the last poll.
+
+    A provider whose log endpoint is dark is skipped *without advancing
+    its cursor*: the missed events are delivered on the first poll after
+    the outage lifts, so detection degrades to "late", never to "lost".
+    """
 
     def __init__(
-        self, gateway: CloudGateway, retry: Optional[RetryPolicy] = None
+        self,
+        gateway: CloudGateway,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthMonitor] = None,
     ):
-        self.gateway = ResilientGateway.wrap(gateway, retry=retry)
+        self.gateway = ResilientGateway.wrap(gateway, retry=retry, health=health)
         self._cursors: Dict[str, int] = {
             name: 0 for name in gateway.planes
         }
@@ -147,10 +222,17 @@ class LogWatchDetector:
         started = clock.now
         calls_before = self.gateway.total_api_calls()
         findings: List[DriftFinding] = []
+        unreachable: List[str] = []
         for provider, plane in sorted(self.gateway.planes.items()):
             # reading the log is one read-class API call (retried on
             # transient faults like any other read)
-            self.gateway.execute_on(plane, "log")
+            try:
+                self.gateway.execute_on(plane, "log")
+            except CloudAPIError as exc:
+                if not is_outage_error(exc):
+                    raise
+                unreachable.append(provider)
+                continue  # cursor untouched: events replay post-outage
             events = plane.log.events_since(self._cursors[provider], until=clock.now)
             self._cursors[provider] += len(events)
             for event in events:
@@ -162,6 +244,7 @@ class LogWatchDetector:
             api_calls=self.gateway.total_api_calls() - calls_before,
             duration_s=clock.now - started,
             finished_at=clock.now,
+            unreachable=unreachable,
         )
 
     def _finding_from_event(

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..cloud.base import CloudAPIError, WRITE_OPS
 from ..cloud.clock import EventQueue, SimClock
-from ..cloud.resilience import ResilientGateway, RetryPolicy
+from ..cloud.resilience import HealthMonitor, ResilientGateway, RetryPolicy
 from ..state.document import StateDocument
 from ..state.locks import LockManager
 from ..state.transactions import (
@@ -101,6 +101,12 @@ class UpdateRequest:
     #: locks -- it never completes, never heartbeats, and (with leases
     #: enabled) its grant expires instead of deadlocking everyone else
     crashes: bool = False
+    #: (provider, region) partitions the update's cloud work targets.
+    #: When any of them is dark (status-page outage or open breaker),
+    #: the coordinator defers admission until the partition is expected
+    #: back instead of letting the team burn its lock window on fast-
+    #: fails. Empty set = partition-agnostic (historical behaviour).
+    partitions: Set[tuple] = dataclasses.field(default_factory=set)
 
 
 @dataclasses.dataclass
@@ -132,6 +138,9 @@ class CoordinationResult:
     #: cloud-side failures ("team: error"); the matching logical mutate
     #: was skipped, so state and cloud stay consistent
     errors: List[str] = dataclasses.field(default_factory=list)
+    #: outage deferrals ("team: partition ... deferred to t=...s") --
+    #: admission pushed past a dark partition's expected recovery
+    deferrals: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def mean_wait_s(self) -> float:
@@ -175,15 +184,19 @@ class UpdateCoordinator:
         retry: Optional[RetryPolicy] = None,
         lease_ttl: Optional[float] = None,
         heartbeat_every: Optional[float] = None,
+        health: Optional[HealthMonitor] = None,
     ):
         if scheduling not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"scheduling must be one of {SCHEDULING_POLICIES}"
             )
         self.gateway = (
-            ResilientGateway.wrap(gateway, retry=retry)
+            ResilientGateway.wrap(gateway, retry=retry, health=health)
             if gateway is not None
             else None
+        )
+        self.health = (
+            self.gateway.health if self.gateway is not None else health
         )
         self.clock = clock or (
             self.gateway.clock if self.gateway is not None else SimClock()
@@ -196,6 +209,37 @@ class UpdateCoordinator:
             lease_ttl / 3.0 if lease_ttl else None
         )
         self.database = StateDatabase(state, lock_manager, lease_ttl=lease_ttl)
+
+    def _dark_until(self, request: UpdateRequest) -> Optional[float]:
+        """When every partition the request targets is expected back,
+        or None if all of them are reachable right now.
+
+        Two darkness sources, best horizon wins: the provider status
+        page (an active hard outage knows its end time) and the circuit
+        breakers (an open breaker knows its next probe time).
+        """
+        now = self.clock.now
+        resume_at: Optional[float] = None
+        for provider, region in sorted(request.partitions):
+            candidates: List[float] = []
+            if self.gateway is not None:
+                horizon = self.gateway.partition_dark(provider, region, now)
+                if horizon is not None:
+                    candidates.append(horizon)
+            if self.health is not None and self.health.blocked(
+                provider, region, now
+            ):
+                probe_at = self.health.next_probe_at(provider, region)
+                if probe_at is not None:
+                    candidates.append(probe_at)
+            for at in candidates:
+                resume_at = at if resume_at is None else max(resume_at, at)
+        if resume_at is None:
+            return None
+        # strictly in the future: an outage's horizon is its end time
+        # (> now while active) and a blocked breaker's probe is > now,
+        # but guard against degenerate specs so deferral cannot spin
+        return max(resume_at, now + 1.0)
 
     def _order_waiting(self, waiting: List[UpdateRequest]) -> List[UpdateRequest]:
         if self.scheduling == "shortest-job":
@@ -215,12 +259,25 @@ class UpdateCoordinator:
             events.schedule(request.submitted_at, ("submit", request))
         waiting: List[UpdateRequest] = []
         errors: List[str] = []
+        deferrals: List[str] = []
         conflicts: Dict[str, int] = {r.team: 0 for r in requests}
         active: Dict[str, tuple] = {}  # team -> (request, txn, acquired_at)
         outcomes: List[UpdateOutcome] = []
         start = self.clock.now
 
         def try_start(request: UpdateRequest) -> bool:
+            resume_at = self._dark_until(request)
+            if resume_at is not None:
+                # the update targets a dark partition: re-submit when it
+                # is expected back rather than holding locks against a
+                # wall of fast-fails (returns True: the request is
+                # scheduled, not queued on locks)
+                events.schedule(resume_at, ("submit", request))
+                deferrals.append(
+                    f"{request.team}: partition dark at t={self.clock.now:.0f}s; "
+                    f"deferred to t={resume_at:.0f}s"
+                )
+                return True
             txn = self.database.begin(request.team, request.keys, self.clock.now)
             if txn is None:
                 conflicts[request.team] += 1
@@ -349,4 +406,5 @@ class UpdateCoordinator:
             makespan_s=self.clock.now - start,
             serializable=serializable,
             errors=errors,
+            deferrals=deferrals,
         )

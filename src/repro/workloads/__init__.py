@@ -9,6 +9,7 @@ from .topologies import (
     random_dag_estate,
     scale_estate,
     sized_estate,
+    two_region_estate,
     vpn_site,
     web_tier,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "random_dag_estate",
     "scale_estate",
     "sized_estate",
+    "two_region_estate",
     "vpn_site",
     "web_tier",
 ]

@@ -398,6 +398,71 @@ resource "aws_dns_record" "{name}_{i}_dns" {{
     return "\n".join(parts)
 
 
+def two_region_estate(
+    resources: int,
+    name: str = "geo",
+    regions: tuple = ("eastus", "westus2"),
+    region_filter: Optional[tuple] = None,
+) -> str:
+    """An azure estate striped round-robin across ``regions``.
+
+    Each stack is rg -> vnet -> subnet -> 2 nics -> 2 vms (7 resources)
+    pinned to one region, so a regional outage darkens whole dependency
+    chains -- the substrate for the degraded-mode (quarantine) bench and
+    chaos sweeps. The subnet carries no ``location`` and lands in the
+    provider's default region, exercising dependents whose *parents*
+    are behind an outage.
+
+    Naming depends only on the stack index, never on the filter, so
+    ``region_filter=("eastus",)`` yields the exact reachable subset of
+    the full config: same addresses, same attributes. Benches use that
+    to compare a degraded apply against its fault-free reachable
+    baseline.
+    """
+    stacks = max(1, resources // 7)
+    parts: List[str] = []
+    for g in range(stacks):
+        region = regions[g % len(regions)]
+        if region_filter is not None and region not in region_filter:
+            continue
+        parts.append(
+            f'''
+resource "azure_resource_group" "{name}_{g}" {{
+  name     = "{name}-rg-{g}"
+  location = "{region}"
+}}
+
+resource "azure_virtual_network" "{name}_{g}" {{
+  name              = "{name}-vnet-{g}"
+  resource_group_id = azure_resource_group.{name}_{g}.id
+  location          = "{region}"
+  address_spaces    = ["10.{g % 256}.0.0/16"]
+}}
+
+resource "azure_subnet" "{name}_{g}" {{
+  name           = "{name}-subnet-{g}"
+  vnet_id        = azure_virtual_network.{name}_{g}.id
+  address_prefix = "10.{g % 256}.1.0/24"
+}}
+
+resource "azure_network_interface" "{name}_{g}_nic" {{
+  count     = 2
+  name      = "{name}-{g}-nic-${{count.index}}"
+  subnet_id = azure_subnet.{name}_{g}.id
+  location  = "{region}"
+}}
+
+resource "azure_virtual_machine" "{name}_{g}_vm" {{
+  count    = 2
+  name     = "{name}-{g}-vm-${{count.index}}"
+  location = "{region}"
+  nic_ids  = [azure_network_interface.{name}_{g}_nic[count.index].id]
+}}
+'''
+        )
+    return "\n".join(parts)
+
+
 def random_dag_estate(
     nodes: int, seed: int = 0, max_deps: int = 3, name: str = "rnd"
 ) -> str:

@@ -1,0 +1,93 @@
+"""Outage chaos: overlapping region/provider windows, then recovery.
+
+The degraded-mode contract, swept across seeds: an apply that runs into
+overlapping outage windows (a hard regional outage plus a provider-wide
+brownout, or a staggered provider-wide blackout) must
+
+* converge every reachable resource,
+* park every unreachable one as ``Quarantined`` -- zero terminal
+  failures, and
+* after the windows close, ``engine.resume()`` must drain the parked
+  work to the *same canonical estate* an uninterrupted run produces.
+
+Sweep size is env-tunable for CI smoke tiers::
+
+    OUTAGE_SEEDS=0,1 python -m pytest tests/chaos/test_outage_sweep.py -q
+"""
+
+import os
+
+import pytest
+
+from repro.cloud import OutageSpec
+from repro.core import CloudlessEngine
+from repro.workloads import two_region_estate
+
+from .test_crash_recovery import assert_converged_like
+
+SEEDS = [
+    int(s)
+    for s in os.environ.get("OUTAGE_SEEDS", "0,1,2").split(",")
+    if s.strip()
+]
+
+SRC = two_region_estate(42)  # 6 azure stacks, striped eastus/westus2
+
+
+def drained_equals_uninterrupted(engine, seed):
+    """Resume and compare against a fault-free run of the same seed."""
+    outcome = engine.resume(SRC)
+    assert outcome.ok
+    baseline = CloudlessEngine(seed=seed)
+    assert baseline.apply(SRC).ok
+    assert_converged_like(engine, baseline)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_region_outage_with_overlapping_brownout(seed, tmp_path):
+    engine = CloudlessEngine(
+        seed=seed, wal_path=str(tmp_path / "apply.wal")
+    )
+    engine.gateway.inject_outage(
+        "azure", OutageSpec(start_s=0.0, end_s=30000.0, region="westus2")
+    )
+    engine.gateway.inject_outage(
+        "azure",
+        OutageSpec(
+            start_s=500.0,
+            end_s=20000.0,
+            mode="brownout",
+            latency_multiplier=2.0,
+        ),
+    )
+    result = engine.apply(SRC)
+    assert result.partial
+    assert result.apply.failed == {}  # parked, never terminally failed
+    assert result.apply.quarantined_partitions() == ["azure/westus2"]
+    # the brownout slowed eastus but never darkened it
+    assert len(result.apply.succeeded) == 21
+
+    engine.clock.advance_to(30000.0 + 4000.0)
+    drained_equals_uninterrupted(engine, seed)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1])
+def test_provider_blackout_overlapping_region_outage(seed, tmp_path):
+    """Everything goes dark at t=0; the region stays dark longer. The
+    apply parks the entire azure estate, and recovery still converges."""
+    engine = CloudlessEngine(
+        seed=seed, wal_path=str(tmp_path / "apply.wal")
+    )
+    engine.gateway.inject_outage(
+        "azure", OutageSpec(start_s=0.0, end_s=8000.0)
+    )
+    engine.gateway.inject_outage(
+        "azure", OutageSpec(start_s=0.0, end_s=30000.0, region="westus2")
+    )
+    result = engine.apply(SRC)
+    assert result.partial
+    assert result.apply.failed == {}
+    assert len(result.apply.succeeded) == 0  # nothing was reachable
+
+    engine.clock.advance_to(30000.0 + 4000.0)
+    drained_equals_uninterrupted(engine, seed)

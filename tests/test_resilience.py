@@ -277,3 +277,115 @@ class TestResilientGateway:
         engine = CloudlessEngine(seed=9)
         assert isinstance(engine.resilient, ResilientGateway)
         assert engine.resilient.inner is engine.gateway
+
+
+class TestRetryStatsAndPerfCounters:
+    """PR 5 satellite: RetryStats.as_dict and the resilience.* perf
+    counters under a mixed transient/throttled/terminal/outage storm."""
+
+    def test_as_dict_round_trips_every_counter(self):
+        from repro.cloud import RetryStats
+
+        stats = RetryStats(
+            retries=3, backoff_s=12.5, gave_up=1, timeouts=2, fast_fails=4
+        )
+        assert stats.as_dict() == {
+            "retries": 3,
+            "backoff_s": 12.5,
+            "gave_up": 1,
+            "timeouts": 2,
+            "fast_fails": 4,
+        }
+        # fresh stats start at zero across the board
+        assert all(v == 0 for v in RetryStats().as_dict().values())
+
+    def test_mixed_storm_feeds_stats_and_perf(self):
+        from repro import perf
+        from repro.cloud import BreakerPolicy, HealthMonitor, OutageSpec
+        from repro.cloud.resilience import PartitionUnavailableError
+
+        perf.PERF.enable()
+        perf.PERF.reset()
+        try:
+            health = HealthMonitor(policy=BreakerPolicy(failure_threshold=1))
+            rg = resilient(
+                seed=11,
+                retry=RetryPolicy(max_attempts=2, base_backoff_s=1.0),
+                health=health,
+            )
+            aws = rg.inner.planes["aws"]
+            # 1. one transient strike: retried once, then succeeds
+            aws.faults.add_rule(
+                FaultSpec(
+                    error_code="InternalServerError",
+                    message="oops",
+                    match_operation="create",
+                    transient=True,
+                    max_strikes=1,
+                )
+            )
+            rg.execute(
+                "create", "aws_s3_bucket", attrs={"name": "a"},
+                region="us-east-1",
+            )
+            # 2. a throttle storm that outlasts the retry budget
+            aws.faults.add_rule(
+                FaultSpec(
+                    error_code="Throttling",
+                    message="slow down",
+                    match_operation="create",
+                    transient=True,
+                    max_strikes=2,
+                )
+            )
+            with pytest.raises(CloudAPIError) as throttled:
+                rg.execute(
+                    "create", "aws_s3_bucket", attrs={"name": "b"},
+                    region="us-east-1",
+                )
+            assert classify(throttled.value) == THROTTLED
+            # 3. a terminal error: raised immediately, never retried
+            aws.faults.add_rule(
+                FaultSpec(
+                    error_code="InvalidParameter",
+                    message="bad",
+                    match_operation="create",
+                    transient=False,
+                    max_strikes=1,
+                )
+            )
+            with pytest.raises(CloudAPIError) as terminal:
+                rg.execute(
+                    "create", "aws_s3_bucket", attrs={"name": "c"},
+                    region="us-east-1",
+                )
+            assert classify(terminal.value) == TERMINAL
+            # 4. an outage: first failure trips the breaker (threshold
+            # 1), the next call is rejected locally
+            rg.inner.inject_outage(
+                "azure", OutageSpec(start_s=0.0, end_s=1e9, region="westus2")
+            )
+            for _ in range(2):
+                with pytest.raises(PartitionUnavailableError):
+                    rg.execute(
+                        "create",
+                        "azure_resource_group",
+                        attrs={"name": "rg", "location": "westus2"},
+                        region="westus2",
+                    )
+
+            assert rg.stats.retries == 2  # one transient + one throttled
+            assert rg.stats.gave_up == 1
+            assert rg.stats.fast_fails == 1
+            assert rg.stats.timeouts == 0
+            assert rg.stats.backoff_s > 0.0
+            assert rg.stats.as_dict()["fast_fails"] == 1
+
+            counters = perf.snapshot()["counters"]
+            assert counters["resilience.retries"] == 2
+            assert counters["resilience.gave_up"] == 1
+            assert counters["resilience.fast_fails"] == 1
+            assert counters["resilience.breaker_opened"] == 1
+        finally:
+            perf.PERF.reset()
+            perf.PERF.disable()
