@@ -62,6 +62,12 @@ class ResourceAddress:
     # -- text form --------------------------------------------------------
 
     def __str__(self) -> str:
+        # Addresses are immutable and their text form is the join key
+        # hashed all over the planner/executor/state hot paths; build it
+        # once per instance instead of re-deriving on every use.
+        cached = self.__dict__.get("_str")
+        if cached is not None:
+            return cached
         parts = []
         for mod in self.module_path:
             parts.append(f"module.{mod}")
@@ -75,12 +81,16 @@ class ResourceAddress:
                 text += f"[{self.instance_key}]"
             else:
                 text += f'["{self.instance_key}"]'
+        object.__setattr__(self, "_str", text)
         return text
 
     def __lt__(self, other: "ResourceAddress") -> bool:
         return self._sort_key() < other._sort_key()
 
     def _sort_key(self):
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         key = self.instance_key
         if key is None:
             key_tuple = (0, "")
@@ -88,7 +98,9 @@ class ResourceAddress:
             key_tuple = (1, f"{key:012d}")
         else:
             key_tuple = (2, key)
-        return (self.module_path, self.mode, self.type, self.name, key_tuple)
+        result = (self.module_path, self.mode, self.type, self.name, key_tuple)
+        object.__setattr__(self, "_key", result)
+        return result
 
     @classmethod
     def parse(cls, text: str) -> "ResourceAddress":

@@ -141,6 +141,12 @@ def cmd_plan(args) -> int:
 def cmd_apply(args) -> int:
     engine = _load_engine(args)
     engine.wal_path = _world_path(args) + ".wal"
+    if getattr(args, "shards", None) is not None:
+        # worlds persisted by older versions lack the shard attrs;
+        # set them unconditionally rather than trusting the pickle
+        engine.executor_name = "sharded"
+        engine.shards = args.shards or None
+        engine.shard_workers = getattr(args, "shard_workers", 1)
     sources = _read_sources(args)
     try:
         result = engine.apply(sources, variables=_parse_vars(args.var))
@@ -410,6 +416,22 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"{name} the *.clc configuration")
         if with_vars:
             p.add_argument("--var", action="append", default=[])
+        if name == "apply":
+            p.add_argument(
+                "--shards",
+                type=int,
+                default=None,
+                help="sharded apply: cap on shard count "
+                "(0 = one shard per provider/region partition)",
+            )
+            p.add_argument(
+                "--shard-workers",
+                type=int,
+                default=1,
+                dest="shard_workers",
+                help="process-pool workers for sharded apply "
+                "(>1 runs independent provider planes in parallel)",
+            )
         p.set_defaults(fn=fn)
 
     p = sub.add_parser(

@@ -41,6 +41,7 @@ from .resilience import (
     is_outage_error,
 )
 from .resources import AttributeSpec, ResourceTypeSpec
+from .synthetic import SyntheticControlPlane, synthetic_catalog
 
 __all__ = [
     "ActivityEvent",
@@ -81,6 +82,8 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "SimClock",
+    "SyntheticControlPlane",
+    "synthetic_catalog",
     "TERMINAL",
     "THROTTLED",
     "TIMEOUT",

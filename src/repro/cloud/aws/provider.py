@@ -325,10 +325,8 @@ class AwsControlPlane(ControlPlane):
                 resource_type="aws_subnet",
                 operation="create",
             )
-        for rid in self.records.ids_of_type("aws_subnet"):
+        for rid in self.records.ids_linked("aws_subnet", "vpc_id", vpc_id):
             record = self.records[rid]
-            if record.attrs.get("vpc_id") != vpc_id:
-                continue
             other = parse_network(str(record.attrs.get("cidr_block")))
             if subnet_net.overlaps(other):
                 raise CloudAPIError(

@@ -351,10 +351,8 @@ class AzureControlPlane(ControlPlane):
                 f"network '{vnet.name}'.",
                 resource_type="azure_subnet",
             )
-        for rid in self.records.ids_of_type("azure_subnet"):
+        for rid in self.records.ids_linked("azure_subnet", "vnet_id", vnet_id):
             record = self.records[rid]
-            if record.attrs.get("vnet_id") != vnet_id:
-                continue
             other = parse_network(str(record.attrs.get("address_prefix")))
             if subnet_net.overlaps(other):
                 raise CloudAPIError(

@@ -103,6 +103,20 @@ class ResourceRecord:
 _EMPTY_IDS: FrozenSet[str] = frozenset()
 
 
+def _any_type(value: Any) -> bool:
+    return True
+
+
+#: attribute-type validators, hoisted out of the per-create loop
+_TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+    "list": lambda v: isinstance(v, list),
+    "map": lambda v: isinstance(v, dict),
+}
+
+
 class RecordStore(Dict[str, ResourceRecord]):
     """The provider's resource store, with secondary indexes.
 
@@ -128,11 +142,19 @@ class RecordStore(Dict[str, ResourceRecord]):
     region are never mutated.
     """
 
+    #: attribute names that act as parent links (subnet -> network
+    #: container); records carrying one are indexed by
+    #: ``(type, attr, value)`` so sibling scans (CIDR overlap checks)
+    #: touch only records under the same parent instead of every record
+    #: of the type.
+    LINK_ATTRS: Tuple[str, ...] = ("vpc_id", "vnet_id")
+
     def __init__(self) -> None:
         super().__init__()
         self.ids_by_type: Dict[str, Set[str]] = {}
         self._region_counts: Dict[Tuple[str, str], int] = {}
         self._name_counts: Dict[Tuple[str, str, str], int] = {}
+        self._link_ids: Dict[Tuple[str, str, str], Set[str]] = {}
 
     # -- index maintenance -------------------------------------------------
 
@@ -144,6 +166,12 @@ class RecordStore(Dict[str, ResourceRecord]):
         if isinstance(name, str):
             key = (record.type, record.region, name)
             self._name_counts[key] = self._name_counts.get(key, 0) + 1
+        for attr in self.LINK_ATTRS:
+            value = record.attrs.get(attr)
+            if isinstance(value, str):
+                self._link_ids.setdefault(
+                    (record.type, attr, value), set()
+                ).add(record.id)
 
     def _index_remove(self, record: ResourceRecord) -> None:
         ids = self.ids_by_type.get(record.type)
@@ -160,6 +188,14 @@ class RecordStore(Dict[str, ResourceRecord]):
         name = record.attrs.get("name")
         if isinstance(name, str):
             self._discard_name(record.type, record.region, name)
+        for attr in self.LINK_ATTRS:
+            value = record.attrs.get(attr)
+            if isinstance(value, str):
+                bucket = self._link_ids.get((record.type, attr, value))
+                if bucket is not None:
+                    bucket.discard(record.id)
+                    if not bucket:
+                        del self._link_ids[(record.type, attr, value)]
 
     def _discard_name(self, rtype: str, region: str, name: str) -> None:
         key = (rtype, region, name)
@@ -203,6 +239,7 @@ class RecordStore(Dict[str, ResourceRecord]):
         self.ids_by_type.clear()
         self._region_counts.clear()
         self._name_counts.clear()
+        self._link_ids.clear()
 
     def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
         for key, record in dict(*args, **kwargs).items():
@@ -227,6 +264,13 @@ class RecordStore(Dict[str, ResourceRecord]):
     def ids_of_type(self, rtype: str) -> FrozenSet[str]:
         """Read-only view of the ids of every record of ``rtype``."""
         return self.ids_by_type.get(rtype, _EMPTY_IDS)  # type: ignore[return-value]
+
+    def ids_linked(self, rtype: str, attr: str, value: str) -> FrozenSet[str]:
+        """Ids of ``rtype`` records whose link ``attr`` equals ``value``.
+
+        ``attr`` must be one of :attr:`LINK_ATTRS` (indexed at insert).
+        """
+        return self._link_ids.get((rtype, attr, value), _EMPTY_IDS)  # type: ignore[return-value]
 
     def note_renamed(self, record: ResourceRecord, old_name: Any) -> None:
         """Re-index after an in-place ``record.attrs`` name change."""
@@ -312,6 +356,8 @@ class ControlPlane:
         #: brownout latency multiplier for the operation currently being
         #: built (set around the builder call in ``submit``)
         self._latency_scale = 1.0
+        #: memoized identity-keyed latency draws (pure in their key)
+        self._latency_samples: Dict[Tuple[str, str, str], float] = {}
         self._register_catalog()
 
     # -- subclass hooks ------------------------------------------------------
@@ -505,10 +551,20 @@ class ControlPlane:
 
         Two executors running the same plan therefore see identical
         per-resource latencies -- scheduling comparisons measure
-        scheduling, never RNG stream divergence.
+        scheduling, never RNG stream divergence. Identity-keyed also
+        means the draw is a pure function of its key, so it is memoized:
+        seeding a fresh ``Random`` per operation (SHA-512 over the key
+        string) is a measurable slice of large applies.
         """
-        rng = random.Random(f"{self.provider}|{rtype}|{operation}|{key}|{self.seed}")
-        return self.latency.sample(rtype, operation, rng) * self._latency_scale
+        cache_key = (rtype, operation, key)
+        sample = self._latency_samples.get(cache_key)
+        if sample is None:
+            rng = random.Random(
+                f"{self.provider}|{rtype}|{operation}|{key}|{self.seed}"
+            )
+            sample = self.latency.sample(rtype, operation, rng)
+            self._latency_samples[cache_key] = sample
+        return sample * self._latency_scale
 
     def _build_create(
         self,
@@ -898,15 +954,7 @@ class ControlPlane:
                 )
             if value is None:
                 continue
-            base = aspec.type.split("(")[0]
-            ok = {
-                "string": lambda v: isinstance(v, str),
-                "number": lambda v: isinstance(v, (int, float))
-                and not isinstance(v, bool),
-                "bool": lambda v: isinstance(v, bool),
-                "list": lambda v: isinstance(v, list),
-                "map": lambda v: isinstance(v, dict),
-            }.get(base, lambda v: True)
+            ok = _TYPE_CHECKS.get(aspec.base_type, _any_type)
             if not ok(value):
                 raise CloudAPIError(
                     "InvalidParameterValue",

@@ -27,16 +27,32 @@ class CloudGateway:
                 raise ValueError("all control planes must share the gateway clock")
 
     @classmethod
-    def simulated(cls, seed: int = 0, clock: Optional[SimClock] = None) -> "CloudGateway":
-        """A gateway with fresh aws+azure planes on one clock."""
+    def simulated(
+        cls,
+        seed: int = 0,
+        clock: Optional[SimClock] = None,
+        synthetic: int = 0,
+    ) -> "CloudGateway":
+        """A gateway with fresh aws+azure planes on one clock.
+
+        ``synthetic=N`` adds N aws-shaped synthetic planes (``syn0``,
+        ``syn1``, ...; see :mod:`repro.cloud.synthetic`) -- the
+        substrate for multi-plane sharding benchmarks.
+        """
         clock = clock or SimClock()
-        return cls(
-            {
-                "aws": AwsControlPlane(clock=clock, seed=seed),
-                "azure": AzureControlPlane(clock=clock, seed=seed + 1000),
-            },
-            clock,
-        )
+        planes = {
+            "aws": AwsControlPlane(clock=clock, seed=seed),
+            "azure": AzureControlPlane(clock=clock, seed=seed + 1000),
+        }
+        if synthetic:
+            from .synthetic import SyntheticControlPlane
+
+            for i in range(synthetic):
+                prefix = f"syn{i}"
+                planes[prefix] = SyntheticControlPlane(
+                    prefix, clock=clock, seed=seed + 2000 + i
+                )
+        return cls(planes, clock)
 
     # -- routing ----------------------------------------------------------
 

@@ -38,24 +38,44 @@ class AttributeSpec:
     forces_replacement: bool = False
     description: str = ""
 
+    def __post_init__(self) -> None:
+        # decode ``semantic`` once; these are read on every simulated
+        # API call, and startswith/split per read shows up at estate
+        # scale (frozen dataclass, hence object.__setattr__)
+        sem = self.semantic
+        if sem.startswith("ref:"):
+            target: Optional[str] = sem[4:]
+        elif sem.startswith("ref_list:"):
+            target = sem[9:]
+        else:
+            target = None
+        object.__setattr__(self, "_ref_target", target)
+        object.__setattr__(self, "_is_ref_list", sem.startswith("ref_list:"))
+        object.__setattr__(
+            self,
+            "_enum_values",
+            sem[5:].split("|") if sem.startswith("enum:") else None,
+        )
+        object.__setattr__(self, "_base_type", self.type.split("(")[0])
+
     @property
     def ref_target(self) -> Optional[str]:
         """Referenced resource type, if this is a reference attribute."""
-        if self.semantic.startswith("ref:"):
-            return self.semantic[4:]
-        if self.semantic.startswith("ref_list:"):
-            return self.semantic[9:]
-        return None
+        return self._ref_target  # type: ignore[attr-defined]
 
     @property
     def is_ref_list(self) -> bool:
-        return self.semantic.startswith("ref_list:")
+        return self._is_ref_list  # type: ignore[attr-defined]
 
     @property
     def enum_values(self) -> Optional[List[str]]:
-        if self.semantic.startswith("enum:"):
-            return self.semantic[5:].split("|")
-        return None
+        return self._enum_values  # type: ignore[attr-defined]
+
+    @property
+    def base_type(self) -> str:
+        """``type`` with any precision suffix stripped: ``string(64)``
+        -> ``string``."""
+        return self._base_type  # type: ignore[attr-defined]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,17 +96,34 @@ class ResourceTypeSpec:
     # the paper's "modifications not captured in configuration files"
     shadow_attrs: tuple = ()
 
+    def __post_init__(self) -> None:
+        # per-kind views, computed once (validation walks them on every
+        # simulated API call; ``attributes`` is never mutated)
+        values = tuple(self.attributes.values())
+        object.__setattr__(
+            self, "_required", [a for a in values if a.required]
+        )
+        object.__setattr__(
+            self, "_computed", [a for a in values if a.computed]
+        )
+        object.__setattr__(
+            self, "_configurable", [a for a in values if not a.computed]
+        )
+        object.__setattr__(
+            self, "_reference", [a for a in values if a.ref_target]
+        )
+
     def required_attrs(self) -> List[AttributeSpec]:
-        return [a for a in self.attributes.values() if a.required]
+        return self._required  # type: ignore[attr-defined]
 
     def computed_attrs(self) -> List[AttributeSpec]:
-        return [a for a in self.attributes.values() if a.computed]
+        return self._computed  # type: ignore[attr-defined]
 
     def configurable_attrs(self) -> List[AttributeSpec]:
-        return [a for a in self.attributes.values() if not a.computed]
+        return self._configurable  # type: ignore[attr-defined]
 
     def reference_attrs(self) -> List[AttributeSpec]:
-        return [a for a in self.attributes.values() if a.ref_target]
+        return self._reference  # type: ignore[attr-defined]
 
     def attr(self, name: str) -> Optional[AttributeSpec]:
         return self.attributes.get(name)

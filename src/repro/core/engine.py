@@ -116,6 +116,8 @@ class CloudlessEngine:
         wal_path: Optional[str] = None,
         health: Optional[HealthMonitor] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
+        shards: Optional[int] = None,
+        shard_workers: int = 1,
     ):
         self.seed = seed
         #: when set, every apply journals its intents here and
@@ -137,6 +139,10 @@ class CloudlessEngine:
         self.executor_name = executor
         self.concurrency = concurrency
         self.retry = retry
+        #: sharded apply: cap on shard count (None = one per
+        #: (provider, region) partition) and pool-worker count
+        self.shards = shards
+        self.shard_workers = shard_workers
         self.state = StateDocument()
         self.history = SnapshotHistory()
         self.controller = InfrastructureController()
@@ -170,6 +176,17 @@ class CloudlessEngine:
         return Configuration.parse(sources), dict(sources)
 
     def _executor(self) -> PlanExecutor:
+        if self.executor_name == "sharded":
+            from ..deploy.sharded import ShardedExecutor
+
+            return ShardedExecutor(
+                self.gateway,
+                concurrency=self.concurrency,
+                retry=self.retry,
+                health=self.health,
+                max_shards=self.shards,
+                workers=self.shard_workers,
+            )
         cls = EXECUTORS.get(self.executor_name)
         if cls is None:
             raise EngineError(f"unknown executor {self.executor_name!r}")

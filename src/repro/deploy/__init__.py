@@ -18,18 +18,32 @@ from .wal import (
     WALCorruptError,
 )
 from .incremental import (
+    IncrementalPatchError,
+    IncrementalPlanResult,
+    IncrementalSession,
     RefreshResult,
     UpdatePipeline,
     UpdatePlanResult,
     read_data_sources,
     refresh_state,
 )
+from .sharded import (
+    CompletionLedger,
+    FencingError,
+    ShardedApplyResult,
+    ShardedExecutor,
+)
 
 __all__ = [
     "ApplyResult",
     "BestEffortExecutor",
+    "CompletionLedger",
     "CrashRecovery",
     "CriticalPathExecutor",
+    "FencingError",
+    "IncrementalPatchError",
+    "IncrementalPlanResult",
+    "IncrementalSession",
     "IntentJournal",
     "IntentRecord",
     "OperationRecord",
@@ -40,6 +54,8 @@ __all__ = [
     "RefreshResult",
     "RetryPolicy",
     "SequentialExecutor",
+    "ShardedApplyResult",
+    "ShardedExecutor",
     "SimulatedCrash",
     "UpdatePipeline",
     "UpdatePlanResult",

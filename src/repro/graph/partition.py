@@ -1,0 +1,345 @@
+"""Plan-DAG partitioning: cut the estate into shards.
+
+The execution DAG of a plan at estate scale is one monolithic graph;
+walking it in a single executor is the Terraform bottleneck the paper's
+cloudless control plane routes around. This module cuts the DAG into
+**shards** -- by default one per ``(provider, region)`` partition,
+optionally refined into weakly-connected components -- with every
+dependency edge classified as intra-shard or recorded explicitly as a
+cross-shard edge. Shard ids are deterministic across runs (pure
+functions of the plan), so ledgers, resumes, and tests can refer to
+them stably.
+
+The sharded executor layer (:mod:`repro.deploy.sharded`) schedules one
+executor per shard; cross-shard edges become barriers satisfied through
+a fencing-token-checked completion ledger. The shard-level graph may be
+cyclic even though the change-level DAG is not (two shards can feed
+each other through different changes), so pool scheduling condenses
+strongly-connected shard groups into one unit per wave.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..perf import PERF
+from .dag import Dag
+from .plan import Plan, PlannedChange
+
+
+def change_partition(change: PlannedChange, state, gateway) -> Tuple[str, str]:
+    """The ``(provider, region)`` a change's operations land in.
+
+    Mirrors the executor's gating partition: planner-populated fields
+    first, then the prior state entry's home region, then the provider
+    default. Provider ``""`` means unknown (unroutable type) -- such
+    changes land in the catch-all shard.
+    """
+    provider = change.provider
+    if not provider:
+        try:
+            provider = gateway.provider_of(change.rtype)
+        except Exception:
+            return ("", "")
+    region = change.region or ""
+    if not region:
+        prior = change.prior if change.prior else state.get(change.address)
+        if prior is not None and prior.region:
+            region = prior.region
+    if not region:
+        try:
+            region = gateway.default_region(change.rtype)
+        except Exception:
+            region = ""
+    return (provider, region)
+
+
+@dataclasses.dataclass
+class Shard:
+    """One schedulable slice of the plan.
+
+    ``id`` is deterministic: ``provider/region`` for partition cells,
+    ``provider/region/cN`` for connected-component refinements (N
+    assigned in order of each component's smallest change id), and
+    ``bundle-N`` for coalesced cells under a shard-count cap.
+    """
+
+    id: str
+    provider: str
+    region: str
+    change_ids: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def partition(self) -> str:
+        return f"{self.provider}/{self.region}" if self.region else self.provider
+
+    def __len__(self) -> int:
+        return len(self.change_ids)
+
+
+class PartitionError(ValueError):
+    """Raised when a plan cannot be partitioned as requested."""
+
+
+class PlanPartition:
+    """The result of cutting one plan's execution DAG into shards.
+
+    Invariants (held by ``tests/test_partition.py``):
+
+    * every execution-DAG node belongs to exactly one shard;
+    * every edge is either intra-shard or present in ``cross_edges``;
+    * shard ids are deterministic across runs of the same plan.
+    """
+
+    def __init__(self) -> None:
+        self.shards: Dict[str, Shard] = {}
+        self.shard_of: Dict[str, str] = {}
+        #: change-id -> (provider, region) gating partition, recorded
+        #: while cells are formed so executors need not recompute it
+        self.part_of: Dict[str, Tuple[str, str]] = {}
+        #: (before, after) change-id pairs whose endpoints live in
+        #: different shards; sorted for determinism
+        self.cross_edges: List[Tuple[str, str]] = []
+        #: shard-id -> set of shard-ids it must hear from (union over
+        #: cross edges); the shard-level graph, possibly cyclic
+        self.upstream: Dict[str, Set[str]] = {}
+
+    # -- views -------------------------------------------------------------
+
+    def shard_ids(self) -> List[str]:
+        return sorted(self.shards)
+
+    def cross_edge_count(self) -> int:
+        return len(self.cross_edges)
+
+    def cross_predecessors(self, cid: str, dag: Dag) -> List[str]:
+        """Predecessors of ``cid`` that live in another shard."""
+        home = self.shard_of.get(cid)
+        return sorted(
+            p for p in dag.predecessors(cid) if self.shard_of.get(p) != home
+        )
+
+    def shards_for_partition(self, provider: str, region: str) -> List[str]:
+        """Shards whose home partition is ``provider/region`` -- the
+        shards a quarantined (dark) partition parks."""
+        return sorted(
+            s.id
+            for s in self.shards.values()
+            if s.provider == provider and (not region or s.region == region)
+        )
+
+    # -- pool scheduling ---------------------------------------------------
+
+    def plane_groups(self) -> Dict[str, List[str]]:
+        """Shard ids grouped by provider (= simulated control plane).
+
+        Resource ids and computed attributes are minted by per-plane
+        sequential counters and RNG streams in *resolve order*, so a
+        parallel worker must own a whole plane to reproduce the
+        single-executor byte stream: the plane is the unit of process
+        parallelism, the shard the unit of scheduling.
+        """
+        groups: Dict[str, List[str]] = {}
+        for sid in sorted(self.shards):
+            groups.setdefault(self.shards[sid].provider, []).append(sid)
+        return groups
+
+    def pool_waves(self) -> List[List[List[str]]]:
+        """Plane groups scheduled into barrier-separated waves.
+
+        Each wave is a list of plane groups (each a list of shard ids)
+        with no unsatisfied cross-group dependency; groups that feed
+        each other (a cycle at group level) are condensed into one
+        unit. Returns ``[[group, ...], ...]`` outermost in execution
+        order.
+        """
+        groups = self.plane_groups()
+        provider_of_shard = {
+            sid: s.provider for sid, s in self.shards.items()
+        }
+        # provider-level dependency graph from shard-level upstream sets
+        dep: Dict[str, Set[str]] = {p: set() for p in groups}
+        for sid, ups in self.upstream.items():
+            for up in ups:
+                a, b = provider_of_shard[up], provider_of_shard[sid]
+                if a != b:
+                    dep[b].add(a)
+        units = _condense(dep)
+        # Kahn over condensed units, deterministic by smallest member
+        unit_of = {}
+        for i, unit in enumerate(units):
+            for p in unit:
+                unit_of[p] = i
+        unit_deps: List[Set[int]] = [set() for _ in units]
+        for b, ups in dep.items():
+            for a in ups:
+                if unit_of[a] != unit_of[b]:
+                    unit_deps[unit_of[b]].add(unit_of[a])
+        remaining = set(range(len(units)))
+        waves: List[List[List[str]]] = []
+        satisfied: Set[int] = set()
+        while remaining:
+            level = sorted(
+                i for i in remaining if unit_deps[i] <= satisfied
+            )
+            if not level:  # pragma: no cover - _condense guarantees progress
+                raise PartitionError("cyclic plane-group schedule")
+            wave: List[List[str]] = []
+            for i in level:
+                for provider in sorted(units[i]):
+                    wave.append(list(groups[provider]))
+            waves.append(wave)
+            satisfied |= set(level)
+            remaining -= set(level)
+        return waves
+
+
+def _condense(dep: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly-connected components of a small digraph (iterative
+    Tarjan), each returned sorted, ordered by smallest member."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(dep):
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterable[str]]] = [(root, iter(sorted(dep[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(dep[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(sorted(component))
+    result.sort(key=lambda comp: comp[0])
+    return result
+
+
+def partition_plan(
+    plan: Plan,
+    gateway: Any,
+    dag: Optional[Dag] = None,
+    *,
+    split_components: bool = False,
+    max_shards: Optional[int] = None,
+) -> PlanPartition:
+    """Cut ``plan``'s execution DAG into shards.
+
+    ``split_components=True`` refines each ``(provider, region)`` cell
+    into the weakly-connected components of its induced subgraph (ids
+    ``provider/region/cN``). ``max_shards`` coalesces cells
+    round-robin (sorted order) into at most that many shards
+    (``bundle-N`` ids) -- the ``--shards`` CLI knob.
+    """
+    if dag is None:
+        dag = plan.execution_dag()
+    state = plan.state
+    part = PlanPartition()
+
+    # 1. partition cells
+    cells: Dict[Tuple[str, str], List[str]] = {}
+    part_of = part.part_of
+    for cid in sorted(dag.nodes):
+        change = plan.changes[cid]
+        cell = change_partition(change, state, gateway)
+        part_of[cid] = cell
+        cells.setdefault(cell, []).append(cid)
+
+    # 2. optional component refinement within each cell (union-find
+    # over intra-cell edges)
+    groups: List[Tuple[str, str, str, List[str]]] = []  # (sid, prov, region, cids)
+    if split_components:
+        for (provider, region), cids in sorted(cells.items()):
+            members = set(cids)
+            parent = {c: c for c in cids}
+
+            def find(x: str) -> str:
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for cid in cids:
+                for succ in dag.successors(cid):
+                    if succ in members:
+                        ra, rb = find(cid), find(succ)
+                        if ra != rb:
+                            parent[max(ra, rb)] = min(ra, rb)
+            comps: Dict[str, List[str]] = {}
+            for cid in cids:
+                comps.setdefault(find(cid), []).append(cid)
+            for i, root in enumerate(sorted(comps)):
+                sid = f"{provider}/{region}/c{i}"
+                groups.append((sid, provider, region, sorted(comps[root])))
+    else:
+        for (provider, region), cids in sorted(cells.items()):
+            sid = f"{provider}/{region}"
+            groups.append((sid, provider, region, sorted(cids)))
+
+    # 3. optional coalescing under a shard-count cap
+    if max_shards is not None and max_shards >= 1 and len(groups) > max_shards:
+        buckets: List[List[Tuple[str, str, str, List[str]]]] = [
+            [] for _ in range(max_shards)
+        ]
+        for i, group in enumerate(sorted(groups)):
+            buckets[i % max_shards].append(group)
+        merged: List[Tuple[str, str, str, List[str]]] = []
+        for i, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            providers = sorted({g[1] for g in bucket})
+            regions = sorted({g[2] for g in bucket})
+            provider = providers[0] if len(providers) == 1 else ""
+            region = regions[0] if len(regions) == 1 else ""
+            cids = sorted(cid for g in bucket for cid in g[3])
+            merged.append((f"bundle-{i}", provider, region, cids))
+        groups = merged
+
+    for sid, provider, region, cids in groups:
+        part.shards[sid] = Shard(sid, provider, region, cids)
+        for cid in cids:
+            part.shard_of[cid] = sid
+
+    # 4. classify edges
+    cross: List[Tuple[str, str]] = []
+    for before, after in dag.iter_edges():
+        sa, sb = part.shard_of[before], part.shard_of[after]
+        if sa != sb:
+            cross.append((before, after))
+            part.upstream.setdefault(sb, set()).add(sa)
+    cross.sort()
+    part.cross_edges = cross
+    PERF.count("shard.shards", len(part.shards))
+    PERF.count("shard.cross_edges", len(cross))
+    return part

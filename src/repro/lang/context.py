@@ -152,6 +152,12 @@ class ModuleContext:
         # runs once per identifier per expression, so scanning all
         # resource declarations there is quadratic at estate scale
         self._managed_names_by_type: Optional[Dict[str, List[str]]] = None
+        # resource-type -> (mapping, span cell): the per-type keyed
+        # mapping is immutable apart from the span used in error
+        # reporting, so rebuilding its name list + keyset per reference
+        # evaluation (O(names of that type) each) was the second
+        # quadratic cost at estate scale
+        self._managed_maps: Dict[str, Tuple[Mapping, List[Any]]] = {}
 
     # -- variables ----------------------------------------------------------
 
@@ -220,13 +226,21 @@ class ModuleContext:
             self._managed_names_by_type = by_type
         managed_names = self._managed_names_by_type.get(name)
         if managed_names:
-            return _KeyedMapping(
-                managed_names,
-                lambda n, t=name: self.resolver.resolve(
-                    self.module_path, "managed", t, n, span
-                ),
-                f"resources:{name}",
-            )
+            entry = self._managed_maps.get(name)
+            if entry is None:
+                span_cell: List[Any] = [span]
+                mapping = _KeyedMapping(
+                    managed_names,
+                    lambda n, t=name, c=span_cell: self.resolver.resolve(
+                        self.module_path, "managed", t, n, c[0]
+                    ),
+                    f"resources:{name}",
+                )
+                self._managed_maps[name] = (mapping, span_cell)
+            else:
+                mapping, span_cell = entry
+                span_cell[0] = span
+            return mapping
         raise CLCEvalError(f"unknown identifier {name!r}", span)
 
     def _data_root(self) -> Mapping:

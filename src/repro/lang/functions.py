@@ -513,9 +513,14 @@ def fn_cidrsubnet(prefix: str, newbits: Any, netnum: Any) -> str:
     new_prefix = net.prefixlen + bits
     _require(new_prefix <= net.max_prefixlen, "cidrsubnet(): prefix too long")
     _require(0 <= num < 2**bits, "cidrsubnet(): netnum out of range")
+    # The nth child block starts at base + n * child-size; computing it
+    # directly is O(1) where enumerating ``net.subnets()`` up to ``num``
+    # materialised every sibling (2^bits networks per call).
     try:
-        subnet = list(net.subnets(new_prefix=new_prefix))[num]
-    except (ValueError, IndexError) as exc:
+        child_size = 1 << (net.max_prefixlen - new_prefix)
+        base = int(net.network_address) + num * child_size
+        subnet = ipaddress.ip_network((base, new_prefix), strict=True)
+    except ValueError as exc:
         raise CLCEvalError(f"cidrsubnet(): {exc}")
     return str(subnet)
 

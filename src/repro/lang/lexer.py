@@ -8,7 +8,8 @@ parts; the parser re-lexes the expression sources recursively.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+import re
+from typing import Any, Dict, List, Optional, Tuple
 
 from .diagnostics import CLCSyntaxError, SourceSpan
 from .tokens import KEYWORD_LITERALS, OPERATORS, Token, TokenType
@@ -16,6 +17,22 @@ from .tokens import KEYWORD_LITERALS, OPERATORS, Token, TokenType
 _IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _IDENT_CONT = _IDENT_START | set("0123456789")
 _DIGITS = set("0123456789")
+
+#: operator literals bucketed by length, longest first, so matching is a
+#: constant number of short-slice dict probes instead of a linear scan
+#: over ``OPERATORS`` against an O(remaining-source) slice per token.
+_OPS_BY_LEN: List[Tuple[int, Dict[str, TokenType]]] = []
+for _lit, _ttype in OPERATORS:
+    for _n, _bucket in _OPS_BY_LEN:
+        if _n == len(_lit):
+            _bucket[_lit] = _ttype
+            break
+    else:
+        _OPS_BY_LEN.append((len(_lit), {_lit: _ttype}))
+_OPS_BY_LEN.sort(key=lambda pair: -pair[0])
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_SPACE_RE = re.compile(r"[ \t\r]+")
 
 _ESCAPES = {
     "n": "\n",
@@ -113,7 +130,12 @@ class Lexer:
         while self.pos < len(self.source):
             ch = self._peek()
             if ch in (" ", "\t", "\r"):
-                self._advance()
+                # bulk-skip the whole run (no newlines in the class, so
+                # column tracking is a single addition)
+                match = _SPACE_RE.match(self.source, self.pos)
+                length = match.end() - match.start()
+                self.pos += length
+                self.col += length
             elif ch == "#" or (ch == "/" and self._peek(1) == "/"):
                 while self.pos < len(self.source) and self._peek() != "\n":
                     self._advance()
@@ -132,10 +154,11 @@ class Lexer:
                 return
 
     def _lex_ident(self, start: Tuple[int, int]) -> Token:
-        chars = []
-        while self.pos < len(self.source) and self._peek() in _IDENT_CONT:
-            chars.append(self._advance())
-        text = "".join(chars)
+        match = _IDENT_RE.match(self.source, self.pos)
+        text = match.group()
+        # identifiers never contain newlines: advance in one step
+        self.pos = match.end()
+        self.col += len(text)
         span = self._span_from(start)
         if text in KEYWORD_LITERALS:
             # true/false/null lex as IDENT; the parser resolves keyword
@@ -300,16 +323,24 @@ class Lexer:
         return Token(TokenType.STRING, text, self._span_from(start))
 
     def _lex_operator(self, start: Tuple[int, int]) -> Token:
-        rest = self.source[self.pos :]
-        for literal, ttype in OPERATORS:
-            if rest.startswith(literal):
-                for _ in literal:
-                    self._advance()
-                if ttype in (TokenType.LPAREN, TokenType.LBRACKET):
-                    self._paren_depth += 1
-                elif ttype in (TokenType.RPAREN, TokenType.RBRACKET):
-                    self._paren_depth = max(0, self._paren_depth - 1)
-                return Token(ttype, literal, self._span_from(start))
+        # Longest-match via per-length dict probes. The historical
+        # implementation sliced the *entire remaining source* per token
+        # (O(source) each, quadratic over a file); these slices are at
+        # most three characters.
+        pos = self.pos
+        for length, bucket in _OPS_BY_LEN:
+            literal = self.source[pos : pos + length]
+            ttype = bucket.get(literal)
+            if ttype is None:
+                continue
+            # operators never contain newlines: advance in one step
+            self.pos += length
+            self.col += length
+            if ttype in (TokenType.LPAREN, TokenType.LBRACKET):
+                self._paren_depth += 1
+            elif ttype in (TokenType.RPAREN, TokenType.RBRACKET):
+                self._paren_depth = max(0, self._paren_depth - 1)
+            return Token(ttype, literal, self._span_from(start))
         raise self._error(f"unexpected character {self._peek()!r}")
 
 

@@ -8,6 +8,7 @@ from .topologies import (
     multi_cloud,
     random_dag_estate,
     scale_estate,
+    scale_estate_sharded,
     sized_estate,
     two_region_estate,
     vpn_site,
@@ -34,6 +35,7 @@ __all__ = [
     "ramp_surge_trace",
     "random_dag_estate",
     "scale_estate",
+    "scale_estate_sharded",
     "sized_estate",
     "two_region_estate",
     "vpn_site",
