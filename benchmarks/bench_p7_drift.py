@@ -1,0 +1,320 @@
+"""P7 `drift` -- event-driven watch vs periodic full-scan sweeps.
+
+One aws estate (:func:`scale_estate`) under sustained external
+mutation: a deterministic, seeded mix of out-of-band attribute updates
+(vm resize), deletions (dns records), and rogue creations (s3
+buckets), spread across a simulated window. Three detection arms
+replay the *identical* mutation schedule against same-seed estates:
+
+* **scan** -- :class:`FullScanDetector` on the driftctl-style cadence
+  (every ``--scan-interval`` seconds, default 600);
+* **scan-fast** -- the same full scan forced onto the watcher's
+  cadence (every ``--event-interval`` seconds) -- the API-call cost a
+  sweep would pay to *match* the watcher's latency;
+* **event** -- :class:`DriftWatcher` cycles (cursor-tailed activity
+  logs, coalescing on) every ``--event-interval`` seconds.
+
+Gates (exit 1 on miss):
+
+* every scheduled mutation is detected by every arm;
+* event-driven detection API calls are <= ``--gate-call-ratio`` x the
+  matched-cadence full scan's (the paper's point: log tailing costs
+  O(planes) per cycle, scanning costs O(estate));
+* event-driven mean detection latency beats the driftctl-cadence
+  scan's (same freshness is unaffordable by sweeping; better freshness
+  is cheap by tailing);
+* at quiescence the event arm's accumulated finding set is *identical*
+  (kind + resource id) to a final full scan of its own estate --
+  tailing loses nothing a sweep would have found.
+
+CI smoke tier::
+
+    python benchmarks/bench_p7_drift.py --resources 1000 \
+        --gate-call-ratio 0.10 --out /tmp/BENCH_drift.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.core import CloudlessEngine
+from repro.drift import DriftWatcher, FullScanDetector
+from repro.workloads import scale_estate
+
+MUT_UPDATE, MUT_DELETE, MUT_CREATE = "update", "delete", "create"
+#: finding kind each mutation must eventually surface as
+EXPECTED_KIND = {
+    MUT_UPDATE: "modified",
+    MUT_DELETE: "deleted",
+    MUT_CREATE: "unmanaged",
+}
+
+
+def build_schedule(args) -> List[Dict[str, Any]]:
+    """Deterministic mutation mix, identical for every arm.
+
+    Targets are resource *addresses* (stable across same-seed estates);
+    each arm resolves them against its own state. Every target is
+    mutated at most once, so one mutation <-> one finding.
+    """
+    probe = CloudlessEngine(seed=args.seed)
+    assert probe.apply(scale_estate(args.resources)).ok, "estate apply failed"
+    vms = sorted(
+        str(e.address)
+        for e in probe.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    )
+    leaves = sorted(
+        str(e.address)
+        for e in probe.state.resources()
+        if e.address.type == "aws_dns_record"
+    )
+    rng = random.Random(args.seed)
+    count = min(args.mutations, len(vms) // 2, len(leaves))
+    updates = rng.sample(vms, count)
+    deletes = rng.sample(leaves, count // 3) if count >= 3 else []
+    creates = count // 3
+    schedule: List[Dict[str, Any]] = []
+    # mutations stop one scan interval before the window closes so even
+    # the slow sweep's last pass sees everything (fair latency means)
+    horizon = args.window - args.scan_interval
+    for i, address in enumerate(updates):
+        schedule.append(
+            {
+                "t": rng.uniform(1.0, horizon),
+                "op": MUT_UPDATE,
+                "address": address,
+                "attrs": {"size": f"drift-{i}"},
+            }
+        )
+    for address in deletes:
+        schedule.append(
+            {"t": rng.uniform(1.0, horizon), "op": MUT_DELETE, "address": address}
+        )
+    for i in range(creates):
+        schedule.append(
+            {
+                "t": rng.uniform(1.0, horizon),
+                "op": MUT_CREATE,
+                "rtype": "aws_s3_bucket",
+                "attrs": {"name": f"rogue-{i}"},
+                "region": "us-east-1",
+            }
+        )
+    schedule.sort(key=lambda m: m["t"])
+    return schedule
+
+
+def apply_mutation(engine, mutation) -> str:
+    """Replay one scheduled mutation; returns the affected record id."""
+    plane = engine.gateway.planes["aws"]
+    if mutation["op"] == MUT_CREATE:
+        return plane.external_create(
+            mutation["rtype"],
+            dict(mutation["attrs"]),
+            mutation["region"],
+            actor="bench",
+        )
+    entry = next(
+        e
+        for e in engine.state.resources()
+        if str(e.address) == mutation["address"]
+    )
+    if mutation["op"] == MUT_DELETE:
+        plane.external_delete(entry.resource_id, actor="bench")
+    else:
+        plane.external_update(
+            entry.resource_id, dict(mutation["attrs"]), actor="bench"
+        )
+    return entry.resource_id
+
+
+def run_arm(args, schedule, interval_s: float, mode: str) -> Dict[str, Any]:
+    """Replay the schedule against a fresh estate, detecting on a fixed
+    cadence; returns call/latency/finding accounting."""
+    engine = CloudlessEngine(seed=args.seed)
+    assert engine.apply(scale_estate(args.resources)).ok
+    if mode == "event":
+        watcher = DriftWatcher(engine.gateway, auto_reconcile=False)
+        first = watcher.cycle(engine.state)
+        assert first.findings == [], "apply history misread as drift"
+        detect = lambda: watcher.cycle(engine.state).run  # noqa: E731
+    else:
+        detector = FullScanDetector(engine.gateway)
+        detect = lambda: detector.scan(engine.state)  # noqa: E731
+
+    cycles = int(args.window // interval_s)
+    t0 = engine.clock.now  # schedule times are offsets from post-apply
+    timeline: List[Tuple[float, int, Any]] = [
+        (m["t"], 0, m) for m in schedule
+    ] + [(interval_s * (i + 1), 1, None) for i in range(cycles)]
+    timeline.sort(key=lambda item: (item[0], item[1]))
+
+    expect: Dict[Tuple[str, str], int] = {}  # (kind, rid) -> mutation idx
+    fired_at: Dict[int, float] = {}
+    detected_at: Dict[int, float] = {}
+    seen_keys = set()
+    api_calls = 0
+    wall0 = time.perf_counter()
+    mut_idx = 0
+    for when, _, payload in timeline:
+        if t0 + when > engine.clock.now:  # ops tick the sim clock too
+            engine.clock.advance_to(t0 + when)
+        if payload is not None:
+            rid = apply_mutation(engine, payload)
+            expect[(EXPECTED_KIND[payload["op"]], rid)] = mut_idx
+            fired_at[mut_idx] = when
+            mut_idx += 1
+            continue
+        run = detect()
+        api_calls += run.api_calls
+        for finding in run.findings:
+            key = (finding.kind, finding.resource_id)
+            seen_keys.add(key)
+            idx = expect.get(key)
+            if idx is not None and idx not in detected_at:
+                detected_at[idx] = when
+    wall_s = time.perf_counter() - wall0
+
+    missed = sorted(set(fired_at) - set(detected_at))
+    latencies = [detected_at[i] - fired_at[i] for i in sorted(detected_at)]
+    mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+    # ground truth at quiescence: a full sweep of this arm's own estate
+    final = FullScanDetector(engine.gateway).scan(engine.state)
+    final_keys = {(f.kind, f.resource_id) for f in final.findings}
+    return {
+        "mode": mode,
+        "interval_s": interval_s,
+        "cycles": cycles,
+        "api_calls": api_calls,
+        "calls_per_cycle": round(api_calls / max(cycles, 1), 2),
+        "mutations": len(fired_at),
+        "detected": len(detected_at),
+        "missed": len(missed),
+        "mean_latency_s": round(mean_latency, 2),
+        "max_latency_s": round(max(latencies), 2) if latencies else 0.0,
+        "wall_s": round(wall_s, 4),
+        "seen_keys": seen_keys,
+        "final_keys": final_keys,
+    }
+
+
+def run(args) -> tuple:
+    rows: List[Dict[str, Any]] = []
+    failures: List[str] = []
+
+    schedule = build_schedule(args)
+    scan = run_arm(args, schedule, args.scan_interval, "scan")
+    scan_fast = run_arm(args, schedule, args.event_interval, "scan-fast")
+    event = run_arm(args, schedule, args.event_interval, "event")
+
+    for arm in (scan, scan_fast, event):
+        if arm["missed"]:
+            failures.append(
+                f"{arm['mode']} arm missed {arm['missed']} of "
+                f"{arm['mutations']} mutations"
+            )
+    ratio = event["api_calls"] / max(scan_fast["api_calls"], 1)
+    if ratio > args.gate_call_ratio:
+        failures.append(
+            f"event-driven detection cost {event['api_calls']} calls = "
+            f"{ratio:.3f}x the matched-cadence full scan "
+            f"({scan_fast['api_calls']}); allowed {args.gate_call_ratio}x"
+        )
+    if event["mean_latency_s"] >= scan["mean_latency_s"] > 0:
+        failures.append(
+            f"event-driven mean latency {event['mean_latency_s']}s did not "
+            f"beat the {args.scan_interval:.0f}s-cadence scan's "
+            f"{scan['mean_latency_s']}s"
+        )
+    if event["seen_keys"] != event["final_keys"]:
+        only_scan = sorted(event["final_keys"] - event["seen_keys"])[:5]
+        only_event = sorted(event["seen_keys"] - event["final_keys"])[:5]
+        failures.append(
+            "finding sets diverge at quiescence: "
+            f"scan-only={only_scan} event-only={only_event}"
+        )
+
+    for arm in (scan, scan_fast, event):
+        arm.pop("seen_keys")
+        arm.pop("final_keys")
+        arm["call_ratio_vs_scan_fast"] = round(
+            arm["api_calls"] / max(scan_fast["api_calls"], 1), 4
+        )
+        rows.append(dict(arm, op="detect", resources=args.resources))
+    return rows, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--resources", type=int, default=10000, help="estate size"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mutations",
+        type=int,
+        default=60,
+        help="external updates in the mix (deletes/creates are each 1/3 of this)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=3600.0, help="simulated seconds"
+    )
+    parser.add_argument(
+        "--event-interval",
+        type=float,
+        default=60.0,
+        help="watcher cadence (also the scan-fast cadence)",
+    )
+    parser.add_argument(
+        "--scan-interval",
+        type=float,
+        default=600.0,
+        help="driftctl-style sweep cadence",
+    )
+    parser.add_argument(
+        "--gate-call-ratio",
+        type=float,
+        default=0.10,
+        help="max event/scan-fast API-call ratio",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(_HERE, "BENCH_drift.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    rows, failures = run(args)
+    for row in rows:
+        print(f"  {json.dumps(row)}", file=sys.stderr)
+
+    report = {
+        "benchmark": "p7_drift",
+        "seed": args.seed,
+        "window_s": args.window,
+        "results": rows,
+        "failures": failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    if failures:
+        for line in failures:
+            print(f"GATE MISSED: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

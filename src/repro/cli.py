@@ -264,22 +264,79 @@ def cmd_show(args) -> int:
 
 
 def cmd_watch(args) -> int:
+    """Event-driven drift watch. Exit codes mirror ``apply``:
+
+    0 -- every partition observed, every actionable finding repaired
+         (or merely observed, without ``--reconcile``);
+    2 -- DEGRADED: dark/stale partitions, deferred repairs, or
+         interrupted-but-resumable repairs (re-run to converge);
+    1 -- a repair failed terminally.
+    """
     engine = _load_engine(args)
-    run = engine.watch()
+    cycles = engine.watch_continuously(
+        cycles=max(1, args.cycles),
+        interval_s=args.interval,
+        cursor_path=_world_path(args) + ".cursors",
+        max_lag_s=args.max_lag,
+        auto_reconcile=args.reconcile,
+    )
     _save_engine(args, engine)
-    if not run.findings:
+    total = 0
+    for index, cycle in enumerate(cycles):
+        if args.cycles > 1:
+            print(
+                f"cycle {index + 1}/{args.cycles} "
+                f"t={cycle.run.finished_at:.1f}: "
+                f"{len(cycle.findings)} finding(s)"
+            )
+        total += len(cycle.findings)
+        by_key = {id(d.finding): d for d in cycle.decisions}
+        for finding in cycle.findings:
+            where = (
+                str(finding.address) if finding.address else finding.resource_id
+            )
+            attrs = (
+                f" ({', '.join(finding.changed_attrs)})"
+                if finding.changed_attrs
+                else ""
+            )
+            burst = (
+                f" [{finding.event_count} events]"
+                if finding.event_count > 1
+                else ""
+            )
+            print(f"  [{finding.kind}] {where}{attrs} by {finding.actor}{burst}")
+            decision = by_key.get(id(finding))
+            if decision is None:
+                continue
+            if decision.action is not None:
+                print(
+                    f"  -> {decision.action.policy}: "
+                    f"{decision.action.performed}"
+                )
+            else:
+                print(f"  -> {decision.decision}: {decision.reason}")
+        for provider in cycle.stale:
+            print(
+                f"  stale partition: {provider} unobserved for "
+                f"{cycle.lag_s[provider]:.0f}s (bound {args.max_lag:.0f}s)"
+            )
+    last = cycles[-1]
+    if total == 0:
         print("no drift detected")
-        return 0
-    print(f"{len(run.findings)} drift finding(s):")
-    for finding in run.findings:
-        where = str(finding.address) if finding.address else finding.resource_id
-        attrs = f" ({', '.join(finding.changed_attrs)})" if finding.changed_attrs else ""
-        print(f"  [{finding.kind}] {where}{attrs} by {finding.actor}")
-    if args.reconcile:
-        report = engine.reconcile(run.findings)
-        _save_engine(args, engine)
-        for action in report.actions:
-            print(f"  -> {action.policy}: {action.performed}")
+    if any(c.hard_failed for c in cycles):
+        print("watch FAILED: a repair failed terminally")
+        return 1
+    if last.degraded:
+        parked = last.pending
+        labels = ", ".join(
+            sorted(set(last.run.unreachable) | set(last.stale))
+        ) or "none"
+        print(
+            f"watch DEGRADED: {parked} repair(s) parked, "
+            f"unreachable/stale partitions: {labels}; re-run to converge"
+        )
+        return 2
     return 0
 
 
@@ -446,8 +503,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("show", help="list state")
     p.set_defaults(fn=cmd_show)
 
-    p = sub.add_parser("watch", help="poll the activity logs for drift")
-    p.add_argument("--reconcile", action="store_true")
+    p = sub.add_parser("watch", help="tail the activity logs for drift")
+    p.add_argument(
+        "--reconcile",
+        action="store_true",
+        help="auto-repair findings (enforce/adopt/notify/defer-dark)",
+    )
+    p.add_argument(
+        "--cycles",
+        type=int,
+        default=1,
+        help="watcher cycles to run (default 1)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=60.0,
+        help="simulated seconds between cycles (default 60)",
+    )
+    p.add_argument(
+        "--max-lag",
+        type=float,
+        default=900.0,
+        help="staleness bound per partition in seconds (default 900)",
+    )
     p.set_defaults(fn=cmd_watch)
 
     p = sub.add_parser("history", help="list snapshots (the time machine)")

@@ -9,7 +9,6 @@ resources, which is precisely the design the paper advocates.
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from typing import Callable, Iterator, List, Optional
 
 
@@ -34,12 +33,23 @@ class ActivityEvent:
 
 
 class ActivityLog:
-    """Append-only event log with cursor-based tailing."""
+    """Append-only event log with cursor-based tailing.
+
+    Cursors are event *sequence numbers*, not list indexes: a cursor of
+    ``n`` means "I have consumed every event with ``sequence < n``".
+    Sequence numbers are durable -- they survive :meth:`compact` (log
+    retention dropping old events) and persistence round-trips -- so a
+    watcher can checkpoint its cursor and resume after a restart
+    without replaying or losing events.
+    """
 
     def __init__(self, provider: str):
         self.provider = provider
         self._events: List[ActivityEvent] = []
-        self._seq = itertools.count()
+        #: sequence of ``_events[0]`` -- nonzero once old events have
+        #: been compacted away
+        self._base = 0
+        self._next_seq = 0
 
     def append(
         self,
@@ -53,7 +63,7 @@ class ActivityLog:
         changed_attrs: tuple = (),
     ) -> ActivityEvent:
         event = ActivityEvent(
-            sequence=next(self._seq),
+            sequence=self._next_seq,
             timestamp=timestamp,
             provider=self.provider,
             operation=operation,
@@ -65,6 +75,7 @@ class ActivityLog:
             changed_attrs=changed_attrs,
         )
         self._events.append(event)
+        self._next_seq += 1
         return event
 
     def events_since(self, cursor: int, until: Optional[float] = None) -> List[
@@ -72,11 +83,15 @@ class ActivityLog:
     ]:
         """Events with sequence >= cursor, optionally up to a timestamp.
 
-        Reading the log is itself one (cheap, read-class) API call in
-        the control plane; callers go through the gateway for that.
+        ``cursor`` is a sequence number (see class docstring), so a
+        checkpointed cursor stays correct even after :meth:`compact`
+        drops the events below it. Reading the log is itself one
+        (cheap, read-class) API call in the control plane; callers go
+        through the gateway for that.
         """
+        start = max(0, int(cursor) - self._base)
         out = []
-        for event in self._events[cursor:]:
+        for event in self._events[start:]:
             if until is not None and event.timestamp > until:
                 break
             out.append(event)
@@ -84,7 +99,43 @@ class ActivityLog:
 
     @property
     def next_cursor(self) -> int:
-        return len(self._events)
+        """The cursor positioned just past the newest event."""
+        return self._next_seq
+
+    def compact(self, up_to: int) -> int:
+        """Drop events with ``sequence < up_to`` (log retention).
+
+        Sequence numbers -- and therefore checkpointed cursors -- stay
+        valid; only the retained window shrinks. Returns how many
+        events were dropped.
+        """
+        drop = min(max(0, int(up_to) - self._base), len(self._events))
+        if drop:
+            del self._events[:drop]
+            self._base += drop
+        return drop
+
+    def restore(
+        self, events: List[ActivityEvent], next_sequence: Optional[int] = None
+    ) -> None:
+        """Replace the log's contents (persistence restore path).
+
+        Re-derives ``_base`` and the next sequence from the events'
+        own sequence numbers, so a log saved after compaction keeps
+        minting non-colliding sequences when reloaded.
+        """
+        self._events = list(events)
+        if events:
+            self._base = events[0].sequence
+            derived = events[-1].sequence + 1
+        else:
+            self._base = 0
+            derived = 0
+        self._next_seq = derived if next_sequence is None else max(
+            int(next_sequence), derived
+        )
+        if not events:
+            self._base = self._next_seq
 
     def all_events(self) -> List[ActivityEvent]:
         return list(self._events)

@@ -22,6 +22,10 @@ class CloudGateway:
     def __init__(self, planes: Dict[str, ControlPlane], clock: SimClock):
         self.clock = clock
         self.planes = dict(planes)
+        # resolved type -> plane-key routes for planes registered under
+        # a key that is not their type prefix (invalidated per lookup
+        # if the plane disappears or stops serving the type)
+        self._type_routes: Dict[str, str] = {}
         for plane in self.planes.values():
             if plane.clock is not clock:
                 raise ValueError("all control planes must share the gateway clock")
@@ -56,10 +60,33 @@ class CloudGateway:
 
     # -- routing ----------------------------------------------------------
 
-    def provider_of(self, rtype: str) -> str:
+    def try_provider_of(self, rtype: str) -> Optional[str]:
+        """The plane key owning ``rtype``, or None if no plane serves it.
+
+        Fast path: the type prefix *is* a plane key (aws_vpc -> "aws").
+        Fallback: scan plane catalogs -- a plane may be registered under
+        any key (e.g. a synthetic ``syn0``-prefixed plane mounted as
+        ``"edge"``), so the prefix alone is not authoritative.
+        """
         prefix = rtype.split("_", 1)[0]
         if prefix in self.planes:
             return prefix
+        cached = self._type_routes.get(rtype)
+        if cached is not None:
+            plane = self.planes.get(cached)
+            if plane is not None and rtype in plane.specs:
+                return cached
+            del self._type_routes[rtype]
+        for name in sorted(self.planes):
+            if rtype in self.planes[name].specs:
+                self._type_routes[rtype] = name
+                return name
+        return None
+
+    def provider_of(self, rtype: str) -> str:
+        provider = self.try_provider_of(rtype)
+        if provider is not None:
+            return provider
         raise CloudAPIError(
             "UnknownResourceType",
             f"No provider is configured for resource type '{rtype}'.",

@@ -471,6 +471,21 @@ class HealthMonitor:
                 out = at if out is None else max(out, at)
         return out
 
+    def recovery_horizon(
+        self, provider: str, region: str, now: float
+    ) -> Optional[float]:
+        """When a firmly-open partition next admits a probe, or None if
+        traffic is allowed right now.
+
+        This is the breaker-side twin of the status page's outage
+        horizon: consumers that *defer* work to a dark partition (the
+        drift watcher, the update coordinator) use whichever horizon is
+        later as the earliest time a retry can possibly succeed.
+        """
+        if not self.blocked(provider, region, now):
+            return None
+        return self.next_probe_at(provider, region)
+
     # -- feedback ------------------------------------------------------------
 
     def record(

@@ -28,6 +28,7 @@ from ..deploy.recovery import CrashRecovery, RecoveryReport
 from ..deploy.wal import IntentJournal
 from ..drift.detector import DetectionRun, DriftFinding, LogWatchDetector
 from ..drift.reconcile import Reconciler, ReconcileReport
+from ..drift.watcher import DriftWatcher, WatchCycle
 from ..graph.builder import ResourceGraph, build_graph
 from ..graph.plan import Plan, Planner
 from ..lang.config import Configuration
@@ -149,6 +150,9 @@ class CloudlessEngine:
         self.cost = CostEstimator()
         self.debugger = IaCDebugger(self.registry)
         self.watcher = LogWatchDetector(self.resilient)
+        #: lazily-built continuous-reconciliation loop (see
+        #: :meth:`watch_continuously`); shares ``self.watcher``'s cursors
+        self.continuous_watcher: Optional[DriftWatcher] = None
         self.validation = ValidationPipeline(
             registry=self.registry, level=validation_level
         )
@@ -409,6 +413,47 @@ class CloudlessEngine:
         if run.findings:
             self.controller.evaluate_drift(run.findings, self.state, self.clock.now)
         return run
+
+    def watch_continuously(
+        self,
+        cycles: int = 1,
+        interval_s: float = 60.0,
+        policy: Optional[Dict[str, str]] = None,
+        cursor_path: Optional[str] = None,
+        max_lag_s: float = 900.0,
+        auto_reconcile: bool = True,
+    ) -> List[WatchCycle]:
+        """Event-driven continuous reconciliation (see
+        :class:`~repro.drift.watcher.DriftWatcher`).
+
+        The watcher is cached across calls so deferred/pending repairs
+        survive between invocations; it shares the engine's
+        :class:`LogWatchDetector` (one set of cursors, whether you
+        ``watch`` once or watch continuously) and partition-health
+        ledger."""
+        watcher = self.continuous_watcher
+        if watcher is None:
+            watcher = self.continuous_watcher = DriftWatcher(
+                self.resilient,
+                health=self.health,
+                policy=policy,
+                cursor_path=cursor_path,
+                max_lag_s=max_lag_s,
+                auto_reconcile=auto_reconcile,
+                detector=self.watcher,
+            )
+        else:
+            watcher.max_lag_s = max_lag_s
+            watcher.auto_reconcile = auto_reconcile
+            if policy:
+                watcher.reconciler.policy.update(policy)
+        out = watcher.run(self.state, cycles=cycles, interval_s=interval_s)
+        for cycle in out:
+            if cycle.run.findings:
+                self.controller.evaluate_drift(
+                    cycle.run.findings, self.state, self.clock.now
+                )
+        return out
 
     def reconcile(
         self,

@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-import itertools
 import os
 import pickle
 import time
@@ -1425,8 +1424,7 @@ def _import_plane_delta(plane: Any, delta: Dict[str, Any]) -> None:
     plane.rng.setstate(delta["rng_state"])
     plane.api_calls = dict(delta["api_calls"])
     plane._tokens = dict(delta["tokens"])
-    plane.log._events[:] = delta["log"]
-    plane.log._seq = itertools.count(len(delta["log"]))
+    plane.log.restore(delta["log"])
 
 
 def _run_forked(

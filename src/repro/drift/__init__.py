@@ -14,16 +14,30 @@ from .reconcile import (
     ReconcileReport,
     Reconciler,
 )
+from .watcher import (
+    DEFER_DARK,
+    DriftWatcher,
+    ReconcileDecision,
+    WatchCursorStore,
+    WatchCycle,
+    classify_defect,
+)
 
 __all__ = [
     "ADOPT",
+    "DEFER_DARK",
     "DetectionRun",
     "DriftFinding",
+    "DriftWatcher",
     "ENFORCE",
     "FullScanDetector",
     "LogWatchDetector",
     "NOTIFY",
+    "ReconcileDecision",
     "ReconcileInterrupted",
     "ReconcileReport",
     "Reconciler",
+    "WatchCursorStore",
+    "WatchCycle",
+    "classify_defect",
 ]

@@ -14,7 +14,7 @@ Two detectors, one interface:
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..addressing import ResourceAddress
 from ..cloud.activitylog import ActivityEvent
@@ -41,6 +41,12 @@ class DriftFinding:
     changed_attrs: List[str] = dataclasses.field(default_factory=list)
     detected_at: float = 0.0
     actor: str = ""
+    #: owning partition, when the detector could resolve it -- the
+    #: watcher's defer-to-dark-partition logic keys off these
+    provider: str = ""
+    region: str = ""
+    #: how many raw log events this finding summarises (coalescing)
+    event_count: int = 1
 
     @property
     def key(self) -> str:
@@ -105,12 +111,30 @@ class FullScanDetector:
             return f"{provider}/{region}"
         return None
 
+    def _provider_for(self, entry: Any) -> str:
+        """The plane key owning a state entry.
+
+        ``entry.provider`` is authoritative when it names a live plane
+        (it was minted by the gateway at apply time). Otherwise resolve
+        through the gateway's type->plane mapping -- deriving it from
+        the type *prefix* misclassifies planes registered under a
+        different key (e.g. synthetic planes), which would defeat the
+        outage skip-logic below and fabricate phantom deletions.
+        """
+        if entry.provider and entry.provider in self.gateway.planes:
+            return entry.provider
+        resolved = self.gateway.try_provider_of(entry.address.type)
+        if resolved is not None:
+            return resolved
+        return entry.address.type.split("_", 1)[0]
+
     def scan(self, state: StateDocument) -> DetectionRun:
         clock = self.gateway.clock
         started = clock.now
         calls_before = self.gateway.total_api_calls()
         live: Dict[str, Dict[str, Any]] = {}
         live_types: Dict[str, str] = {}
+        live_providers: Dict[str, str] = {}
         dark_providers: Set[str] = set()
         unreachable: Set[str] = set()
         for provider, plane in sorted(self.gateway.planes.items()):
@@ -137,13 +161,15 @@ class FullScanDetector:
                 continue
             live.update(items)
             live_types.update(types)
+            for item_id in items:
+                live_providers[item_id] = provider
         findings: List[DriftFinding] = []
         managed_ids: Set[str] = set()
         for entry in state.resources():
             managed_ids.add(entry.resource_id)
             snapshot = live.get(entry.resource_id)
             if snapshot is None:
-                provider = entry.address.type.split("_", 1)[0]
+                provider = self._provider_for(entry)
                 hidden = self._unreachable_partition(
                     provider, entry.region, clock.now, dark_providers
                 )
@@ -159,6 +185,8 @@ class FullScanDetector:
                         resource_type=entry.address.type,
                         address=entry.address,
                         detected_at=clock.now,
+                        provider=provider,
+                        region=entry.region,
                     )
                 )
                 continue
@@ -176,6 +204,8 @@ class FullScanDetector:
                         address=entry.address,
                         changed_attrs=changed,
                         detected_at=clock.now,
+                        provider=self._provider_for(entry),
+                        region=entry.region,
                     )
                 )
         for resource_id, snapshot in sorted(live.items()):
@@ -186,6 +216,7 @@ class FullScanDetector:
                         resource_id=resource_id,
                         resource_type=live_types.get(resource_id, ""),
                         detected_at=clock.now,
+                        provider=live_providers.get(resource_id, ""),
                     )
                 )
         return DetectionRun(
@@ -203,6 +234,13 @@ class LogWatchDetector:
     A provider whose log endpoint is dark is skipped *without advancing
     its cursor*: the missed events are delivered on the first poll after
     the outage lifts, so detection degrades to "late", never to "lost".
+
+    Cursors are event *sequence numbers* (see
+    :class:`~repro.cloud.activitylog.ActivityLog`), advanced to the
+    last delivered event's ``sequence + 1`` -- never by list index --
+    so they survive log compaction and can be checkpointed/restored
+    across watcher restarts. Planes added to the gateway after
+    construction simply start from cursor 0.
     """
 
     def __init__(
@@ -216,12 +254,29 @@ class LogWatchDetector:
             name: 0 for name in gateway.planes
         }
 
-    def poll(self, state: StateDocument) -> DetectionRun:
-        """One poll: read new log events, map external ones to findings."""
+    @property
+    def cursors(self) -> Dict[str, int]:
+        """Current per-provider cursors (a copy; safe to persist)."""
+        return dict(self._cursors)
+
+    def restore_cursors(self, cursors: Mapping[str, int]) -> None:
+        """Adopt checkpointed cursors: a restarted watcher resumes
+        instead of replaying the log from sequence 0."""
+        for name, cursor in cursors.items():
+            self._cursors[name] = max(int(cursor), self._cursors.get(name, 0))
+
+    def tail(
+        self, until: Optional[float] = None
+    ) -> Tuple[Dict[str, List[ActivityEvent]], List[str]]:
+        """Read each plane's log past its cursor and advance the cursors.
+
+        Returns ``(events by provider, unreachable providers)``. One
+        read-class API call per reachable plane; a dark plane's cursor
+        is left untouched so its events replay once the outage lifts.
+        """
         clock = self.gateway.clock
-        started = clock.now
-        calls_before = self.gateway.total_api_calls()
-        findings: List[DriftFinding] = []
+        until = clock.now if until is None else until
+        by_provider: Dict[str, List[ActivityEvent]] = {}
         unreachable: List[str] = []
         for provider, plane in sorted(self.gateway.planes.items()):
             # reading the log is one read-class API call (retried on
@@ -233,8 +288,24 @@ class LogWatchDetector:
                     raise
                 unreachable.append(provider)
                 continue  # cursor untouched: events replay post-outage
-            events = plane.log.events_since(self._cursors[provider], until=clock.now)
-            self._cursors[provider] += len(events)
+            # late-added planes (absent at construction) start at 0
+            cursor = self._cursors.get(provider, 0)
+            events = plane.log.events_since(cursor, until=until)
+            if events:
+                self._cursors[provider] = events[-1].sequence + 1
+            else:
+                self._cursors.setdefault(provider, cursor)
+            by_provider[provider] = events
+        return by_provider, unreachable
+
+    def poll(self, state: StateDocument) -> DetectionRun:
+        """One poll: read new log events, map external ones to findings."""
+        clock = self.gateway.clock
+        started = clock.now
+        calls_before = self.gateway.total_api_calls()
+        findings: List[DriftFinding] = []
+        by_provider, unreachable = self.tail()
+        for events in by_provider.values():
             for event in events:
                 finding = self._finding_from_event(event, state)
                 if finding is not None:
@@ -260,6 +331,8 @@ class LogWatchDetector:
                 resource_type=event.resource_type,
                 detected_at=self.gateway.clock.now,
                 actor=event.actor,
+                provider=event.provider,
+                region=event.region,
             )
         if entry is None:
             return None  # external change to a resource we never managed
@@ -272,4 +345,6 @@ class LogWatchDetector:
             changed_attrs=sorted(event.changed_attrs),
             detected_at=self.gateway.clock.now,
             actor=event.actor,
+            provider=event.provider,
+            region=event.region,
         )

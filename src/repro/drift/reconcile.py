@@ -52,6 +52,10 @@ class ReconcileAction:
     policy: str
     performed: str  # human-readable description of what happened
     ok: bool = True
+    #: the repair was cut mid-sequence with state checkpointed -- a
+    #: later detect+reconcile pass (or the watcher's retry queue)
+    #: resumes it
+    interrupted: bool = False
 
 
 @dataclasses.dataclass
@@ -104,35 +108,50 @@ class Reconciler:
         remainder: List[str] = []
         for finding in findings:
             policy = self.policy.get(finding.kind, NOTIFY)
-            if policy == NOTIFY:
-                message = (
+            action = self.reconcile_one(finding, state, policy=policy)
+            actions.append(action)
+            if action.policy == NOTIFY:
+                notifications.append(
                     f"drift[{finding.kind}] {finding.resource_type} "
                     f"{finding.resource_id}"
                     + (f" by {finding.actor}" if finding.actor else "")
                 )
-                notifications.append(message)
-                actions.append(
-                    ReconcileAction(finding, NOTIFY, "notified operators")
-                )
-                continue
-            try:
-                description = self._apply(finding, policy, state)
-                actions.append(ReconcileAction(finding, policy, description))
-            except ReconcileInterrupted as exc:
-                actions.append(
-                    ReconcileAction(finding, policy, str(exc), ok=False)
-                )
-                remainder.append(exc.message)
-            except CloudAPIError as exc:
-                actions.append(
-                    ReconcileAction(finding, policy, str(exc), ok=False)
-                )
+            elif action.interrupted:
+                remainder.append(action.performed)
         return ReconcileReport(
             actions=actions,
             notifications=notifications,
             api_calls=self.gateway.total_api_calls() - calls_before,
             remainder=remainder,
         )
+
+    def reconcile_one(
+        self,
+        finding: DriftFinding,
+        state: StateDocument,
+        policy: Optional[str] = None,
+    ) -> ReconcileAction:
+        """Repair a single finding -- the incremental entry point the
+        event-driven watcher uses as findings arrive, one at a time.
+
+        Never raises for cloud-side failures: interruptions and
+        terminal faults come back as a not-``ok`` action (with
+        ``interrupted`` set when state was checkpointed mid-repair and
+        a later pass can resume)."""
+        if policy is None:
+            policy = self.policy.get(finding.kind, NOTIFY)
+        if policy == NOTIFY:
+            return ReconcileAction(finding, NOTIFY, "notified operators")
+        try:
+            return ReconcileAction(
+                finding, policy, self._apply(finding, policy, state)
+            )
+        except ReconcileInterrupted as exc:
+            return ReconcileAction(
+                finding, policy, exc.message, ok=False, interrupted=True
+            )
+        except CloudAPIError as exc:
+            return ReconcileAction(finding, policy, str(exc), ok=False)
 
     def _entry_for(
         self, finding: DriftFinding, state: StateDocument

@@ -61,6 +61,9 @@ def plane_to_dict(plane: ControlPlane) -> Dict[str, Any]:
             }
             for e in plane.log.all_events()
         ],
+        # durable sequence watermark: correct cursor math even when the
+        # retained event window starts above sequence 0 (compaction)
+        "log_next_seq": plane.log.next_cursor,
         "id_counter": plane._next_id,
         "quotas": [
             {"rtype": rtype, "region": region, "limit": limit}
@@ -88,24 +91,24 @@ def plane_from_dict(plane: ControlPlane, data: Dict[str, Any]) -> None:
             state=rec.get("state", "active"),
         )
     events = data.get("log", [])
-    plane.log._events = [
-        ActivityEvent(
-            sequence=e["sequence"],
-            timestamp=e["timestamp"],
-            provider=plane.provider,
-            operation=e["operation"],
-            resource_type=e["resource_type"],
-            resource_id=e["resource_id"],
-            resource_name=e["resource_name"],
-            region=e["region"],
-            actor=e["actor"],
-            changed_attrs=tuple(e.get("changed_attrs", [])),
-        )
-        for e in events
-    ]
-    import itertools
-
-    plane.log._seq = itertools.count(len(events))
+    plane.log.restore(
+        [
+            ActivityEvent(
+                sequence=e["sequence"],
+                timestamp=e["timestamp"],
+                provider=plane.provider,
+                operation=e["operation"],
+                resource_type=e["resource_type"],
+                resource_id=e["resource_id"],
+                resource_name=e["resource_name"],
+                region=e["region"],
+                actor=e["actor"],
+                changed_attrs=tuple(e.get("changed_attrs", [])),
+            )
+            for e in events
+        ],
+        next_sequence=data.get("log_next_seq"),
+    )
     plane._next_id = data.get("id_counter", 1)
     plane.quotas = {
         (q["rtype"], q["region"]): q["limit"] for q in data.get("quotas", [])
@@ -153,6 +156,10 @@ def engine_to_dict(engine: CloudlessEngine) -> Dict[str, Any]:
         "last_variables": engine.last_variables,
         "executor": engine.executor_name,
         "validation_level": engine.validation.level,
+        # per-provider log-watch cursors (event sequences): a reloaded
+        # world resumes tailing where it stopped instead of replaying
+        # the whole activity log
+        "watch_cursors": engine.watcher.cursors,
     }
 
 
@@ -176,6 +183,7 @@ def engine_from_dict(data: Dict[str, Any]) -> CloudlessEngine:
     engine.history = history_from_dict(data.get("history", []))
     engine.last_sources = dict(data.get("last_sources", {}))
     engine.last_variables = dict(data.get("last_variables", {}))
+    engine.watcher.restore_cursors(data.get("watch_cursors", {}))
     return engine
 
 
