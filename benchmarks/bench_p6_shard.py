@@ -73,6 +73,12 @@ def state_sha(result) -> str:
     return hashlib.sha256(result.state.to_json().encode()).hexdigest()
 
 
+def content_sha(result) -> str:
+    """Canonical state fingerprint: excludes timestamps/serial, so pool
+    workers' legitimately-different wall-clock budgets don't show."""
+    return result.state.content_hash()
+
+
 def run_arm(graph, seed: int, synthetic: int, factory, label: str) -> Dict[str, Any]:
     """Plan + apply on a fresh simulated estate; returns timings and
     the final-state fingerprint for equivalence checks."""
@@ -94,6 +100,7 @@ def run_arm(graph, seed: int, synthetic: int, factory, label: str) -> Dict[str, 
         "makespan_sim_s": round(result.makespan_s, 3),
         "api_calls": result.api_calls,
         "state_sha": state_sha(result),
+        "content_sha": content_sha(result),
     }
     counters = snap["counters"]
     for key in (
@@ -111,6 +118,7 @@ def run_arm(graph, seed: int, synthetic: int, factory, label: str) -> Dict[str, 
     if hasattr(result, "mode"):
         row["mode"] = result.mode
         row["waves"] = result.waves
+        row["overlapped"] = getattr(result, "overlapped", False)
     return row
 
 
@@ -238,6 +246,15 @@ def bench(args: argparse.Namespace) -> Dict[str, Any]:
             )
             pool["speedup_vs_single"] = round(pool_speedup, 2)
             rows.append(pool)
+            # pool equivalence: identity-keyed id minting + the
+            # timestamp-free content hash make worker scheduling
+            # invisible in the canonical final state
+            if pool["content_sha"] != single["content_sha"]:
+                failures.append(
+                    f"{size}: pool final state diverged "
+                    f"({pool['content_sha'][:12]} vs "
+                    f"{single['content_sha'][:12]})"
+                )
             if (
                 args.min_pool_speedup
                 and cpus >= args.workers

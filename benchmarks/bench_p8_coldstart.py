@@ -1,0 +1,406 @@
+"""P8 `coldstart` -- streaming parse, compiled-artifact cache, overlapped pool.
+
+Three claims, each gated:
+
+* **Warm re-run is O(changed)**: planning an unchanged estate through
+  the persistent compiled-artifact cache (``repro.compilecache``) must
+  cost at most ``--max-warm-frac`` (default 10%) of the cold
+  parse+build+plan wall at every size >= ``--warm-gate-min-size``, and
+  the warm plan must render byte-identical to the cold one (compared
+  by sha256 across processes).
+* **Cold start is bounded**: every cold tier runs in a subprocess and
+  records its peak RSS (``ru_maxrss``); the streaming parse keeps the
+  largest tier (``--rss-size``, default 1M resources) within
+  ``--max-rss-gb`` when that gate is armed.
+* **Overlapped pool beats barrier waves**: on a staggered provider DAG
+  (small hub, fat independent units) the ready-frontier scheduler must
+  finish with a strictly smaller simulated makespan than the barrier
+  scheduler and the identical canonical state hash as the interleaved
+  single-process apply. The wall-clock gate only arms when the host
+  has >= ``--pool-workers`` cores (the CI container has one core,
+  where forked workers cannot win wall-clock).
+
+CI runs the smoke tier::
+
+    python benchmarks/bench_p8_coldstart.py --sizes 1000 \
+        --pool-size 1000 --rss-size 0 --out /tmp/BENCH_coldstart.json
+
+The checked-in ``BENCH_coldstart.json`` is the full run
+(``--sizes 10000,100000 --pool-size 100000 --rss-size 1000000``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.cloud import CloudGateway
+from repro.core.engine import (
+    CloudlessEngine,
+    _fingerprint_data,
+    _fingerprint_json,
+)
+from repro.compilecache import (
+    CompileCache,
+    schema_fingerprint,
+    variables_fingerprint,
+)
+from repro.deploy import ShardedExecutor
+from repro.deploy.incremental import read_data_sources
+from repro.graph import Planner, build_graph
+from repro.graph.critical_path import clear_analysis_cache
+from repro.lang import Configuration
+from repro.state import StateDocument
+from repro.workloads import scale_estate_sharded
+
+
+def plan_sha(plan) -> str:
+    return hashlib.sha256(plan.render().encode()).hexdigest()
+
+
+# -- cold tier (runs in a subprocess for honest peak-RSS accounting) ----------
+
+
+def cold_child(args: argparse.Namespace) -> int:
+    """Cold parse+build+plan of one tier; stores the artifact and
+    emits phase timings, plan sha, and peak RSS as JSON on stdout."""
+    clear_analysis_cache()
+    source = scale_estate_sharded(
+        args.size, providers=args.providers, cross_link_every=5
+    )
+    texts = {"main.clc": source}
+    gateway = CloudGateway.simulated(seed=args.seed, synthetic=args.providers)
+
+    t0 = time.perf_counter()
+    config = Configuration.parse_streaming(texts)
+    parse_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graph = build_graph(config)
+    build_s = time.perf_counter() - t0
+
+    planner = Planner(
+        spec_lookup=gateway.try_spec,
+        region_lookup=gateway.region_for,
+        provider_lookup=gateway.provider_of,
+    )
+    state = StateDocument()
+    t0 = time.perf_counter()
+    data = read_data_sources(gateway, graph, state)
+    plan = planner.plan(graph, state, data_values=data)
+    plan_s = time.perf_counter() - t0
+
+    store_s = 0.0
+    if args.cache_dir:
+        cache = CompileCache(args.cache_dir)
+        t0 = time.perf_counter()
+        ok = cache.store(
+            texts,
+            variables_fingerprint(None),
+            schema_fingerprint(gateway),
+            config,
+            graph,
+            plan=plan,
+            plan_state_fp=_fingerprint_json(state.to_json()),
+            plan_data_fp=_fingerprint_data(data),
+        )
+        store_s = time.perf_counter() - t0
+        assert ok, "artifact store failed"
+
+    print(
+        json.dumps(
+            {
+                "parse_s": round(parse_s, 4),
+                "build_s": round(build_s, 4),
+                "plan_s": round(plan_s, 4),
+                "cold_total_s": round(parse_s + build_s + plan_s, 4),
+                "store_s": round(store_s, 4),
+                "n_changes": len(plan.changes),
+                "plan_sha": plan_sha(plan),
+                "peak_rss_kb": resource.getrusage(
+                    resource.RUSAGE_SELF
+                ).ru_maxrss,
+            }
+        )
+    )
+    return 0
+
+
+def run_cold_tier(
+    size: int, providers: int, seed: int, cache_dir: Optional[str]
+) -> Dict[str, Any]:
+    cmd = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--child",
+        "--size",
+        str(size),
+        "--providers",
+        str(providers),
+        "--seed",
+        str(seed),
+    ]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return json.loads(out.stdout)
+
+
+# -- warm tier (in-process: the engine's cache path is what ships) ------------
+
+
+def run_warm_tier(
+    size: int, providers: int, seed: int, cache_dir: str
+) -> Dict[str, Any]:
+    clear_analysis_cache()
+    source = scale_estate_sharded(
+        size, providers=providers, cross_link_every=5
+    )
+    engine = CloudlessEngine(
+        gateway=CloudGateway.simulated(seed=seed, synthetic=providers),
+        cache_dir=cache_dir,
+    )
+    t0 = time.perf_counter()
+    plan = engine.plan(source)
+    warm_s = time.perf_counter() - t0
+    cache = engine.compile_cache
+    return {
+        "warm_s": round(warm_s, 4),
+        "plan_sha": plan_sha(plan),
+        "exact_hits": cache.exact_hits,
+        "partial_hits": cache.partial_hits,
+        "misses": cache.misses,
+    }
+
+
+# -- pool tier ---------------------------------------------------------------
+
+
+def staggered_source(size: int) -> str:
+    """Small hub provider feeding one dependent, two fat independent
+    providers: barrier waves hold the dependent hostage to the fat
+    units, the ready frontier does not."""
+    return scale_estate_sharded(
+        size,
+        providers=4,
+        cross_link_every=10,
+        provider_weights=[1, 3, 3, 3],
+        cross_links=[(1, 0)],
+    )
+
+
+def run_pool_arm(
+    source: str, seed: int, workers: int, overlap: bool, label: str
+) -> Dict[str, Any]:
+    clear_analysis_cache()
+    gateway = CloudGateway.simulated(seed=seed, synthetic=4)
+    planner = Planner(
+        spec_lookup=gateway.try_spec,
+        region_lookup=gateway.region_for,
+        provider_lookup=gateway.provider_of,
+    )
+    graph = build_graph(Configuration.parse_streaming(source))
+    state = StateDocument()
+    data = read_data_sources(gateway, graph, state)
+    plan = planner.plan(graph, state, data_values=data)
+    executor = ShardedExecutor(gateway, workers=workers, overlap=overlap)
+    t0 = time.perf_counter()
+    result = executor.apply(plan)
+    wall = time.perf_counter() - t0
+    assert result.ok, f"{label}: apply failed: {result.failed}"
+    return {
+        "arm": label,
+        "apply_wall_s": round(wall, 4),
+        "makespan_sim_s": round(result.makespan_s, 3),
+        "mode": result.mode,
+        "waves": getattr(result, "waves", 1),
+        "overlapped": getattr(result, "overlapped", False),
+        "content_sha": result.state.content_hash(),
+    }
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def bench(args: argparse.Namespace) -> Dict[str, Any]:
+    tiers: List[Dict[str, Any]] = []
+    failures: List[str] = []
+    cpus = os.cpu_count() or 1
+
+    for size in args.sizes:
+        with tempfile.TemporaryDirectory(prefix="clc-cache-") as cache_dir:
+            cold = run_cold_tier(size, args.providers, args.seed, cache_dir)
+            warm = run_warm_tier(size, args.providers, args.seed, cache_dir)
+        tier = {"size": size, **cold, **warm}
+        tier["warm_frac"] = round(
+            warm["warm_s"] / max(cold["cold_total_s"], 1e-9), 4
+        )
+        tiers.append(tier)
+        if warm["plan_sha"] != cold["plan_sha"]:
+            failures.append(f"{size}: warm plan not byte-identical to cold")
+        if warm["exact_hits"] != 1:
+            failures.append(
+                f"{size}: warm plan missed the cache "
+                f"(exact={warm['exact_hits']} misses={warm['misses']})"
+            )
+        if (
+            size >= args.warm_gate_min_size
+            and tier["warm_frac"] > args.max_warm_frac
+        ):
+            failures.append(
+                f"{size}: warm plan {tier['warm_frac']:.1%} of cold "
+                f"> gate {args.max_warm_frac:.0%}"
+            )
+        print(
+            f"size={size}: cold={cold['cold_total_s']:.2f}s "
+            f"(parse={cold['parse_s']:.2f} build={cold['build_s']:.2f} "
+            f"plan={cold['plan_s']:.2f}) warm={warm['warm_s']:.3f}s "
+            f"({tier['warm_frac']:.1%}) rss={cold['peak_rss_kb'] // 1024}MB",
+            file=sys.stderr,
+        )
+
+    rss_tier: Optional[Dict[str, Any]] = None
+    if args.rss_size:
+        cold = run_cold_tier(args.rss_size, args.providers, args.seed, None)
+        rss_tier = {"size": args.rss_size, **cold}
+        rss_gb = cold["peak_rss_kb"] / (1024 * 1024)
+        rss_tier["peak_rss_gb"] = round(rss_gb, 2)
+        if args.max_rss_gb and rss_gb > args.max_rss_gb:
+            failures.append(
+                f"{args.rss_size}: peak RSS {rss_gb:.2f}GB "
+                f"> gate {args.max_rss_gb}GB"
+            )
+        print(
+            f"rss tier size={args.rss_size}: "
+            f"cold={cold['cold_total_s']:.2f}s peak_rss={rss_gb:.2f}GB",
+            file=sys.stderr,
+        )
+
+    pool: List[Dict[str, Any]] = []
+    if args.pool_size:
+        source = staggered_source(args.pool_size)
+        interleaved = run_pool_arm(source, args.seed, 1, True, "interleaved")
+        barrier = run_pool_arm(
+            source, args.seed, args.pool_workers, False, "pool-barrier"
+        )
+        overlapped = run_pool_arm(
+            source, args.seed, args.pool_workers, True, "pool-overlapped"
+        )
+        pool = [interleaved, barrier, overlapped]
+        if len({arm["content_sha"] for arm in pool}) != 1:
+            failures.append("pool: final state hash diverged across arms")
+        if overlapped["makespan_sim_s"] >= barrier["makespan_sim_s"]:
+            failures.append(
+                f"pool: overlapped makespan {overlapped['makespan_sim_s']} "
+                f"not better than barrier {barrier['makespan_sim_s']}"
+            )
+        if (
+            cpus >= args.pool_workers
+            and overlapped["apply_wall_s"] >= barrier["apply_wall_s"]
+        ):
+            failures.append(
+                f"pool: overlapped wall {overlapped['apply_wall_s']}s "
+                f"not better than barrier {barrier['apply_wall_s']}s "
+                f"({cpus} cpus)"
+            )
+        for arm in pool:
+            print(
+                f"pool {arm['arm']:16s} wall={arm['apply_wall_s']:7.2f}s "
+                f"makespan={arm['makespan_sim_s']:9.1f}s "
+                f"waves={arm['waves']}",
+                file=sys.stderr,
+            )
+
+    return {
+        "benchmark": "p8_coldstart",
+        "workload": "scale_estate_sharded",
+        "seed": args.seed,
+        "providers": args.providers,
+        "cpus": cpus,
+        "sizes": args.sizes,
+        "pool_size": args.pool_size,
+        "pool_workers": args.pool_workers,
+        "tiers": tiers,
+        "rss_tier": rss_tier,
+        "pool": pool,
+        "failures": failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="10000,100000")
+    parser.add_argument("--providers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-warm-frac",
+        type=float,
+        default=0.10,
+        help="warm plan must cost at most this fraction of cold",
+    )
+    parser.add_argument(
+        "--warm-gate-min-size",
+        type=int,
+        default=10000,
+        help="arm the warm-fraction gate at and above this size",
+    )
+    parser.add_argument(
+        "--rss-size",
+        type=int,
+        default=1000000,
+        help="cold tier sized for the peak-RSS record (0 disables)",
+    )
+    parser.add_argument(
+        "--max-rss-gb",
+        type=float,
+        default=0.0,
+        help="peak-RSS gate for the --rss-size tier (0 records only)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=100000,
+        help="staggered-DAG apply size for the pool arms (0 disables)",
+    )
+    parser.add_argument("--pool-workers", type=int, default=4)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "BENCH_coldstart.json"
+        ),
+    )
+    # hidden: subprocess mode for cold tiers
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--size", type=int, default=0, help=argparse.SUPPRESS)
+    parser.add_argument("--cache-dir", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args.child:
+        return cold_child(args)
+    args.sizes = [int(s) for s in str(args.sizes).split(",") if s]
+
+    report = bench(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    if report["failures"]:
+        for line in report["failures"]:
+            print(f"GATE FAILED: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

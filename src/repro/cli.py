@@ -53,7 +53,29 @@ def _load_engine(args) -> CloudlessEngine:
 
 
 def _save_engine(args, engine: CloudlessEngine) -> None:
+    # the cache context pins the whole compiled graph; never let it
+    # (or the cache handle's counters) ride along in the world pickle
+    engine._cache_ctx = None
+    engine.compile_cache = None
     save_world(engine, _world_path(args))
+
+
+def _attach_cache(args, engine: CloudlessEngine) -> None:
+    """Wire the compiled-artifact cache onto a (possibly old) world.
+
+    Worlds persisted by earlier versions predate ``compile_cache``;
+    set the attributes unconditionally rather than trusting the
+    pickle. ``--no-cache`` forces every compile cold."""
+    engine._cache_ctx = None
+    if getattr(args, "no_cache", False):
+        engine.compile_cache = None
+        return
+    from .compilecache import CompileCache
+
+    cache_dir = getattr(args, "cache_dir", None) or os.path.join(
+        args.chdir, ".clc-cache"
+    )
+    engine.compile_cache = CompileCache(cache_dir)
 
 
 def _read_sources(args) -> Dict[str, str]:
@@ -121,6 +143,7 @@ def cmd_init(args) -> int:
 
 def cmd_validate(args) -> int:
     engine = _load_engine(args)
+    _attach_cache(args, engine)
     report = engine.validate(_read_sources(args), variables=_parse_vars(args.var))
     print(report)
     return 0 if report.ok else 1
@@ -128,6 +151,7 @@ def cmd_validate(args) -> int:
 
 def cmd_plan(args) -> int:
     engine = _load_engine(args)
+    _attach_cache(args, engine)
     sources = _read_sources(args)
     report = engine.validate(sources, variables=_parse_vars(args.var))
     if not report.ok:
@@ -140,6 +164,7 @@ def cmd_plan(args) -> int:
 
 def cmd_apply(args) -> int:
     engine = _load_engine(args)
+    _attach_cache(args, engine)
     engine.wal_path = _world_path(args) + ".wal"
     if getattr(args, "shards", None) is not None:
         # worlds persisted by older versions lack the shard attrs;
@@ -473,6 +498,19 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"{name} the *.clc configuration")
         if with_vars:
             p.add_argument("--var", action="append", default=[])
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            dest="cache_dir",
+            help="compiled-artifact cache directory "
+            "(default: <chdir>/.clc-cache)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            dest="no_cache",
+            help="skip the compiled-artifact cache (every compile cold)",
+        )
         if name == "apply":
             p.add_argument(
                 "--shards",

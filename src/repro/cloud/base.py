@@ -15,6 +15,7 @@ provider-style error message (the raw material for 3.5's debugger).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import ipaddress
 import itertools
 import random
@@ -344,6 +345,10 @@ class ControlPlane:
         self.regions = regions or ["region-1"]
         self.quotas: Dict[Tuple[str, str], int] = {}  # (rtype, region) -> max
         self._next_id = 1
+        #: (rtype, region, name) -> next generation for identity-keyed
+        #: id minting; delete/recreate of the same identity bumps the
+        #: generation so the recreate gets a fresh id
+        self._id_gens: Dict[Tuple[str, str, str], int] = {}
         self.api_calls: Dict[str, int] = {"read": 0, "write": 0}
         #: idempotency-token index: token -> minted resource id. A create
         #: retried with the same token returns the original resource
@@ -593,7 +598,7 @@ class ControlPlane:
                     if prior is not None:
                         return prior.snapshot()
             self._check_create(spec, attrs, region)
-            new_id = self._mint_id(spec)
+            new_id = self._mint_id(spec, region, str(attrs.get("name", "")))
             full_attrs = self._attrs_with_defaults(spec, attrs)
             full_attrs.update(self._computed_attrs(spec, new_id, region))
             record = ResourceRecord(
@@ -882,7 +887,7 @@ class ControlPlane:
         actor: str = "legacy-script",
     ) -> str:
         spec = self.spec_for(rtype)
-        new_id = self._mint_id(spec)
+        new_id = self._mint_id(spec, region, str(attrs.get("name", "")))
         full_attrs = self._attrs_with_defaults(spec, attrs)
         full_attrs.update(self._computed_attrs(spec, new_id, region))
         self.records[new_id] = ResourceRecord(
@@ -1057,7 +1062,29 @@ class ControlPlane:
     def _not_found_message(self, ref_type: str, target_id: str) -> str:
         return f"The referenced resource '{target_id}' was not found."
 
-    def _mint_id(self, spec: ResourceTypeSpec) -> str:
+    def _mint_id(
+        self, spec: ResourceTypeSpec, region: str = "", name: str = ""
+    ) -> str:
+        """Mint a resource id keyed by *identity*, not call order.
+
+        The historical counter id (``vm-00000007``) depends on how many
+        creates this plane has already resolved, so two schedules of the
+        same plan -- interleaved vs pool-forked, barrier vs overlapped
+        -- minted different ids and every dependent attribute diverged
+        with them. Keying the id on (type, region, name, generation)
+        makes it a pure function of what is being created; the
+        generation counter keeps a delete/recreate of the same identity
+        from colliding. Unnamed resources keep the sequential fallback.
+        """
+        if name:
+            gen_key = (spec.name, region, name)
+            gen = self._id_gens.get(gen_key, 0)
+            self._id_gens[gen_key] = gen + 1
+            digest = hashlib.sha256(
+                f"{self.provider}|{spec.name}|{region}|{name}|{gen}|"
+                f"{self.seed}".encode()
+            ).hexdigest()[:16]
+            return f"{spec.id_prefix}{digest}"
         minted = f"{spec.id_prefix}{self._next_id:08x}"
         self._next_id += 1
         return minted
@@ -1085,9 +1112,15 @@ class ControlPlane:
             elif aspec.name in ("arn", "resource_uri"):
                 out[aspec.name] = f"arn:{self.provider}:{region}:{new_id}"
             elif "ip" in aspec.name:
+                # identity-keyed draw (not self.rng): the address is a
+                # pure function of the resource id, so every schedule
+                # of the same plan computes the same value
+                ip_rng = random.Random(
+                    f"{self.provider}|{new_id}|{aspec.name}|{self.seed}"
+                )
                 out[aspec.name] = (
-                    f"10.{self.rng.randint(0, 255)}."
-                    f"{self.rng.randint(0, 255)}.{self.rng.randint(1, 254)}"
+                    f"10.{ip_rng.randint(0, 255)}."
+                    f"{ip_rng.randint(0, 255)}.{ip_rng.randint(1, 254)}"
                 )
             elif aspec.name == "fqdn" or "dns" in aspec.name:
                 out[aspec.name] = f"{new_id}.{region}.{self.provider}.sim"

@@ -1,0 +1,32 @@
+"""Persistent compiled-artifact cache for cold-start elimination.
+
+Parsing and expanding a 1M-resource estate dominates cold-start wall
+time; none of that work depends on anything but the source text, the
+variable values, and the provider schemas. This package journals the
+compiled artifacts -- the parsed :class:`Configuration` (with its
+chunk-AST table), the expanded :class:`ResourceGraph`, and optionally
+the :class:`Plan` keyed by the state it was computed against -- to
+disk, so a second ``plan``/``apply``/``watch`` of the same workload
+loads them in O(changed) instead of rebuilding the DAG from scratch.
+
+Robustness mirrors :class:`~repro.state.persist.JournalStateStore`: a
+versioned header carries the payload digest, writes go through a
+temp-file + fsync + rename, and *any* mismatch (torn file, version
+skew, fingerprint drift, unpicklable payload) falls back to a cold
+build -- a cache can be deleted at any time without losing anything
+but warm-up time.
+"""
+
+from .store import (
+    CacheLookup,
+    CompileCache,
+    schema_fingerprint,
+    variables_fingerprint,
+)
+
+__all__ = [
+    "CacheLookup",
+    "CompileCache",
+    "schema_fingerprint",
+    "variables_fingerprint",
+]

@@ -1,0 +1,409 @@
+"""The on-disk compiled-artifact store.
+
+One artifact file per workload key, where the key is content-free --
+sha256 over the sorted source *filenames* plus the variables and
+schema fingerprints -- so an edited file maps to the *same* artifact
+(and a partial hit reuses its unchanged chunk ASTs) while a different
+workload, variable set, or provider catalog maps elsewhere.
+
+File layout (torn-write-safe, modelled on the state journal)::
+
+    {"version": 2, "meta_sha": ..., "meta_len": M,
+     "payload_sha": ..., "payload_len": N}\\n
+    <M bytes: pickled _ArtifactMeta>
+    <N bytes: pickled _ArtifactPayload envelope>
+
+The artifact is split so that a warm exact hit is O(changed), not
+O(estate): the *meta* part (file digests, fingerprints, the journaled
+plan render text) is small and unpickled eagerly; the *payload* part
+(the config, expanded graph, and plan object web -- millions of
+objects at 1M resources) is read and digest-verified eagerly but
+unpickled only when a consumer actually needs the object graph
+(validate, apply, re-plan). The payload envelope is a thin wrapper
+whose only field is the inner pickle bytes, so the eager load
+validates the file is semantically ours without materializing.
+
+A torn tail, header corruption, version skew, or digest mismatch on
+*either* part classifies as a miss (counted in
+:attr:`CompileCache.corrupt_rejects`), never an error. Exactness is
+decided by whole-file sha256 -- same bytes parse to the same chunks,
+so there is no separate chunk-fingerprint rescan on the hit path (the
+chunker is pure, and chunker changes bump ``FORMAT_VERSION``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import zlib
+from typing import Any, Dict, List, Optional
+
+FORMAT_VERSION = 2
+
+#: artifact filename suffix (one workload key per file)
+SUFFIX = ".clcc"
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def variables_fingerprint(variables: Optional[Dict[str, Any]]) -> str:
+    """Stable digest of the variable values a compile ran under."""
+    try:
+        blob = json.dumps(
+            variables or {}, sort_keys=True, default=repr
+        ).encode()
+    except (TypeError, ValueError):
+        blob = repr(sorted((variables or {}).items())).encode()
+    return _sha(blob)
+
+
+def schema_fingerprint(gateway: Any) -> str:
+    """Digest of the provider catalogs a compile resolved against.
+
+    A schema change (new attribute, different id prefix, added
+    provider) invalidates every artifact: the expanded graph bakes in
+    spec-derived decisions, so replaying it against a different
+    catalog would be silently wrong.
+    """
+    parts: List[str] = []
+    for provider in sorted(gateway.planes):
+        plane = gateway.planes[provider]
+        for rtype in sorted(plane.specs):
+            tspec = plane.specs[rtype]
+            attrs = ",".join(
+                f"{a.name}:{a.type}:{int(a.computed)}:{int(a.required)}"
+                for a in sorted(
+                    tspec.attributes.values(), key=lambda a: a.name
+                )
+            )
+            parts.append(f"{provider}|{rtype}|{tspec.id_prefix}|{attrs}")
+    return _sha("\n".join(parts).encode())
+
+
+@dataclasses.dataclass
+class _ArtifactMeta:
+    """The small, eagerly-unpickled half of one journaled compile."""
+
+    format_version: int
+    #: filename -> sha256 of the full source text (exactness test)
+    source_sha: Dict[str, str]
+    variables_fp: str
+    schema_fp: str
+    #: state/data fingerprints the journaled plan is valid for
+    plan_state_fp: Optional[str] = None
+    plan_data_fp: Optional[str] = None
+    #: zlib-compressed ``plan.render()`` text, so an exact hit can
+    #: serve byte-identical plan output without touching the payload
+    plan_render_z: Optional[bytes] = None
+
+
+@dataclasses.dataclass
+class _ArtifactPayload:
+    """Envelope around the big object-web pickle.
+
+    The outer pickle (this class) is cheap to load -- one bytes field
+    -- which lets :meth:`CompileCache._read` semantically validate the
+    payload eagerly while deferring the expensive inner
+    ``pickle.loads`` (config + graph + plan) until a consumer needs
+    the objects.
+    """
+
+    objects: bytes  # pickle of (config, graph, plan)
+
+
+class CacheLookup:
+    """Outcome of :meth:`CompileCache.load`.
+
+    ``kind`` is ``"exact"`` (every file byte-identical: config *and*
+    graph reusable, plan too if its state fingerprint matches) or
+    ``"partial"`` (something changed: only the chunk-AST table is
+    reusable, via ``Configuration.parse_streaming(reuse=...)``).
+
+    ``config`` / ``graph`` / ``plan`` are lazy: the first access
+    unpickles the payload's object web (O(estate)); until then an
+    exact hit costs only the meta. ``plan_render`` serves the
+    journaled plan text from the meta without materializing anything.
+    """
+
+    def __init__(self, kind: str, meta: _ArtifactMeta, objects_pickle: bytes):
+        self.kind = kind
+        self.plan_state_fp = meta.plan_state_fp
+        self.plan_data_fp = meta.plan_data_fp
+        self._meta = meta
+        self._objects_pickle: Optional[bytes] = objects_pickle
+        self._objects: Optional[tuple] = None
+
+    @property
+    def exact(self) -> bool:
+        return self.kind == "exact"
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the payload's object web has been unpickled."""
+        return self._objects is not None
+
+    def _materialize(self) -> tuple:
+        if self._objects is None:
+            blob = self._objects_pickle
+            assert blob is not None
+            objects = pickle.loads(blob)
+            if not (isinstance(objects, tuple) and len(objects) == 3):
+                raise RuntimeError(
+                    "corrupt compile-cache payload: expected a "
+                    "(config, graph, plan) triple"
+                )
+            self._objects = objects
+            self._objects_pickle = None  # the bytes are no longer needed
+        return self._objects
+
+    @property
+    def config(self) -> Any:
+        return self._materialize()[0]
+
+    @property
+    def graph(self) -> Any:
+        return self._materialize()[1]
+
+    @property
+    def plan(self) -> Any:
+        return self._materialize()[2]
+
+    @property
+    def plan_render(self) -> Optional[str]:
+        """The journaled ``plan.render()`` text, or None if the
+        artifact was stored without a plan."""
+        if self._meta.plan_render_z is None:
+            return None
+        return zlib.decompress(self._meta.plan_render_z).decode()
+
+
+class CompileCache:
+    """Content-addressed, versioned, torn-write-safe artifact store."""
+
+    def __init__(self, cache_dir: str):
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+        # perf counters (benchmarks and tests read these)
+        self.exact_hits = 0
+        self.partial_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+        self.corrupt_rejects = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(
+        self,
+        sources: Dict[str, str],
+        variables_fp: str,
+        schema_fp: str,
+    ) -> str:
+        ident = "|".join(sorted(sources)) + "|" + variables_fp + "|" + schema_fp
+        return _sha(ident.encode())[:32]
+
+    def path_for(
+        self,
+        sources: Dict[str, str],
+        variables_fp: str,
+        schema_fp: str,
+    ) -> str:
+        return os.path.join(
+            self.cache_dir, self.key_for(sources, variables_fp, schema_fp) + SUFFIX
+        )
+
+    # -- load ----------------------------------------------------------------
+
+    def load(
+        self,
+        sources: Dict[str, str],
+        variables_fp: str,
+        schema_fp: str,
+    ) -> Optional[CacheLookup]:
+        """Look the workload up; ``None`` means cold build."""
+        path = self.path_for(sources, variables_fp, schema_fp)
+        parts = self._read(path)
+        if parts is None:
+            self.misses += 1
+            return None
+        meta, objects_pickle = parts
+        if (
+            meta.format_version != FORMAT_VERSION
+            or meta.variables_fp != variables_fp
+            or meta.schema_fp != schema_fp
+        ):
+            self.corrupt_rejects += 1
+            self.misses += 1
+            return None
+        kind = self._classify(meta, sources)
+        if kind == "exact":
+            self.exact_hits += 1
+        else:
+            self.partial_hits += 1
+        return CacheLookup(kind=kind, meta=meta, objects_pickle=objects_pickle)
+
+    def _classify(self, meta: _ArtifactMeta, sources: Dict[str, str]) -> str:
+        if set(meta.source_sha) != set(sources):
+            return "partial"
+        for fname, text in sources.items():
+            if meta.source_sha.get(fname) != _sha(text.encode()):
+                return "partial"
+        return "exact"
+
+    def _read(self, path: str) -> Optional[tuple]:
+        """Read + digest-verify both parts eagerly (a torn write is
+        caught *here*, not at first use), unpickle only the cheap ones
+        (meta, payload envelope). Returns ``(meta, objects_pickle)``."""
+        try:
+            with open(path, "rb") as fh:
+                header = json.loads(fh.readline())
+                if header.get("version") != FORMAT_VERSION:
+                    self.corrupt_rejects += 1
+                    return None
+                meta_blob = fh.read(int(header.get("meta_len")))
+                payload_blob = fh.read()
+            if len(meta_blob) != header.get("meta_len"):
+                self.corrupt_rejects += 1
+                return None
+            if _sha(meta_blob) != header.get("meta_sha"):
+                self.corrupt_rejects += 1
+                return None
+            if len(payload_blob) != header.get("payload_len"):
+                self.corrupt_rejects += 1
+                return None
+            if _sha(payload_blob) != header.get("payload_sha"):
+                self.corrupt_rejects += 1
+                return None
+            meta = pickle.loads(meta_blob)
+            envelope = pickle.loads(payload_blob)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # torn header, bad json, truncated parts, unpicklable
+            # bytes, unknown classes: all of it is just a cold build
+            self.corrupt_rejects += 1
+            return None
+        if not isinstance(meta, _ArtifactMeta) or not isinstance(
+            envelope, _ArtifactPayload
+        ):
+            self.corrupt_rejects += 1
+            return None
+        return meta, envelope.objects
+
+    # -- store ---------------------------------------------------------------
+
+    def store(
+        self,
+        sources: Dict[str, str],
+        variables_fp: str,
+        schema_fp: str,
+        config: Any,
+        graph: Any,
+        plan: Any = None,
+        plan_state_fp: Optional[str] = None,
+        plan_data_fp: Optional[str] = None,
+    ) -> bool:
+        """Journal one compile. Returns False if anything refused to
+        pickle (the cache is strictly best-effort)."""
+        render_z: Optional[bytes] = None
+        if plan is not None:
+            try:
+                # level 1: the render text is large and repetitive;
+                # write speed matters more than ratio here
+                render_z = zlib.compress(plan.render().encode(), 1)
+            except Exception:
+                return False
+        meta = _ArtifactMeta(
+            format_version=FORMAT_VERSION,
+            source_sha={f: _sha(t.encode()) for f, t in sources.items()},
+            variables_fp=variables_fp,
+            schema_fp=schema_fp,
+            plan_state_fp=plan_state_fp,
+            plan_data_fp=plan_data_fp,
+            plan_render_z=render_z,
+        )
+        try:
+            meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+            inner = pickle.dumps(
+                (config, graph, plan), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            payload_blob = pickle.dumps(
+                _ArtifactPayload(objects=inner),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            return False
+        header = (
+            json.dumps(
+                {
+                    "version": FORMAT_VERSION,
+                    "meta_sha": _sha(meta_blob),
+                    "meta_len": len(meta_blob),
+                    "payload_sha": _sha(payload_blob),
+                    "payload_len": len(payload_blob),
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        ).encode()
+        path = self.path_for(sources, variables_fp, schema_fp)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".tmp-", suffix=SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header)
+                fh.write(meta_blob)
+                fh.write(payload_blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    # -- invalidate ----------------------------------------------------------
+
+    def invalidate(
+        self,
+        sources: Dict[str, str],
+        variables_fp: str,
+        schema_fp: str,
+    ) -> bool:
+        """Drop one workload's artifact."""
+        try:
+            os.unlink(self.path_for(sources, variables_fp, schema_fp))
+        except FileNotFoundError:
+            return False
+        self.invalidations += 1
+        return True
+
+    def clear(self) -> int:
+        """Drop every artifact (the rebuild-fallback hook calls this:
+        a graph journaled before the rebuild must never be served)."""
+        dropped = 0
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(SUFFIX):
+                continue
+            try:
+                os.unlink(os.path.join(self.cache_dir, name))
+                dropped += 1
+            except OSError:
+                continue
+        self.invalidations += dropped
+        return dropped

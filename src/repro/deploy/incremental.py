@@ -299,12 +299,25 @@ class IncrementalSession:
         source: Optional[str] = None,
         config: Optional[Configuration] = None,
         variables: Optional[Dict[str, Any]] = None,
+        compile_cache: Optional[Any] = None,
     ):
         if (source is None) == (config is None):
             raise ValueError("pass exactly one of source/config")
         self.gateway = gateway
-        self.config = config if config is not None else Configuration.parse(source)
+        # streaming parse: chunk ASTs stay resident on the config, so
+        # replan patches that repeat unchanged text skip re-lexing it
+        self.config = (
+            config
+            if config is not None
+            else Configuration.parse_streaming(source)
+        )
         self.variables = variables
+        #: callbacks fired when the session falls back to a full
+        #: rebuild -- the compiled-artifact cache registers one so a
+        #: graph it journaled before the rebuild is never served again
+        self.on_rebuild: List[Any] = []
+        if compile_cache is not None:
+            self.on_rebuild.append(lambda _session: compile_cache.clear())
         self.planner = Planner(
             spec_lookup=gateway.try_spec,
             region_lookup=gateway.region_for,
@@ -350,7 +363,7 @@ class IncrementalSession:
         ``"type.name"`` (managed) or ``"data.type.name"``.
         """
         started = time.perf_counter()
-        patch = Configuration.parse(patch_source)
+        patch = Configuration.parse_streaming(patch_source, reuse=self.config)
         if patch.diagnostics.has_errors():
             first = patch.diagnostics.errors[0]
             raise GraphBuildError(f"patch has errors: {first.message}")
@@ -511,6 +524,11 @@ class IncrementalSession:
         the full parse-free rebuild (still cheaper than re-parsing the
         estate, but O(estate) to expand and diff)."""
         self.rebuilds += 1
+        # the resident graph is about to be replaced wholesale; anything
+        # journaled from the old graph (compiled-artifact cache) is
+        # stale the moment this rebuild lands
+        for hook in self.on_rebuild:
+            hook(self)
         dirty: List[Tuple[str, str, str]] = []
         for key, decl in patch.resources.items():
             if self._fingerprints.get(key) != _decl_fingerprint(decl):

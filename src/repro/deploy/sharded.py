@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import itertools
 import os
 import pickle
+import selectors
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
@@ -161,6 +163,9 @@ class ShardedApplyResult(ApplyResult):
     mode: str = "interleaved"
     waves: int = 1
     barrier_waits: int = 0
+    #: pool mode only: True when units were dispatched on the ready
+    #: frontier (overlapped) instead of barrier-separated waves
+    overlapped: bool = False
     shard_summaries: Dict[str, ShardSummary] = dataclasses.field(
         default_factory=dict
     )
@@ -704,6 +709,7 @@ class ShardedExecutor:
         split_components: bool = False,
         max_shards: Optional[int] = None,
         workers: int = 1,
+        overlap: bool = True,
     ):
         if strategy not in ("critical-path", "best-effort", "sequential"):
             raise ValueError(f"unknown sharded strategy {strategy!r}")
@@ -716,6 +722,11 @@ class ShardedExecutor:
         self.split_components = split_components
         self.max_shards = max_shards
         self.workers = max(1, workers)
+        #: pool mode: dispatch provider units the moment their own
+        #: cross-group predecessors have merged (ready frontier).
+        #: ``False`` restores barrier-separated waves -- kept for the
+        #: overlapped-vs-barrier benchmark gate.
+        self.overlap = overlap
         self.ledger = CompletionLedger()
         self.partition: Optional[PlanPartition] = None
 
@@ -1313,10 +1324,73 @@ class ShardedExecutor:
         progs: Dict[str, _Prog],
         priority: Dict[str, float],
     ) -> ShardedApplyResult:
-        """Forked plane-group workers over barrier-separated waves."""
+        """Forked plane-group workers, overlapped or barrier-waved."""
+        if self.overlap:
+            return self._apply_pool_overlapped(
+                plan, dag, partition, progs, priority
+            )
+        return self._apply_pool_barrier(plan, dag, partition, progs, priority)
+
+    def _merge_outcome(
+        self,
+        result: ShardedApplyResult,
+        outcome: Dict[str, Any],
+        plan: Plan,
+        done: Set[str],
+        dead: Set[str],
+    ) -> float:
+        """Fold one worker's outcome into the parent; returns its
+        sim-time finish."""
+        state = plan.state
+        t_merge = time.perf_counter()
+        result.succeeded.extend(outcome["succeeded"])
+        result.failed.update(outcome["failed"])
+        result.skipped.extend(outcome["skipped"])
+        result.operations.extend(outcome["operations"])
+        done.update(outcome["succeeded"])
+        dead.update(outcome["failed"])
+        dead.update(outcome["skipped"])
+        for sid, summary in outcome["summaries"].items():
+            mine = result.shard_summaries[sid]
+            mine.changes += summary.changes
+            mine.succeeded += summary.succeeded
+            mine.failed += summary.failed
+            mine.quarantined += summary.quarantined
+            mine.barrier_releases += summary.barrier_releases
+        result.barrier_waits += outcome["barrier_waits"]
+        # merge shard-local state deltas through the COW document
+        for entry in outcome["entries"]:
+            state.set(entry)
+        for address in outcome["removed"]:
+            state.remove(address)
+        for cid, attrs in outcome["overrides"].items():
+            plan.resolver.set_override(cid, attrs)
+        for cid in outcome["dropped"]:
+            plan.resolver.drop_override(cid)
+        # the worker owned these planes outright: adopt their final
+        # runtime (touched records, counters, RNG stream, log suffix)
+        for provider, delta in outcome["planes"].items():
+            _import_plane_delta(self.gateway.planes[provider], delta)
+        for sid in outcome["tokens"]:
+            self.ledger.grant(sid)
+            for cid in outcome["published"].get(sid, ()):
+                self.ledger.publish(sid, self.ledger.current_token(sid), cid)
+        PERF.observe(
+            "shard.merge_ms", (time.perf_counter() - t_merge) * 1000.0
+        )
+        return outcome["finished_at"]
+
+    def _apply_pool_barrier(
+        self,
+        plan: Plan,
+        dag: Dag,
+        partition: PlanPartition,
+        progs: Dict[str, _Prog],
+        priority: Dict[str, float],
+    ) -> ShardedApplyResult:
+        """Historical pool mode: barrier-separated waves."""
         gateway = self.gateway
         clock = gateway.clock
-        state = plan.state
         started = clock.now
         calls_before_total = gateway.total_api_calls()
         result = ShardedApplyResult(
@@ -1346,52 +1420,165 @@ class ShardedExecutor:
                 self, plan, dag, partition, progs, priority, jobs, done, dead
             )
             wave_end = clock.now
-            t_merge = time.perf_counter()
             for outcome in outcomes:
-                wave_end = max(wave_end, outcome["finished_at"])
-                result.succeeded.extend(outcome["succeeded"])
-                result.failed.update(outcome["failed"])
-                result.skipped.extend(outcome["skipped"])
-                result.operations.extend(outcome["operations"])
-                done.update(outcome["succeeded"])
-                dead.update(outcome["failed"])
-                dead.update(outcome["skipped"])
-                for sid, summary in outcome["summaries"].items():
-                    mine = result.shard_summaries[sid]
-                    mine.changes += summary.changes
-                    mine.succeeded += summary.succeeded
-                    mine.failed += summary.failed
-                    mine.quarantined += summary.quarantined
-                    mine.barrier_releases += summary.barrier_releases
-                result.barrier_waits += outcome["barrier_waits"]
-                # merge shard-local state deltas through the COW document
-                for entry in outcome["entries"]:
-                    state.set(entry)
-                for address in outcome["removed"]:
-                    state.remove(address)
-                for cid, attrs in outcome["overrides"].items():
-                    plan.resolver.set_override(cid, attrs)
-                for cid in outcome["dropped"]:
-                    plan.resolver.drop_override(cid)
-                # the worker owned these planes outright: adopt their
-                # final runtime (records, id counter, RNG stream, log)
-                for provider, delta in outcome["planes"].items():
-                    _import_plane_delta(gateway.planes[provider], delta)
-                for sid in outcome["tokens"]:
-                    self.ledger.grant(sid)
-                    for cid in outcome["published"].get(sid, ()):
-                        self.ledger.publish(
-                            sid, self.ledger.current_token(sid), cid
-                        )
-            PERF.observe(
-                "shard.merge_ms", (time.perf_counter() - t_merge) * 1000.0
-            )
+                wave_end = max(
+                    wave_end,
+                    self._merge_outcome(result, outcome, plan, done, dead),
+                )
             clock.advance_to(wave_end)
 
         result.finished_at = clock.now
-        result.state = state
+        result.state = plan.state
         result.api_calls = gateway.total_api_calls() - calls_before_total
-        state.bump()
+        plan.state.bump()
+        return result
+
+    def _apply_pool_overlapped(
+        self,
+        plan: Plan,
+        dag: Dag,
+        partition: PlanPartition,
+        progs: Dict[str, _Prog],
+        priority: Dict[str, float],
+    ) -> ShardedApplyResult:
+        """Ready-frontier pool: fork each provider unit the moment its
+        own cross-group predecessors have merged.
+
+        The barrier scheduler holds every wave-N+1 worker until the
+        *slowest* wave-N worker finishes, even when its actual
+        predecessors landed long before. Here the condensed provider
+        units (:meth:`PlanPartition.pool_units`) are dispatched
+        individually: a unit forks as soon as its predecessor units
+        are merged, its child clock starts at the latest predecessor
+        finish (sim-time dependencies hold), and outcomes are
+        collected as workers finish rather than in submission order.
+        At most ``workers`` children are in flight.
+        """
+        gateway = self.gateway
+        clock = gateway.clock
+        started = clock.now
+        calls_before_total = gateway.total_api_calls()
+        result = ShardedApplyResult(
+            started_at=started, finished_at=started, mode="pool",
+            overlapped=True,
+        )
+        units, unit_deps = partition.pool_units()
+        groups = partition.plane_groups()
+        done: Set[str] = set()
+        dead: Set[str] = set()
+        for sid in partition.shard_ids():
+            result.shard_summaries[sid] = ShardSummary(sid)
+
+        jobs: List[Tuple[List[str], Set[str]]] = []
+        for unit in units:
+            group = [sid for p in unit for sid in groups.get(p, [])]
+            members = {
+                cid
+                for sid in group
+                for cid in partition.shards[sid].change_ids
+            }
+            jobs.append((group, members))
+        result.waves = sum(1 for _, members in jobs if members)
+
+        n = len(units)
+        merged: Set[int] = set()
+        unit_end: Dict[int, float] = {}
+        launched: Set[int] = set()
+        for i in range(n):
+            if not jobs[i][1]:  # nothing to do: merged at birth
+                merged.add(i)
+                launched.add(i)
+                unit_end[i] = started
+        can_fork = hasattr(os, "fork")
+        sel = selectors.DefaultSelector() if can_fork else None
+        inflight: Dict[int, Tuple[int, int]] = {}  # unit -> (pid, fd)
+        buffers: Dict[int, bytearray] = {}
+        sim_end = started
+
+        def start_time(i: int) -> float:
+            return max([started] + [unit_end[d] for d in unit_deps[i]])
+
+        def finalize(i: int, outcome: Dict[str, Any]) -> None:
+            end = self._merge_outcome(result, outcome, plan, done, dead)
+            unit_end[i] = end
+            merged.add(i)
+
+        def launch(i: int) -> None:
+            launched.add(i)
+            group, members = jobs[i]
+            start_at = start_time(i)
+            if not can_fork:  # pragma: no cover - non-posix fallback
+                clock.advance_to(start_at)
+                outcome = _pool_job(
+                    self, plan, dag, partition, progs, priority,
+                    group, members, done, dead,
+                )
+                finalize(i, outcome)
+                return
+            pid, read_fd = _fork_job(
+                self, plan, dag, partition, progs, priority,
+                group, members, done, dead, start_at,
+            )
+            inflight[i] = (pid, read_fd)
+            buffers[i] = bytearray()
+            assert sel is not None
+            sel.register(read_fd, selectors.EVENT_READ, data=i)
+
+        while len(merged) < n:
+            frontier = sorted(
+                i
+                for i in range(n)
+                if i not in launched and unit_deps[i] <= merged
+            )
+            for i in frontier:
+                if len(inflight) >= self.workers:
+                    break
+                launch(i)
+            if not inflight:
+                if len(merged) < n and not any(
+                    i not in launched and unit_deps[i] <= merged
+                    for i in range(n)
+                ):  # pragma: no cover - pool_units condenses cycles
+                    raise RuntimeError("pool schedule stalled (cycle?)")
+                continue
+            assert sel is not None
+            for key, _mask in sel.select():
+                i = key.data
+                fd = key.fileobj
+                chunk = os.read(fd, 1 << 20)
+                if chunk:
+                    buffers[i] += chunk
+                    continue
+                # EOF: worker finished; reap and merge
+                sel.unregister(fd)
+                os.close(fd)
+                pid, _ = inflight.pop(i)
+                _, status = os.waitpid(pid, 0)
+                payload = bytes(buffers.pop(i))
+                if not payload:
+                    raise RuntimeError(
+                        f"pool worker {pid} died (status {status})"
+                    )
+                finalize(i, pickle.loads(payload))
+
+        if sel is not None:
+            sel.close()
+        # independent units merge in wall-clock completion order, which
+        # is nondeterministic run to run; canonicalize the merged
+        # artifacts so a pool apply is byte-stable regardless of which
+        # worker's pipe hit EOF first
+        result.operations.sort(
+            key=lambda op: (op.t_submit, op.t_complete, op.change_id, op.attempt)
+        )
+        result.succeeded.sort()
+        result.skipped.sort()
+        for end in unit_end.values():
+            sim_end = max(sim_end, end)
+        clock.advance_to(sim_end)
+        result.finished_at = clock.now
+        result.state = plan.state
+        result.api_calls = gateway.total_api_calls() - calls_before_total
+        plan.state.bump()
         return result
 
 
@@ -1405,26 +1592,112 @@ class _ShardRunning:
     open_iid: Optional[int] = None
 
 
-def _export_plane_delta(plane: Any) -> Dict[str, Any]:
+def _export_plane_delta(
+    plane: Any, base_cursor: int, base_tokens: int
+) -> Dict[str, Any]:
+    """Ship only what this worker *changed* on its plane.
+
+    The historical export copied the full record map and activity log
+    -- O(estate) pickled per wave even when one shard touched ten
+    resources. The activity log already names every resource a run
+    created, updated, or deleted, so the delta is derived from the log
+    suffix past the fork-time cursor: touched records (or their
+    absence, for deletes), the log suffix itself, the id/generation
+    counters, and the token-index tail. Everything here is O(changed).
+    """
+    events = plane.log.events_since(base_cursor)
+    touched: Dict[str, None] = {}
+    gen_keys = set()
+    for event in events:
+        if event.resource_id:
+            touched[event.resource_id] = None
+        if event.operation == "create":
+            gen_keys.add(
+                (event.resource_type, event.region, event.resource_name)
+            )
+    records: Dict[str, Any] = {}
+    removed_ids: List[str] = []
+    for rid in touched:
+        record = plane.records.get(rid)
+        if record is not None:
+            records[rid] = record
+        else:
+            removed_ids.append(rid)
     return {
-        "records": dict(plane.records),
+        "records": records,
+        "removed_ids": removed_ids,
         "next_id": plane._next_id,
+        "id_gens": {
+            key: plane._id_gens[key]
+            for key in gen_keys
+            if key in plane._id_gens
+        },
         "rng_state": plane.rng.getstate(),
         "api_calls": dict(plane.api_calls),
-        "tokens": dict(plane._tokens),
-        "log": list(plane.log._events),
+        "tokens": dict(
+            itertools.islice(plane._tokens.items(), base_tokens, None)
+        ),
+        "log_suffix": events,
     }
 
 
 def _import_plane_delta(plane: Any, delta: Dict[str, Any]) -> None:
-    plane.records.clear()
+    """Upsert a worker's plane delta (idempotent, O(changed))."""
     for rid, record in delta["records"].items():
         plane.records[rid] = record
-    plane._next_id = delta["next_id"]
+    for rid in delta["removed_ids"]:
+        if rid in plane.records:
+            del plane.records[rid]
+    plane._next_id = max(plane._next_id, delta["next_id"])
+    for key, gen in delta["id_gens"].items():
+        if gen > plane._id_gens.get(key, 0):
+            plane._id_gens[key] = gen
     plane.rng.setstate(delta["rng_state"])
     plane.api_calls = dict(delta["api_calls"])
-    plane._tokens = dict(delta["tokens"])
-    plane.log.restore(delta["log"])
+    plane._tokens.update(delta["tokens"])
+    plane.log.extend_from(delta["log_suffix"])
+
+
+def _fork_job(
+    executor: ShardedExecutor,
+    plan: Plan,
+    dag: Dag,
+    partition: PlanPartition,
+    progs: Dict[str, _Prog],
+    priority: Dict[str, float],
+    group: List[str],
+    members: Set[str],
+    done: Set[str],
+    dead: Set[str],
+    start_at: Optional[float] = None,
+) -> Tuple[int, int]:
+    """Fork one plane-group worker; returns ``(pid, read_fd)``.
+
+    The child inherits the full plan/gateway via fork copy-on-write,
+    optionally advances its (private) clock to ``start_at`` -- the
+    latest predecessor finish under overlapped scheduling -- and
+    streams a pickled outcome back over the pipe.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(read_fd)
+        code = 1
+        try:
+            if start_at is not None:
+                executor.gateway.clock.advance_to(start_at)
+            outcome = _pool_job(
+                executor, plan, dag, partition, progs, priority,
+                group, members, done, dead,
+            )
+            payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+            with os.fdopen(write_fd, "wb") as out:
+                out.write(payload)
+            code = 0
+        finally:
+            os._exit(code)
+    os.close(write_fd)
+    return pid, read_fd
 
 
 def _run_forked(
@@ -1452,24 +1725,12 @@ def _run_forked(
         ]
     procs: List[Tuple[int, int]] = []
     for group, members in jobs:
-        read_fd, write_fd = os.pipe()
-        pid = os.fork()
-        if pid == 0:  # child
-            os.close(read_fd)
-            code = 1
-            try:
-                outcome = _pool_job(
-                    executor, plan, dag, partition, progs, priority,
-                    group, members, done, dead,
-                )
-                payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
-                with os.fdopen(write_fd, "wb") as out:
-                    out.write(payload)
-                code = 0
-            finally:
-                os._exit(code)
-        os.close(write_fd)
-        procs.append((pid, read_fd))
+        procs.append(
+            _fork_job(
+                executor, plan, dag, partition, progs, priority,
+                group, members, done, dead,
+            )
+        )
     outcomes: List[Dict[str, Any]] = []
     errors: List[str] = []
     for pid, read_fd in procs:
@@ -1504,6 +1765,16 @@ def _pool_job(
     providers = sorted(
         {partition.shards[sid].provider for sid in group if partition.shards[sid].provider}
     )
+    # fork-time baselines: the delta export ships only what this run
+    # appended past these marks (tokens is insertion-ordered and only
+    # ever grows, so a length is a cursor)
+    plane_base = {
+        provider: (
+            gateway.planes[provider].log.next_cursor,
+            len(gateway.planes[provider]._tokens),
+        )
+        for provider in providers
+    }
     sub = ShardedApplyResult(
         started_at=gateway.clock.now, finished_at=gateway.clock.now, mode="pool"
     )
@@ -1550,7 +1821,9 @@ def _pool_job(
         },
         "dropped": dropped,
         "planes": {
-            provider: _export_plane_delta(gateway.planes[provider])
+            provider: _export_plane_delta(
+                gateway.planes[provider], *plane_base[provider]
+            )
             for provider in providers
         },
         "tokens": {sid: partition.shards[sid].provider for sid in group},

@@ -145,14 +145,16 @@ class PlanPartition:
             groups.setdefault(self.shards[sid].provider, []).append(sid)
         return groups
 
-    def pool_waves(self) -> List[List[List[str]]]:
-        """Plane groups scheduled into barrier-separated waves.
+    def pool_units(self) -> Tuple[List[List[str]], List[Set[int]]]:
+        """The condensed provider-unit DAG for pool scheduling.
 
-        Each wave is a list of plane groups (each a list of shard ids)
-        with no unsatisfied cross-group dependency; groups that feed
-        each other (a cycle at group level) are condensed into one
-        unit. Returns ``[[group, ...], ...]`` outermost in execution
-        order.
+        Returns ``(units, unit_deps)``: ``units[i]`` is a sorted list
+        of providers forming one schedulable unit (providers that feed
+        each other condense into one), ``unit_deps[i]`` the indices of
+        units that must complete before unit ``i`` may start. This is
+        the ready-frontier form -- the overlapped pool dispatches a
+        unit the moment its own predecessors have merged, instead of
+        waiting on a whole barrier wave.
         """
         groups = self.plane_groups()
         provider_of_shard = {
@@ -166,7 +168,6 @@ class PlanPartition:
                 if a != b:
                     dep[b].add(a)
         units = _condense(dep)
-        # Kahn over condensed units, deterministic by smallest member
         unit_of = {}
         for i, unit in enumerate(units):
             for p in unit:
@@ -176,6 +177,20 @@ class PlanPartition:
             for a in ups:
                 if unit_of[a] != unit_of[b]:
                     unit_deps[unit_of[b]].add(unit_of[a])
+        return units, unit_deps
+
+    def pool_waves(self) -> List[List[List[str]]]:
+        """Plane groups scheduled into barrier-separated waves.
+
+        Each wave is a list of plane groups (each a list of shard ids)
+        with no unsatisfied cross-group dependency; groups that feed
+        each other (a cycle at group level) are condensed into one
+        unit. Returns ``[[group, ...], ...]`` outermost in execution
+        order. Kahn over :meth:`pool_units`, deterministic by smallest
+        member.
+        """
+        groups = self.plane_groups()
+        units, unit_deps = self.pool_units()
         remaining = set(range(len(units)))
         waves: List[List[List[str]]] = []
         satisfied: Set[int] = set()

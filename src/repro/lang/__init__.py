@@ -36,6 +36,7 @@ from .ast_nodes import (
     UnaryOp,
     walk_expr,
 )
+from .chunker import SourceChunk, chunk_fingerprints, iter_chunks
 from .config import (
     Configuration,
     LifecycleOptions,
@@ -109,6 +110,7 @@ __all__ = [
     "Scope",
     "ScopeRef",
     "Severity",
+    "SourceChunk",
     "SourceSpan",
     "SplatExpr",
     "StaticResolver",
@@ -120,9 +122,11 @@ __all__ = [
     "VariableValidation",
     "body_references",
     "call_function",
+    "chunk_fingerprints",
     "evaluate",
     "extract_references",
     "is_unknown",
+    "iter_chunks",
     "parse_expression_source",
     "parse_file",
     "to_string",

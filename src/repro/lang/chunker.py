@@ -1,0 +1,192 @@
+"""Declaration-level source chunker for streaming parses.
+
+Splits one CLC source string into top-level *chunks* -- runs of lines
+that together hold one (or more, for single-line files) complete
+top-level items -- without lexing it. The scanner only tracks the
+lexical state needed to know whether a newline is a real top-level
+boundary: strings (with escapes and ``${...}`` interpolations),
+heredocs, comments, and brace/bracket/paren depth. That makes it an
+order of magnitude cheaper than the full lexer, which matters because
+the chunker runs on *every* parse, warm or cold.
+
+Each chunk carries a content fingerprint (sha256 of its exact text).
+:meth:`repro.lang.Configuration.parse_streaming` uses the fingerprints
+to skip re-lexing unchanged chunks against a previous parse, and the
+compiled-artifact cache uses them to decide whether a cached graph is
+still valid per declaration. Leading blank lines and comment-only lines
+attach to the chunk that follows them, so a doc comment travels with
+its block and editing it invalidates only that block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Iterator, List
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceChunk:
+    """One top-level run of source text, with provenance."""
+
+    text: str
+    start_line: int  # 1-based line of the chunk's first character
+    fingerprint: str  # sha256 hex of ``text``
+
+
+def fingerprint_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def iter_chunks(source: str) -> Iterator[SourceChunk]:
+    """Yield the top-level chunks of ``source`` in order.
+
+    Concatenating every chunk's ``text`` reproduces ``source`` exactly
+    (the chunker never drops or rewrites bytes); a chunk boundary is a
+    newline at top-level depth after the chunk has seen non-comment
+    content. Malformed input (unterminated strings or blocks) never
+    raises here -- the tail simply lands in the final chunk and the
+    parser reports the real diagnostic.
+    """
+    n = len(source)
+    i = 0
+    line = 1
+    chunk_start = 0
+    chunk_line = 1
+    depth = 0
+    has_content = False
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            if depth == 0 and has_content:
+                text = source[chunk_start:i]
+                yield SourceChunk(text, chunk_line, fingerprint_text(text))
+                chunk_start = i
+                chunk_line = line
+                has_content = False
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#" or (ch == "/" and i + 1 < n and source[i + 1] == "/"):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            i += 2
+            while i < n and not (
+                source[i] == "*" and i + 1 < n and source[i + 1] == "/"
+            ):
+                if source[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            continue
+        has_content = True
+        if ch == '"':
+            i, line = _skip_string(source, i, line)
+            continue
+        if ch == "<" and i + 1 < n and source[i + 1] == "<":
+            i, line = _skip_heredoc(source, i, line)
+            continue
+        if ch in "{[(":
+            depth += 1
+        elif ch in "}])":
+            depth = max(0, depth - 1)
+        i += 1
+
+    if chunk_start < n:
+        # emit the tail even when it is blank/comment-only: the
+        # roundtrip guarantee (concat of chunks == source) is what lets
+        # callers hash chunks in place of the file
+        text = source[chunk_start:]
+        yield SourceChunk(text, chunk_line, fingerprint_text(text))
+
+
+def chunk_fingerprints(source: str) -> List[str]:
+    """The ordered chunk fingerprints of ``source`` (cache-key helper)."""
+    return [chunk.fingerprint for chunk in iter_chunks(source)]
+
+
+def _skip_string(source: str, i: int, line: int) -> tuple:
+    """Advance past a quoted string starting at ``source[i] == '"'``.
+
+    Mirrors the lexer's rules: backslash escapes (including ``\\$``),
+    ``$${`` literal escapes, and ``${...}`` interpolations that may
+    nest braces and contain strings of their own. Stops at the closing
+    quote or an (unescaped) newline -- the lexer rejects bare newlines
+    in strings, so treating one as the string's end keeps chunk
+    boundaries sane on malformed input.
+    """
+    n = len(source)
+    i += 1
+    while i < n:
+        ch = source[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "\n":
+            return i, line  # unterminated; let the parser complain
+        if ch == "$" and i + 1 < n:
+            if source[i + 1] == "$":  # $${ literal escape
+                i += 2
+                continue
+            if source[i + 1] == "{":
+                i, line = _skip_interpolation(source, i + 2, line)
+                continue
+        if ch == '"':
+            return i + 1, line
+        i += 1
+    return i, line
+
+
+def _skip_interpolation(source: str, i: int, line: int) -> tuple:
+    """Advance past a ``${...}`` body (``i`` just after the ``{``)."""
+    n = len(source)
+    braces = 1
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch == '"':
+            i, line = _skip_string(source, i, line)
+            continue
+        if ch == "{":
+            braces += 1
+        elif ch == "}":
+            braces -= 1
+            if braces == 0:
+                return i + 1, line
+        i += 1
+    return i, line
+
+
+def _skip_heredoc(source: str, i: int, line: int) -> tuple:
+    """Advance past a heredoc starting at ``source[i:i+2] == '<<'``."""
+    n = len(source)
+    j = i + 2
+    if j < n and source[j] == "-":
+        j += 1
+    start = j
+    while j < n and (source[j].isalnum() or source[j] == "_"):
+        j += 1
+    marker = source[start:j]
+    if not marker:
+        return i + 1, line  # a lone '<' operator, not a heredoc
+    # skip to end of the opener line, then line-by-line to the marker
+    while j < n and source[j] != "\n":
+        j += 1
+    while j < n:
+        j += 1  # consume the newline
+        line += 1
+        line_start = j
+        while j < n and source[j] != "\n":
+            j += 1
+        if source[line_start:j].strip() == marker:
+            return j, line
+    return j, line

@@ -21,6 +21,7 @@ from .ast_nodes import (
     Literal,
     ScopeRef,
 )
+from .chunker import iter_chunks
 from .diagnostics import CLCError, DiagnosticSink, SourceSpan
 from .parser import parse_file
 from .references import Reference, body_references, extract_references
@@ -151,6 +152,12 @@ class Configuration:
         self.providers: Dict[str, ProviderConfig] = {}
         self.files: List[ConfigFile] = []
         self.diagnostics = DiagnosticSink()
+        #: per-file ordered chunk fingerprints (streaming parses only);
+        #: the compiled-artifact cache keys graph validity off these
+        self.block_fingerprints: Dict[str, List[str]] = {}
+        #: chunk fingerprint -> parsed chunk AST, so a later
+        #: ``parse_streaming(reuse=this)`` skips re-lexing unchanged text
+        self._chunk_asts: Dict[str, ConfigFile] = {}
 
     # -- lookup helpers ----------------------------------------------------
 
@@ -180,6 +187,50 @@ class Configuration:
         cfg = cls()
         for fname in sorted(sources):
             cfg.add_file(parse_file(sources[fname], fname))
+        return cfg
+
+    @classmethod
+    def parse_streaming(
+        cls,
+        sources: Any,
+        filename: str = "main.clc",
+        reuse: Optional["Configuration"] = None,
+    ) -> "Configuration":
+        """Parse declaration-by-declaration instead of file-at-once.
+
+        Each source file is split into top-level chunks (see
+        :mod:`repro.lang.chunker`) and every chunk is lexed and parsed
+        independently, so peak memory is bounded by the largest chunk's
+        token list rather than the whole file's -- the difference
+        between streaming and buffering a 1M-resource estate.
+
+        ``reuse`` is a Configuration from a previous streaming parse of
+        (mostly) the same text: chunks whose fingerprints match skip
+        lexing and parsing entirely and re-classify the cached AST,
+        which makes a warm re-parse O(changed declarations). The result
+        is semantically identical to :meth:`parse` -- same declarations,
+        same diagnostics, file-absolute source spans.
+        """
+        if isinstance(sources, str):
+            sources = {filename: sources}
+        prev = reuse._chunk_asts if reuse is not None else {}
+        cfg = cls()
+        for fname in sorted(sources):
+            merged = Body()
+            fps: List[str] = []
+            for chunk in iter_chunks(sources[fname]):
+                fps.append(chunk.fingerprint)
+                cached = prev.get(chunk.fingerprint)
+                if cached is None or cached.filename != fname:
+                    cached = parse_file(
+                        chunk.text, fname, start_line=chunk.start_line
+                    )
+                cfg._chunk_asts[chunk.fingerprint] = cached
+                for name, attr in cached.body.attributes.items():
+                    merged.attributes.setdefault(name, attr)
+                merged.blocks.extend(cached.body.blocks)
+            cfg.block_fingerprints[fname] = fps
+            cfg.add_file(ConfigFile(body=merged, filename=fname))
         return cfg
 
     def add_file(self, cfile: ConfigFile) -> None:

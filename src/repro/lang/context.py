@@ -159,6 +159,22 @@ class ModuleContext:
         # quadratic cost at estate scale
         self._managed_maps: Dict[str, Tuple[Mapping, List[Any]]] = {}
 
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # the keyed-mapping caches close over bound lambdas and the
+        # lazy-locals cache can hold such mappings; all three are
+        # rebuilt on demand, so the compiled-artifact cache drops them
+        state = self.__dict__.copy()
+        state["_managed_names_by_type"] = None
+        state["_managed_maps"] = {}
+        state["_locals"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._locals = _LazyLocals(self)
+
     # -- variables ----------------------------------------------------------
 
     def _finalize_variables(self, given: Dict[str, Any]) -> Dict[str, Any]:

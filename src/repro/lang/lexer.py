@@ -49,11 +49,15 @@ _ESCAPES = {
 class Lexer:
     """Single-pass lexer over one configuration source string."""
 
-    def __init__(self, source: str, filename: str = "<config>"):
+    def __init__(
+        self, source: str, filename: str = "<config>", start_line: int = 1
+    ):
         self.source = source
         self.filename = filename
         self.pos = 0
-        self.line = 1
+        # start_line anchors spans when lexing one chunk of a larger
+        # file (streaming parse): tokens report file-absolute lines
+        self.line = start_line
         self.col = 1
         self._paren_depth = 0  # suppress NEWLINE inside () and []
 
@@ -302,15 +306,18 @@ class Lexer:
         while True:
             if self.pos >= len(self.source):
                 raise self._error(f"unterminated heredoc (expected {marker})")
-            ch = self._advance()
-            if ch == "\n":
+            if self._peek() == "\n":
                 line = "".join(current)
                 if line.strip() == marker:
+                    # leave the newline unconsumed: it ends the heredoc
+                    # *item*, so the main loop emits a NEWLINE token and
+                    # an attribute may follow on the next line
                     break
+                self._advance()
                 lines.append(line)
                 current = []
             else:
-                current.append(ch)
+                current.append(self._advance())
         if strip_indent and lines:
             pad = min(
                 (len(ln) - len(ln.lstrip()) for ln in lines if ln.strip()),

@@ -435,9 +435,12 @@ class Parser:
         return TemplateExpr(parts=parts, span=tok.span)
 
 
-def parse_file(source: str, filename: str = "<config>") -> ConfigFile:
-    """Parse a full CLC source file."""
-    lexer = Lexer(source, filename)
+def parse_file(
+    source: str, filename: str = "<config>", start_line: int = 1
+) -> ConfigFile:
+    """Parse a full CLC source file (or one chunk of it, anchored at
+    ``start_line`` so spans stay file-absolute)."""
+    lexer = Lexer(source, filename, start_line=start_line)
     return Parser(lexer.tokens(), filename).parse_file()
 
 

@@ -65,6 +65,12 @@ def plane_to_dict(plane: ControlPlane) -> Dict[str, Any]:
         # retained event window starts above sequence 0 (compaction)
         "log_next_seq": plane.log.next_cursor,
         "id_counter": plane._next_id,
+        # identity-keyed generation counters: without them a reloaded
+        # world would re-mint generation-0 ids for recreated names
+        "id_gens": [
+            {"rtype": t, "region": r, "name": n, "gen": g}
+            for (t, r, n), g in sorted(plane._id_gens.items())
+        ],
         "quotas": [
             {"rtype": rtype, "region": region, "limit": limit}
             for (rtype, region), limit in sorted(plane.quotas.items())
@@ -110,6 +116,10 @@ def plane_from_dict(plane: ControlPlane, data: Dict[str, Any]) -> None:
         next_sequence=data.get("log_next_seq"),
     )
     plane._next_id = data.get("id_counter", 1)
+    plane._id_gens = {
+        (g["rtype"], g["region"], g["name"]): g["gen"]
+        for g in data.get("id_gens", [])
+    }
     plane.quotas = {
         (q["rtype"], q["region"]): q["limit"] for q in data.get("quotas", [])
     }

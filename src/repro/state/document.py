@@ -36,6 +36,7 @@ implementation in :mod:`repro.state.reference`).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -356,6 +357,34 @@ class StateDocument:
             indent=2,
             sort_keys=True,
         )
+
+    def content_hash(self) -> str:
+        """sha256 over *what is deployed*, excluding timestamps.
+
+        Two schedules of the same plan (interleaved vs pool-forked,
+        barrier vs overlapped waves) converge on identical resources,
+        ids, and attributes, but their per-worker concurrency budgets
+        give each resource a different completion time. This digest is
+        the canonical equality check across schedules: everything in
+        :meth:`to_json` except ``created_at``/``updated_at`` and the
+        serial (which counts mutations, not content).
+        """
+        resources = []
+        for entry in self.resources():
+            d = entry.to_dict()
+            d.pop("created_at", None)
+            d.pop("updated_at", None)
+            resources.append(d)
+        blob = json.dumps(
+            {
+                "lineage": self.lineage,
+                "outputs": self.outputs,
+                "resources": resources,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "StateDocument":

@@ -335,6 +335,86 @@ class TestPoolMode:
         assert result.mode == "interleaved"
         assert result.ok
 
+    def test_pool_content_hash_matches_interleaved(self):
+        """BENCH_shard pool regression: identity-keyed id minting makes
+        the canonical state hash schedule-independent, so pool workers
+        and the interleaved scheduler converge to the same estate."""
+        gateway1, plan1 = make_plan(self.source(), seed=9, synthetic=2)
+        interleaved = ShardedExecutor(gateway1, workers=1).apply(plan1)
+        _, pool = self.run_pool()
+        assert interleaved.ok and pool.ok
+        assert (
+            pool.state.content_hash() == interleaved.state.content_hash()
+        )
+
+
+# -- overlapped pool scheduling ----------------------------------------------
+
+
+class TestOverlappedPool:
+    """Ready-frontier dispatch vs barrier waves: same final estate,
+    never a worse simulated makespan, strictly better on a staggered
+    provider DAG (a fast unit's successor must not wait on the slow
+    units sharing its wave)."""
+
+    @staticmethod
+    def staggered_source():
+        # syn1 depends on the small syn0; syn2/syn3 are independent and
+        # big -- a barrier holds syn1 hostage to syn2/syn3's wave
+        return scale_estate_sharded(
+            420,
+            providers=4,
+            cross_link_every=10,
+            provider_weights=[1, 3, 3, 3],
+            cross_links=[(1, 0)],
+        )
+
+    @classmethod
+    def run_mode(cls, workers, overlap):
+        gateway, plan = make_plan(cls.staggered_source(), seed=9, synthetic=4)
+        executor = ShardedExecutor(gateway, workers=workers, overlap=overlap)
+        return executor.apply(plan)
+
+    def test_overlapped_flag_and_equivalence(self):
+        interleaved = self.run_mode(1, True)
+        barrier = self.run_mode(4, False)
+        overlapped = self.run_mode(4, True)
+        assert interleaved.ok and barrier.ok and overlapped.ok
+        assert not barrier.overlapped
+        assert overlapped.overlapped and overlapped.mode == "pool"
+        hashes = {
+            r.state.content_hash()
+            for r in (interleaved, barrier, overlapped)
+        }
+        assert len(hashes) == 1
+
+    def test_overlapped_beats_barrier_makespan_when_staggered(self):
+        barrier = self.run_mode(4, False)
+        overlapped = self.run_mode(4, True)
+        assert overlapped.makespan_s < barrier.makespan_s
+
+    def test_overlapped_deterministic_run_to_run(self):
+        r1 = self.run_mode(4, True)
+        r2 = self.run_mode(4, True)
+        assert r1.state.to_json() == r2.state.to_json()
+        assert ops_fingerprint(r1) == ops_fingerprint(r2)
+
+    def test_chain_workload_no_worse_than_barrier(self):
+        source = scale_estate_sharded(300, providers=3, cross_link_every=10)
+
+        def run(overlap):
+            gateway, plan = make_plan(source, seed=9, synthetic=3)
+            return ShardedExecutor(
+                gateway, workers=3, overlap=overlap
+            ).apply(plan)
+
+        barrier, overlapped = run(False), run(True)
+        assert barrier.ok and overlapped.ok
+        assert overlapped.makespan_s <= barrier.makespan_s
+        assert (
+            overlapped.state.content_hash() == barrier.state.content_hash()
+        )
+
 
 # -- quarantine composition (PR 5) -------------------------------------------
 
