@@ -1,0 +1,172 @@
+"""P9 `chaos campaign` -- scenario-library convergence and recovery cost.
+
+Runs a chaos campaign (default: the full checked-in scenario library)
+through the twin-engine :class:`~repro.chaos.runner.CampaignRunner`
+and reports, per scenario, whether every trial converged to the
+uninterrupted baseline and what recovery cost: the chaos arm's API
+calls and simulated makespan over the baseline arm's. The numbers
+land in ``BENCH_chaos_campaign.json``.
+
+Three gates, all on by default:
+
+* **Pass rate**: every trial of every scenario must converge
+  (``--gate-pass-rate``, default 1.0). A single stranded id, shape
+  mismatch, or unretired journal fails the run.
+* **Coverage floor**: the campaign must span ``--min-scenarios``
+  (default 12) scenarios and ``--min-classes`` (default 6) defect
+  taxonomy classes -- the ISSUE's library floor, so a shrinking
+  library fails the bench before it fails review.
+* **Recovery overhead**: mean chaos/baseline API-call ratio must stay
+  under ``--gate-overhead`` (default 3.0). Retry storms that outgrow
+  the breakers show up here first.
+
+CI runs the single-trial tier::
+
+    python benchmarks/bench_p9_chaos.py --trials 1 \
+        --out /tmp/BENCH_chaos_campaign.json
+
+The checked-in ``BENCH_chaos_campaign.json`` is the 3-trial run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.chaos import CampaignRunner, CampaignSpec, library
+
+
+def load_campaign(path: Optional[str], trials: int) -> CampaignSpec:
+    specs = library()
+    if path is None:
+        scenarios = sorted(specs)
+    else:
+        with open(path) as handle:
+            data = json.load(handle)
+        scenarios = data["scenarios"]
+    return CampaignSpec.from_dict(
+        {"name": "bench-p9", "scenarios": scenarios, "trials": trials},
+        library=specs,
+    )
+
+
+def bench(args: argparse.Namespace) -> Dict[str, Any]:
+    campaign = load_campaign(args.campaign, args.trials)
+    wall0 = time.perf_counter()
+    report = CampaignRunner(campaign).run()
+    wall = time.perf_counter() - wall0
+
+    rows: List[Dict[str, Any]] = []
+    for result in report.results:
+        trials = result.trials
+        rows.append(
+            {
+                "scenario": result.name,
+                "passed": result.passed,
+                "trials": len(trials),
+                "defect_classes": result.defect_classes,
+                "api_calls_chaos": sum(t.api_calls_chaos for t in trials),
+                "api_calls_baseline": sum(
+                    t.api_calls_baseline for t in trials
+                ),
+                "api_overhead": round(
+                    sum(t.api_overhead for t in trials) / len(trials), 3
+                ),
+                "makespan_overhead": round(
+                    sum(t.makespan_overhead for t in trials) / len(trials),
+                    3,
+                ),
+            }
+        )
+        print(
+            f"  {result.name:<28} passed={result.passed} "
+            f"api_overhead={rows[-1]['api_overhead']:<6} "
+            f"makespan_overhead={rows[-1]['makespan_overhead']}",
+            file=sys.stderr,
+        )
+
+    coverage = report.coverage()
+    return {
+        "benchmark": "p9_chaos_campaign",
+        "campaign": args.campaign or "<full library>",
+        "trials": args.trials,
+        "scenarios": len(report.results),
+        "defect_classes_covered": len(coverage),
+        "coverage": coverage,
+        "pass_rate": round(report.pass_rate, 4),
+        "mean_api_overhead": round(report.mean_api_overhead, 4),
+        "violations": report.violations(),
+        "wall_s": round(wall, 2),
+        "results": rows,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign JSON file (default: the full scenario library)",
+    )
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--gate-pass-rate", type=float, default=1.0)
+    parser.add_argument("--min-scenarios", type=int, default=12)
+    parser.add_argument("--min-classes", type=int, default=6)
+    parser.add_argument(
+        "--gate-overhead",
+        type=float,
+        default=3.0,
+        help="max mean chaos/baseline API-call ratio",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "BENCH_chaos_campaign.json",
+        ),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    failures: List[str] = []
+    if report["pass_rate"] < args.gate_pass_rate:
+        failures.append(
+            f"pass rate {report['pass_rate']} < {args.gate_pass_rate}"
+        )
+        for violation in report["violations"]:
+            print(f"  violation: {violation}", file=sys.stderr)
+    if report["scenarios"] < args.min_scenarios:
+        failures.append(
+            f"{report['scenarios']} scenarios < floor {args.min_scenarios}"
+        )
+    if report["defect_classes_covered"] < args.min_classes:
+        failures.append(
+            f"{report['defect_classes_covered']} defect classes "
+            f"< floor {args.min_classes}"
+        )
+    if report["mean_api_overhead"] > args.gate_overhead:
+        failures.append(
+            f"mean API overhead {report['mean_api_overhead']} "
+            f"> gate {args.gate_overhead}"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

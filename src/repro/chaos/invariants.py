@@ -1,0 +1,134 @@
+"""Convergence invariants every chaos trial is checked against.
+
+A chaos arm that survived its injections must end in the *same estate*
+an uninterrupted run produces. "Same" is layered:
+
+1. **canonical equivalence** -- state JSON with run-dependent noise
+   removed (ids rewritten to owning addresses, cloud-assigned IPs
+   masked, timestamps/serial/lineage stripped) matches exactly;
+2. **estate shape** -- the clouds hold the same live records per id
+   prefix (no leaked duplicates, no missing resources);
+3. **no stranded ids** -- state ids <-> live record ids is a bijection
+   (zero orphans, zero dangling state entries);
+4. **content-hash agreement** (strict tier) -- identity-keyed id
+   minting makes same-seed schedules mint identical ids, so
+   :meth:`~repro.state.document.StateDocument.content_hash` of the two
+   arms agrees byte-for-byte. Scenarios whose injections legitimately
+   perturb generation counters opt out via ``strict_hash=False``.
+
+The assert-style helpers are what the chaos test sweeps call; the
+``*_violations`` variants return findings as strings so the campaign
+runner can report every broken invariant instead of stopping at the
+first.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+_IP = re.compile(r"\b10\.\d+\.\d+\.\d+\b")
+
+
+def canonical_state(engine) -> dict:
+    """State JSON with run-dependent noise removed.
+
+    Rewrites every occurrence of a live resource id (including inside
+    computed attrs such as endpoints and DNS names) to the owning
+    address, masks cloud-assigned random IPs (real clouds hand out
+    whatever address DHCP has free), and drops serials, lineage, and
+    timestamps.
+    """
+    id_map = {
+        entry.resource_id: f"<{entry.address}>"
+        for entry in engine.state.resources()
+        if entry.resource_id
+    }
+    # longest-first so e.g. "db-00000010" never partially matches
+    ordered = sorted(id_map, key=len, reverse=True)
+
+    def rewrite(value):
+        if isinstance(value, str):
+            for rid in ordered:
+                if rid in value:
+                    value = value.replace(rid, id_map[rid])
+            return _IP.sub("<ip>", value)
+        if isinstance(value, list):
+            return [rewrite(v) for v in value]
+        if isinstance(value, dict):
+            return {k: rewrite(v) for k, v in value.items()}
+        return value
+
+    doc = json.loads(engine.state.to_json())
+    doc.pop("serial", None)
+    doc.pop("lineage", None)
+    live_addresses = {entry["address"] for entry in doc.get("resources", [])}
+    for entry in doc.get("resources", []):
+        entry.pop("created_at", None)
+        entry.pop("updated_at", None)
+        # a plain apply leaves dependency edges pointing at addresses a
+        # downscale deleted; resume's dependency refresh prunes them.
+        # Dangling edges carry no information either way -- drop both.
+        entry["dependencies"] = [
+            d for d in entry.get("dependencies", []) if d in live_addresses
+        ]
+    return rewrite(doc)
+
+
+def live_prefix_counts(engine) -> Dict[str, int]:
+    """How many live records exist per id prefix (type family)."""
+    counts: Dict[str, int] = {}
+    for record in engine.gateway.all_records():
+        prefix = record.id.rsplit("-", 1)[0]
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return counts
+
+
+def stranded_ids(engine) -> List[str]:
+    """Violations of the state <-> live bijection, as messages."""
+    state_ids = {
+        e.resource_id for e in engine.state.resources() if e.resource_id
+    }
+    live_ids = {r.id for r in engine.gateway.all_records()}
+    out = []
+    for rid in sorted(state_ids - live_ids):
+        out.append(f"state points at dead id {rid}")
+    for rid in sorted(live_ids - state_ids):
+        out.append(f"live record {rid} is tracked by no state entry")
+    return out
+
+
+def convergence_violations(
+    chaos, baseline, strict_hash: bool = True
+) -> List[str]:
+    """Every convergence invariant the chaos arm breaks vs baseline."""
+    out: List[str] = []
+    if canonical_state(chaos) != canonical_state(baseline):
+        out.append("canonical state differs from the uninterrupted run")
+    chaos_counts = live_prefix_counts(chaos)
+    base_counts = live_prefix_counts(baseline)
+    if chaos_counts != base_counts:
+        delta = {
+            prefix: (chaos_counts.get(prefix, 0), base_counts.get(prefix, 0))
+            for prefix in set(chaos_counts) | set(base_counts)
+            if chaos_counts.get(prefix, 0) != base_counts.get(prefix, 0)
+        }
+        out.append(f"live estate shape differs (chaos, baseline): {delta}")
+    out.extend(stranded_ids(chaos))
+    if strict_hash and chaos.state.content_hash() != baseline.state.content_hash():
+        out.append("state content hash disagrees with the uninterrupted run")
+    return out
+
+
+def assert_converged_like(resumed, baseline) -> None:
+    """The historical three-part assertion used by the chaos sweeps."""
+    # 1. canonical state equality: everything addressable matches once
+    #    ids are rewritten to addresses
+    assert canonical_state(resumed) == canonical_state(baseline)
+    # 2. the clouds hold the same estate shape: no leaked duplicates,
+    #    no missing resources
+    assert live_prefix_counts(resumed) == live_prefix_counts(baseline)
+    # 3. state ids <-> live record ids is a bijection (zero orphans,
+    #    zero dangling state entries)
+    assert stranded_ids(resumed) == []

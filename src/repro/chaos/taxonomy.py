@@ -1,0 +1,82 @@
+"""The defect taxonomy chaos scenarios are scored against.
+
+Extends the IaC defect taxonomy of arxiv 2505.01568 (which
+:func:`repro.drift.watcher.classify_defect` already applies to drift
+findings) with the management-plane failure classes the paper's 3.3/3.5
+worry about: outages, throttling, quota exhaustion, crash consistency,
+and the cross-plane skews (API version, clock) that make "the cloud"
+plural. Every scenario in :mod:`repro.chaos.library` declares which
+classes it exercises; :class:`~repro.chaos.runner.CampaignReport`
+aggregates them into a coverage report so a campaign can answer "which
+defect classes does this estate's chaos suite actually test?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+#: defect class -> what it means. The first five are the drift
+#: taxonomy's classes, verbatim, so watcher ``defect_counts()`` and
+#: campaign coverage speak one vocabulary.
+DEFECT_CLASSES: Dict[str, str] = {
+    # -- drift taxonomy (arxiv 2505.01568, as used by drift/watcher.py) --
+    "availability/missing-resource": (
+        "a managed resource was deleted out of band"
+    ),
+    "provisioning/unmanaged-resource": (
+        "a resource exists that no IaC program manages"
+    ),
+    "security/misconfiguration": (
+        "a security-relevant attribute drifted (policy, cidr, keys, ...)"
+    ),
+    "capacity/misconfiguration": (
+        "a sizing attribute drifted (size, count, sku, tier)"
+    ),
+    "configuration/attribute-drift": (
+        "a plain attribute drifted from its declared value"
+    ),
+    # -- management-plane failure classes -------------------------------
+    "availability/service-outage": (
+        "a region or provider control plane is hard-down; every call "
+        "into it fails until the window closes"
+    ),
+    "availability/partial-outage": (
+        "an asymmetric partition: one operation class fails (e.g. "
+        "writes) while the rest of the plane still answers"
+    ),
+    "performance/degraded-service": (
+        "a brownout: calls succeed but latency is multiplied"
+    ),
+    "performance/rate-limit": (
+        "throttling pressure: API pushback or a noisy neighbor burning "
+        "the shared token bucket"
+    ),
+    "capacity/quota-exhaustion": (
+        "a provider quota is exhausted; creates fail terminally until "
+        "capacity is released"
+    ),
+    "reliability/transient-error": (
+        "point failures that succeed on retry (5xx storms, hangs)"
+    ),
+    "reliability/crash-consistency": (
+        "the client process dies mid-apply; recovery must converge "
+        "from the intent journal plus the live cloud"
+    ),
+    "idempotency/duplicate-request": (
+        "a retried or resumed create must not provision a duplicate "
+        "(ClientToken semantics)"
+    ),
+    "interface/version-skew": (
+        "a provider API version mismatch rejects calls until the "
+        "plane (or client) rolls forward"
+    ),
+    "timing/clock-skew": (
+        "a plane's clock runs ahead of the coordinator; timestamps "
+        "and staleness accounting must survive"
+    ),
+}
+
+
+def validate_classes(classes: Iterable[str]) -> List[str]:
+    """Return the unknown entries (empty list == all valid)."""
+    return sorted(set(classes) - set(DEFECT_CLASSES))

@@ -469,6 +469,122 @@ def cmd_state_rm(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run (or list) chaos campaigns. Standalone: campaigns build their
+    own simulated worlds, so no ``cloudless.world`` file is involved.
+
+    Exit codes: 0 -- every trial converged and coverage holds; 1 -- an
+    invariant was violated, a trial failed, or coverage regressed below
+    the baseline.
+    """
+    from .chaos import CampaignRunner, CampaignSpec, SpecValidationError
+    from .chaos.library import library as chaos_library
+
+    specs = chaos_library()
+    if args.list:
+        print(f"{len(specs)} scenario(s) in the library:")
+        coverage: Dict[str, List[str]] = {}
+        for name, spec in sorted(specs.items()):
+            classes = spec.defect_classes()
+            print(f"  {name:32s} {spec.description}")
+            print(f"  {'':32s} covers: {', '.join(classes)}")
+            for cls in classes:
+                coverage.setdefault(cls, []).append(name)
+        print(f"\ndefect-taxonomy coverage ({len(coverage)} classes):")
+        for cls, names in sorted(coverage.items()):
+            print(f"  {cls:36s} {len(names)} scenario(s)")
+        return 0
+
+    if args.campaign:
+        try:
+            with open(os.path.join(args.chdir, args.campaign)) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CliError(f"cannot read campaign file: {exc}")
+        try:
+            campaign = CampaignSpec.from_dict(data, library=specs)
+        except SpecValidationError as exc:
+            raise CliError(f"invalid campaign: {exc}")
+    elif args.scenario:
+        try:
+            chosen = []
+            for name in args.scenario:
+                if name not in specs:
+                    raise CliError(
+                        f"unknown scenario {name!r} (see `chaos --list`)"
+                    )
+                chosen.append(specs[name])
+            campaign = CampaignSpec(name="adhoc", scenarios=chosen)
+        except SpecValidationError as exc:
+            raise CliError(f"invalid campaign: {exc}")
+    else:
+        raise CliError(
+            "nothing to do: pass --campaign <file>, --scenario <name>, "
+            "or --list"
+        )
+    if args.trials is not None:
+        campaign = CampaignSpec(
+            name=campaign.name,
+            description=campaign.description,
+            scenarios=campaign.scenarios,
+            trials=args.trials,
+        )
+
+    report = CampaignRunner(campaign).run()
+    trials = sum(len(s.trials) for s in report.results)
+    coverage = report.coverage()
+    print(
+        f"campaign {report.campaign}: {len(report.results)} scenario(s), "
+        f"{trials} trial(s), pass rate {report.pass_rate:.0%}, "
+        f"{len(coverage)} defect class(es) covered"
+    )
+    for result in report.results:
+        ok = all(t.passed for t in result.trials)
+        print(f"  [{'ok' if ok else 'FAIL'}] {result.name}")
+        for trial in result.trials:
+            for violation in trial.violations:
+                print(f"        trial {trial.trial}: {violation}")
+
+    if args.report:
+        out = os.path.join(args.chdir, args.report)
+        with open(out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {out}")
+
+    failed = not report.passed
+    if args.baseline:
+        try:
+            with open(os.path.join(args.chdir, args.baseline)) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CliError(f"cannot read coverage baseline: {exc}")
+        missing_classes = sorted(
+            set(baseline.get("classes", [])) - set(coverage)
+        )
+        ran = {r.name for r in report.results}
+        missing_scenarios = sorted(
+            set(baseline.get("scenarios", [])) - ran
+        )
+        for cls in missing_classes:
+            print(f"coverage REGRESSION: defect class {cls} no longer covered")
+        for name in missing_scenarios:
+            print(f"coverage REGRESSION: scenario {name} no longer ran")
+        if missing_classes or missing_scenarios:
+            failed = True
+        else:
+            print(
+                f"coverage holds: >={len(baseline.get('classes', []))} "
+                f"classes, >={len(baseline.get('scenarios', []))} scenarios"
+            )
+
+    if failed:
+        print("chaos campaign FAILED")
+        return 1
+    print("chaos campaign PASSED")
+    return 0
+
+
 # -- wiring -------------------------------------------------------------------------
 
 
@@ -598,6 +714,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rm.add_argument("address")
     rm.set_defaults(fn=cmd_state_rm)
+
+    p = sub.add_parser(
+        "chaos", help="run chaos campaigns against simulated estates"
+    )
+    p.add_argument(
+        "--campaign",
+        default=None,
+        help="campaign file (JSON; scenario entries may name library "
+        "scenarios)",
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help="run a library scenario ad hoc (repeatable)",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="override the trial count for every scenario",
+    )
+    p.add_argument(
+        "--report",
+        default=None,
+        help="write the structured campaign report (JSON) here",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="coverage baseline file (JSON with 'classes'/'scenarios'); "
+        "regressions fail the run",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="print the scenario catalog and its taxonomy coverage",
+    )
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

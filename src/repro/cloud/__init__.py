@@ -16,8 +16,14 @@ from .base import (
     PendingOperation,
     ResourceRecord,
 )
-from .clock import EventQueue, SimClock
-from .faults import FaultInjector, FaultSpec, InjectedFault, OutageSpec
+from .clock import EventQueue, SimClock, SkewedClock
+from .faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    OutageSpec,
+    SpecValidationError,
+)
 from .gateway import CloudGateway
 from .latency import DEFAULT_PROFILE, LatencyModel, LatencyProfile
 from .ratelimit import RateLimiterBank, RateLimitStats, TokenBucket
@@ -82,6 +88,8 @@ __all__ = [
     "RetryPolicy",
     "RetryStats",
     "SimClock",
+    "SkewedClock",
+    "SpecValidationError",
     "SyntheticControlPlane",
     "synthetic_catalog",
     "TERMINAL",

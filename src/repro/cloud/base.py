@@ -436,7 +436,7 @@ class ControlPlane:
         # sustained outages dominate point faults: a dark partition
         # rejects *every* operation class fast, and brownouts stretch
         # whatever latency the operation would otherwise have had
-        outage = self.faults.outage_at(now, rtype, op_region)
+        outage = self.faults.outage_at(now, rtype, op_region, op_class)
         if outage is not None:
             t_complete = t_start + outage.error_latency_s
             outage_error = CloudAPIError(
@@ -461,7 +461,7 @@ class ControlPlane:
             # scheduled fault rules may target any operation class (a list
             # page mid-scan, a log read); the blanket transient_rate still
             # only hits mutating calls (see FaultInjector.check)
-            fault = self.faults.check(rtype, operation)
+            fault = self.faults.check(rtype, operation, now=now)
             if fault is not None:
                 t_complete = (
                     t_start
@@ -766,7 +766,7 @@ class ControlPlane:
                     for r in self.records.values()
                     if (not rtype or r.type == rtype)
                     and (not region or r.region == region)
-                    and not self.faults.is_dark(now, r.type, r.region)
+                    and not self.faults.is_dark(now, r.type, r.region, "read")
                 ),
                 key=lambda r: r.id,
             )

@@ -39,6 +39,51 @@ class SimClock:
         return f"SimClock(t={self._now:.3f})"
 
 
+class SkewedClock(SimClock):
+    """A per-plane view of a shared base clock, offset by constant skew.
+
+    Real estates never have one clock: each provider's management plane
+    stamps its activity log and completion times with *its own* notion
+    of now. ``SkewedClock`` models that -- reads return
+    ``base.now + offset_s``, and advances push the shared base forward
+    so the fleet still shares one arrow of time. A plane re-clocked
+    with a positive skew runs *ahead* of the coordinator: its events
+    carry future timestamps, exactly the trap drift watchers and
+    staleness accounting must survive.
+
+    Only non-negative skew is supported: a plane running behind the
+    coordinator would complete operations in the scheduler's past,
+    which the discrete-event loop (correctly) rejects. Skew between
+    two planes is expressed by running one of them ahead.
+    """
+
+    def __init__(self, base: SimClock, offset_s: float):
+        if offset_s < 0:
+            raise ValueError(
+                f"skew offset must be >= 0 (planes run ahead of the "
+                f"coordinator, never behind), got {offset_s}"
+            )
+        self.base = base
+        self.offset_s = float(offset_s)
+
+    @property
+    def now(self) -> float:
+        return self.base.now + self.offset_s
+
+    def advance_to(self, t: float) -> None:
+        if t < self.now - 1e-9:
+            raise ValueError(f"cannot move clock backwards ({t} < {self.now})")
+        self.base.advance_to(t - self.offset_s)
+
+    def advance_by(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self.base.advance_by(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkewedClock(t={self.now:.3f}, offset={self.offset_s:+.1f})"
+
+
 def _payload_kind(payload: Any) -> str:
     """Human-readable event kind for error messages.
 

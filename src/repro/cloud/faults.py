@@ -19,9 +19,54 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 OUTAGE_MODES = ("hard", "brownout")
+OP_CLASSES = ("", "read", "write")
+
+
+class SpecValidationError(ValueError):
+    """A declarative fault/outage payload failed validation.
+
+    The message always names the offending field so campaign files can
+    be debugged without reading this module.
+    """
+
+
+def _check_fields(
+    kind: str, data: Mapping[str, Any], fields: Dict[str, tuple]
+) -> Dict[str, Any]:
+    """Validate a ``from_dict`` payload against ``fields``.
+
+    ``fields`` maps each public field name to the types it accepts;
+    unknown keys, private keys, and wrongly-typed values all raise
+    :class:`SpecValidationError` naming the field.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecValidationError(
+            f"{kind} payload must be a mapping, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise SpecValidationError(
+            f"{kind}: unknown field(s) {', '.join(repr(u) for u in unknown)}"
+        )
+    out: Dict[str, Any] = {}
+    for name, value in data.items():
+        expected = fields[name]
+        # bool is an int subclass; reject True where a number is wanted
+        if isinstance(value, bool) and bool not in expected:
+            raise SpecValidationError(
+                f"{kind}.{name} must be "
+                f"{' or '.join(t.__name__ for t in expected)}, got {value!r}"
+            )
+        if value is not None and not isinstance(value, expected):
+            raise SpecValidationError(
+                f"{kind}.{name} must be "
+                f"{' or '.join(t.__name__ for t in expected)}, got {value!r}"
+            )
+        out[name] = value
+    return out
 
 
 @dataclasses.dataclass
@@ -39,6 +84,14 @@ class FaultSpec:
     #: let this many matching operations through before arming -- e.g.
     #: fail the *third* page of a paginated scan, not the first
     skip_first: int = 0
+    #: optional activity window on the simulated clock: the rule only
+    #: fires while ``start_s <= now < end_s``. ``None`` bounds are open
+    #: -- the historical always-armed behaviour. This is what lets a
+    #: campaign express *time-scoped* point faults (an API version skew
+    #: that heals when the provider rolls forward, a throttling storm
+    #: with a known end) without bespoke harness code.
+    start_s: Optional[float] = None
+    end_s: Optional[float] = None
     _strikes: int = 0
     _seen: int = 0
 
@@ -56,11 +109,31 @@ class FaultSpec:
                 "max_strikes must be -1 (unlimited) or >= 0, "
                 f"got {self.max_strikes}"
             )
+        if (
+            self.start_s is not None
+            and self.end_s is not None
+            and self.end_s <= self.start_s
+        ):
+            raise ValueError(
+                f"fault window must be non-empty: "
+                f"[{self.start_s}, {self.end_s})"
+            )
 
     @property
     def exhausted(self) -> bool:
         """Has the rule fired its full strike budget?"""
         return self.max_strikes >= 0 and self._strikes >= self.max_strikes
+
+    def active_at(self, now: Optional[float]) -> bool:
+        """Is the rule's window open? ``now=None`` (callers that do not
+        track time) keeps the historical always-armed behaviour."""
+        if now is None:
+            return True
+        if self.start_s is not None and now < self.start_s:
+            return False
+        if self.end_s is not None and now >= self.end_s:
+            return False
+        return True
 
     def matches(self, rtype: str, operation: str) -> bool:
         """Does the rule's filter cover this operation? Pure -- all
@@ -77,6 +150,42 @@ class FaultSpec:
 
     def strike(self) -> None:
         self._strikes += 1
+
+    # -- declarative form ----------------------------------------------------
+
+    _FIELDS = {
+        "error_code": (str,),
+        "message": (str,),
+        "match_type": (str,),
+        "match_operation": (str,),
+        "probability": (int, float),
+        "transient": (bool,),
+        "max_strikes": (int,),
+        "extra_delay_s": (int, float),
+        "skip_first": (int,),
+        "start_s": (int, float),
+        "end_s": (int, float),
+    }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Public fields only -- strike/skip accounting never serializes."""
+        out: Dict[str, Any] = {}
+        for name in self._FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        kwargs = _check_fields("FaultSpec", data, cls._FIELDS)
+        if "error_code" not in kwargs:
+            raise SpecValidationError("FaultSpec.error_code is required")
+        kwargs.setdefault("message", f"{kwargs['error_code']} (injected)")
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise SpecValidationError(f"FaultSpec: {exc}")
 
 
 @dataclasses.dataclass
@@ -108,6 +217,11 @@ class OutageSpec:
     #: how long a call into a dark partition takes to come back with the
     #: error -- real outages fail fast, not after provisioning latency
     error_latency_s: float = 2.0
+    #: restrict the outage to one operation class: ``"write"`` models
+    #: the classic *asymmetric partition* (mutations fail, reads and
+    #: log tails keep working -- the control plane is read-only), and
+    #: ``"read"`` the inverse. ``""`` (default) hits every class.
+    op_class: str = ""
 
     def __post_init__(self) -> None:
         if self.end_s <= self.start_s:
@@ -119,6 +233,8 @@ class OutageSpec:
             raise ValueError(f"mode must be one of {OUTAGE_MODES}")
         if self.latency_multiplier < 1.0:
             raise ValueError("latency_multiplier must be >= 1.0")
+        if self.op_class not in OP_CLASSES:
+            raise ValueError(f"op_class must be one of {OP_CLASSES}")
         if not self.message:
             scope = self.region or "the service"
             self.message = (
@@ -129,17 +245,50 @@ class OutageSpec:
     def active_at(self, now: float) -> bool:
         return self.start_s <= now < self.end_s
 
-    def covers(self, rtype: str, region: str) -> bool:
+    def covers(self, rtype: str, region: str, op_class: str = "") -> bool:
         """Does this outage hit an operation on (rtype, region)?
 
         A region-scoped outage never covers a region-less operation
         (region ``""``) -- those only go down with the whole provider.
+        An op-class-scoped outage only covers that class; callers that
+        do not know their class (``op_class=""``) are covered by any.
         """
         if self.region and self.region != region:
             return False
         if self.match_type and self.match_type != rtype:
             return False
+        if self.op_class and op_class and self.op_class != op_class:
+            return False
         return True
+
+    # -- declarative form ----------------------------------------------------
+
+    _FIELDS = {
+        "start_s": (int, float),
+        "end_s": (int, float),
+        "region": (str,),
+        "match_type": (str,),
+        "mode": (str,),
+        "latency_multiplier": (int, float),
+        "error_code": (str,),
+        "message": (str,),
+        "error_latency_s": (int, float),
+        "op_class": (str,),
+    }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OutageSpec":
+        kwargs = _check_fields("OutageSpec", data, cls._FIELDS)
+        for required in ("start_s", "end_s"):
+            if required not in kwargs:
+                raise SpecValidationError(f"OutageSpec.{required} is required")
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            raise SpecValidationError(f"OutageSpec: {exc}")
 
 
 @dataclasses.dataclass
@@ -180,7 +329,7 @@ class FaultInjector:
     # -- outage queries ------------------------------------------------------
 
     def outage_at(
-        self, now: float, rtype: str, region: str
+        self, now: float, rtype: str, region: str, op_class: str = ""
     ) -> Optional[OutageSpec]:
         """The active *hard* outage covering this operation, if any.
 
@@ -191,7 +340,7 @@ class FaultInjector:
             if (
                 spec.mode == "hard"
                 and spec.active_at(now)
-                and spec.covers(rtype, region)
+                and spec.covers(rtype, region, op_class)
             ):
                 self.outage_hits += 1
                 self.fired += 1
@@ -210,13 +359,15 @@ class FaultInjector:
                 scale *= spec.latency_multiplier
         return scale
 
-    def is_dark(self, now: float, rtype: str, region: str) -> bool:
+    def is_dark(
+        self, now: float, rtype: str, region: str, op_class: str = ""
+    ) -> bool:
         """Pure query (no hit accounting): is (rtype, region) in an
         active hard outage right now?"""
         return any(
             spec.mode == "hard"
             and spec.active_at(now)
-            and spec.covers(rtype, region)
+            and spec.covers(rtype, region, op_class)
             for spec in self.outages
         )
 
@@ -225,13 +376,15 @@ class FaultInjector:
         ``region`` ends, or None if the region is reachable.
 
         This is the provider's status page: type-scoped outages are a
-        service degradation, not a dark region, so they do not count.
+        service degradation, not a dark region, and an op-class-scoped
+        (asymmetric) partition still answers reads, so neither counts.
         """
         horizon: Optional[float] = None
         for spec in self.outages:
             if (
                 spec.mode == "hard"
                 and not spec.match_type
+                and not spec.op_class
                 and spec.active_at(now)
                 and spec.region in ("", region)
             ):
@@ -242,12 +395,17 @@ class FaultInjector:
         """Status page: dark scope -> when it is expected back.
 
         Keys are region names; a provider-wide outage appears under
-        ``"*"``. Only untyped hard outages count (see
+        ``"*"``. Only untyped, class-blind hard outages count (see
         :meth:`outage_horizon`).
         """
         out: Dict[str, float] = {}
         for spec in self.outages:
-            if spec.mode != "hard" or spec.match_type or not spec.active_at(now):
+            if (
+                spec.mode != "hard"
+                or spec.match_type
+                or spec.op_class
+                or not spec.active_at(now)
+            ):
                 continue
             key = spec.region or "*"
             out[key] = max(out.get(key, spec.end_s), spec.end_s)
@@ -255,7 +413,9 @@ class FaultInjector:
 
     # -- the per-operation dice roll -----------------------------------------
 
-    def check(self, rtype: str, operation: str) -> Optional[InjectedFault]:
+    def check(
+        self, rtype: str, operation: str, now: Optional[float] = None
+    ) -> Optional[InjectedFault]:
         """Decide whether this operation fails, and how.
 
         Accounting invariants (regression-tested):
@@ -263,9 +423,14 @@ class FaultInjector:
         * the skip window consumes exactly one slot per *matching*
           operation, before the dice are rolled;
         * a strike is consumed only when the rule actually fires -- a
-          probability-gated rule that loses the roll stays armed.
+          probability-gated rule that loses the roll stays armed;
+        * a rule outside its time window neither fires nor consumes
+          skip slots (the window opens later; the skip budget must
+          still be intact when it does).
         """
         for rule in self.rules:
+            if not rule.active_at(now):
+                continue
             if not rule.matches(rtype, operation):
                 continue
             if rule._seen < rule.skip_first:

@@ -19,6 +19,9 @@ class RateLimitStats:
     calls: int = 0
     throttled_calls: int = 0
     total_wait_s: float = 0.0
+    #: simulated seconds of refill a noisy neighbor reserved away from
+    #: this tenant (see :meth:`TokenBucket.preempt`)
+    contended_s: float = 0.0
 
 
 class TokenBucket:
@@ -74,6 +77,23 @@ class TokenBucket:
             self.stats.total_wait_s += start - now
         return start
 
+    def preempt(self, now: float, busy_s: float) -> float:
+        """A noisy neighbor burns the bucket: drain every token and
+        reserve the refill stream for ``busy_s`` further seconds.
+
+        Models a co-tenant hammering the same provider API quota --
+        the next ``consume`` cannot start before the returned time.
+        The neighbor's own calls are not this tenant's calls, so only
+        ``contended_s`` is accounted, never ``calls``.
+        """
+        if busy_s < 0:
+            raise ValueError("busy_s must be >= 0")
+        self._refill(now)
+        self._tokens = 0.0
+        self._updated_at = max(self._updated_at, now) + busy_s
+        self.stats.contended_s += busy_s
+        return self._updated_at
+
 
 class RateLimiterBank:
     """Per-operation-class buckets for one provider.
@@ -98,6 +118,10 @@ class RateLimiterBank:
 
     def available_at(self, op_class: str, now: float) -> float:
         return self.bucket_for(op_class).available_at(now)
+
+    def preempt(self, op_class: str, now: float, busy_s: float) -> float:
+        """Noisy-neighbor contention on one operation class's bucket."""
+        return self.bucket_for(op_class).preempt(now, busy_s)
 
     @property
     def stats(self) -> Dict[str, RateLimitStats]:

@@ -298,7 +298,11 @@ class Reconciler:
                 if attr in spec.immutable_attrs or aspec.forces_replacement:
                     immutable.append(attr)
                     continue
-            if golden is not None:
+                # golden None means the attr was never set: enforce
+                # resets it (an out-of-band `ingress_rules` opened on a
+                # firewall must close again, not survive as un-enforceable)
+                updatable[attr] = golden
+            elif golden is not None:
                 updatable[attr] = golden
         return updatable, immutable
 

@@ -1,14 +1,18 @@
 """Chaos sweep: every lifecycle verb under injected faults.
 
-Drives apply -> drift detect/reconcile -> concurrent update ->
-rollback with a blanket transient fault rate on every control plane,
-across seeded RNGs. The invariant is *zero silent corruption*: at
-every stage each state entry either points at a live cloud record or
-carries an explicit checkpoint marker (empty resource id) that a
-re-run resumes; by the end the estate has converged.
+The blanket-transient-rate lifecycle sweep (apply -> churn -> drift
+reconcile -> update -> rollback) runs as the ``transient-storm`` /
+``transient-monsoon`` library scenarios through the campaign runner:
+each trial is a twin-engine run whose chaos arm must converge to the
+baseline's canonical estate with zero silent corruption.
 
-Seeds come from ``CHAOS_SEEDS`` (comma-separated, default ``0,1,2,3,4``)
-so CI can run a single-seed smoke tier:
+Two facets the campaign runner does not model stay as direct tests:
+the :class:`UpdateCoordinator` (concurrent team updates under faults,
+with retry-counter evidence) and the resilient importer under flaky
+paginated list calls.
+
+The historical ``CHAOS_SEEDS`` list now sizes the trial matrix (seeds
+derive from the campaign), so CI can run a single-trial smoke tier:
 
     CHAOS_SEEDS=0 python -m pytest tests/chaos -q
 
@@ -16,29 +20,17 @@ The whole sweep is deterministic: fault dice are per-plane seeded RNGs
 and retry jitter is hash-keyed, so failures replay bit-for-bit.
 """
 
-import os
-
 import pytest
 
 from repro import perf
+from repro.chaos import CampaignRunner, CampaignSpec, scenario, trial_count
 from repro.cloud import FaultSpec, RetryPolicy
 from repro.core import CloudlessEngine
-from repro.drift import FullScanDetector
 from repro.state import ResourceLockManager
-from repro.update import (
-    ReversibilityAwareRollback,
-    UpdateCoordinator,
-    UpdateRequest,
-    measure_divergence,
-)
+from repro.update import UpdateCoordinator, UpdateRequest
 from repro.workloads import web_tier
 
-RATES = [0.05, 0.15]
-SEEDS = [
-    int(s)
-    for s in os.environ.get("CHAOS_SEEDS", "0,1,2,3,4").split(",")
-    if s.strip()
-]
+TRIALS = trial_count("CHAOS_SEEDS", 5)
 
 #: deploy executors get a patient schedule so a 0.15 fault rate cannot
 #: realistically exhaust an apply (p_fail ~ 0.15^6 per resource)
@@ -52,18 +44,6 @@ def chaotic_engine(seed, rate):
     return engine
 
 
-def assert_no_silent_corruption(engine):
-    """Every state entry points at a live record or is an explicit
-    checkpoint (empty id == rebuild in progress, resumable)."""
-    for entry in engine.state.resources():
-        if entry.resource_id == "":
-            continue
-        assert engine.gateway.find_record(entry.resource_id) is not None, (
-            f"state entry {entry.address} silently points at dead id "
-            f"{entry.resource_id}"
-        )
-
-
 def apply_until_ok(engine, source, attempts=4):
     """Apply, resuming on a partially-failed pass (plan is incremental)."""
     for _ in range(attempts):
@@ -73,108 +53,97 @@ def apply_until_ok(engine, source, attempts=4):
     raise AssertionError(f"apply did not converge in {attempts} passes")
 
 
-def reconcile_until_clean(engine, rounds=6):
-    """Detect + reconcile until a scan comes back clean; interrupted
-    repairs surface as fresh findings and resume next round."""
-    for _ in range(rounds):
-        run = FullScanDetector(engine.resilient).scan(engine.state)
-        findings = [f for f in run.findings if f.kind != "unmanaged"]
-        if not findings:
-            return
-        engine.reconcile(findings)
-        assert_no_silent_corruption(engine)
-    raise AssertionError(f"drift did not reconcile in {rounds} rounds")
+@pytest.mark.parametrize(
+    "name", ["transient-storm", "transient-monsoon"]
+)
+def test_lifecycle_converges_under_chaos(name, tmp_path):
+    """The full lifecycle under a blanket transient rate: every trial's
+    chaos arm converges to the baseline estate (canonical equality,
+    estate shape, id bijection, content hash, retired journal)."""
+    campaign = CampaignSpec(
+        name="lifecycle-sweep",
+        scenarios=[scenario(name)],
+        trials=TRIALS,
+    )
+    report = CampaignRunner(campaign, workdir=str(tmp_path)).run()
+    assert report.passed, report.violations()
+    for result in report.results:
+        for trial in result.trials:
+            # the rollback phase really converged back to the snapshot
+            rollback = trial.phases[-1]
+            assert rollback.op == "rollback"
+            assert rollback.ok
 
 
-@pytest.mark.parametrize("rate", RATES)
-@pytest.mark.parametrize("seed", SEEDS)
-def test_lifecycle_converges_under_chaos(rate, seed):
+def test_monsoon_actually_retries(tmp_path):
+    """At a 0.15 fault rate the resilience layer must be doing real
+    work -- the perf counters prove faults were hit and retried."""
     perf.PERF.enable()
     perf.PERF.reset()
     try:
-        engine = chaotic_engine(seed, rate)
-
-        # -- apply ---------------------------------------------------------
-        apply_until_ok(engine, web_tier(web_vms=4, app_vms=3))
-        assert_no_silent_corruption(engine)
-
-        # -- drift + reconcile --------------------------------------------
-        vms = [
-            e
-            for e in engine.state.resources()
-            if e.address.type == "aws_virtual_machine"
-        ]
-        engine.gateway.planes["aws"].external_update(
-            vms[0].resource_id, {"image": "win-2022"}  # forces replacement
+        campaign = CampaignSpec(
+            name="lifecycle-sweep-evidence",
+            scenarios=[scenario("transient-monsoon")],
+            trials=1,
         )
-        engine.gateway.planes["aws"].external_delete(vms[1].resource_id)
-        reconcile_until_clean(engine)
-
-        snap = engine.history.checkpoint(
-            engine.state,
-            engine.last_sources,
-            timestamp=engine.clock.now,
-            description="post-reconcile",
-        )
-
-        # -- concurrent update (cloud ops behind the resilient gateway) ---
-        targets = [
-            e
-            for e in engine.state.resources()
-            if e.address.type == "aws_virtual_machine"
-        ][:2]
-
-        def resize(entry):
-            def ops(gw):
-                gw.execute(
-                    "update",
-                    entry.address.type,
-                    resource_id=entry.resource_id,
-                    attrs={"size": "xlarge"},
-                )
-
-            return ops
-
-        coordinator = UpdateCoordinator(
-            engine.state,
-            ResourceLockManager(),
-            gateway=engine.resilient,
-        )
-        outcome = coordinator.run(
-            [
-                UpdateRequest(
-                    team=f"team-{i}",
-                    submitted_at=engine.clock.now,
-                    keys={str(t.address)},
-                    duration_s=120.0,
-                    cloud_ops=resize(t),
-                )
-                for i, t in enumerate(targets)
-            ]
-        )
-        assert outcome.serializable
-        assert outcome.errors == []
-        assert_no_silent_corruption(engine)
-
-        # -- rollback (resume on remainder until converged) ----------------
-        planner = ReversibilityAwareRollback(engine.resilient)
-        for _ in range(5):
-            plan = planner.plan(snap, engine.state)
-            planner.execute(plan, engine.state)
-            assert_no_silent_corruption(engine)
-            if measure_divergence(engine.gateway, snap, engine.state) == 0:
-                break
-        assert measure_divergence(engine.gateway, snap, engine.state) == 0
-
-        if rate >= 0.15:
-            counters = perf.snapshot()["counters"]
-            assert counters.get("resilience.retries", 0) > 0
+        report = CampaignRunner(campaign, workdir=str(tmp_path)).run()
+        assert report.passed, report.violations()
+        counters = perf.snapshot()["counters"]
+        assert counters.get("resilience.retries", 0) > 0
     finally:
         perf.PERF.reset()
         perf.PERF.disable()
 
 
-@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_updates_under_chaos():
+    """Two teams resize disjoint VMs through the resilient gateway
+    while every control plane throws transient faults."""
+    engine = chaotic_engine(seed=1, rate=0.15)
+    apply_until_ok(engine, web_tier(web_vms=4, app_vms=3))
+
+    targets = [
+        e
+        for e in engine.state.resources()
+        if e.address.type == "aws_virtual_machine"
+    ][:2]
+
+    def resize(entry):
+        def ops(gw):
+            gw.execute(
+                "update",
+                entry.address.type,
+                resource_id=entry.resource_id,
+                attrs={"size": "xlarge"},
+            )
+
+        return ops
+
+    coordinator = UpdateCoordinator(
+        engine.state,
+        ResourceLockManager(),
+        gateway=engine.resilient,
+    )
+    outcome = coordinator.run(
+        [
+            UpdateRequest(
+                team=f"team-{i}",
+                submitted_at=engine.clock.now,
+                keys={str(t.address)},
+                duration_s=120.0,
+                cloud_ops=resize(t),
+            )
+            for i, t in enumerate(targets)
+        ]
+    )
+    assert outcome.serializable
+    assert outcome.errors == []
+    for entry in engine.state.resources():
+        if entry.resource_id == "":
+            continue
+        assert engine.gateway.find_record(entry.resource_id) is not None
+
+
+@pytest.mark.parametrize("seed", range(min(TRIALS, 3)))
 def test_import_via_api_under_list_faults(seed):
     """The resilient importer sees the whole estate despite flaky
     paginated list calls."""

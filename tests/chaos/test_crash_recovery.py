@@ -8,125 +8,47 @@ in-flight operations are stranded at the control planes, and only two
 artifacts survive: the write-ahead intent journal and the cloud itself.
 
 ``engine.resume()`` must then converge to the *same estate* an
-uninterrupted apply produces. "Same" is canonical, not byte-identical:
-a resumed run re-discovers orphans in a different order, so resource
-*id numbering* permutes and simulated timestamps shift, but everything
-addressable must match once ids are rewritten to the owning address.
+uninterrupted apply produces -- the convergence invariants live in
+:mod:`repro.chaos.invariants`, shared with the campaign runner. The
+exhaustive boundary sweeps run *through* the runner: one generated
+scenario per kill point, each a full twin-engine trial.
 
 Sweep size is env-tunable for CI smoke tiers:
 
     CRASH_SEEDS=0,1 CRASH_KILL_POINTS=3 python -m pytest tests/chaos/test_crash_recovery.py -q
 
 ``CRASH_KILL_POINTS=N`` picks N evenly spaced boundaries; unset runs
-every boundary of the workload.
+every boundary of the workload. The historical ``CRASH_SEEDS`` list now
+sizes the trial matrix (seeds derive from the campaign).
 """
 
-import json
 import os
-import re
 
 import pytest
 
+from repro.chaos import (
+    CampaignRunner,
+    CampaignSpec,
+    ScenarioSpec,
+    canonical_state,
+    trial_count,
+)
 from repro.core import CloudlessEngine
 from repro.deploy import SimulatedCrash
 from repro.workloads import web_tier
 
-SEEDS = [
-    int(s)
-    for s in os.environ.get("CRASH_SEEDS", "0,1").split(",")
-    if s.strip()
-]
+TRIALS = trial_count("CRASH_SEEDS", 2)
 
 SRC = web_tier(web_vms=3, app_vms=2)
 
 
-# -- canonical comparison ------------------------------------------------------
-
-
-def canonical_state(engine):
-    """State JSON with run-dependent noise removed.
-
-    Rewrites every occurrence of a live resource id (including inside
-    computed attrs such as endpoints and DNS names) to the owning
-    address, masks cloud-assigned random IPs (real clouds hand out
-    whatever address DHCP has free), and drops serials, lineage, and
-    timestamps.
-    """
-    id_map = {
-        entry.resource_id: f"<{entry.address}>"
-        for entry in engine.state.resources()
-        if entry.resource_id
-    }
-    # longest-first so e.g. "db-00000010" never partially matches
-    ordered = sorted(id_map, key=len, reverse=True)
-
-    ip = re.compile(r"\b10\.\d+\.\d+\.\d+\b")
-
-    def rewrite(value):
-        if isinstance(value, str):
-            for rid in ordered:
-                if rid in value:
-                    value = value.replace(rid, id_map[rid])
-            return ip.sub("<ip>", value)
-        if isinstance(value, list):
-            return [rewrite(v) for v in value]
-        if isinstance(value, dict):
-            return {k: rewrite(v) for k, v in value.items()}
-        return value
-
-    doc = json.loads(engine.state.to_json())
-    doc.pop("serial", None)
-    doc.pop("lineage", None)
-    live_addresses = {entry["address"] for entry in doc.get("resources", [])}
-    for entry in doc.get("resources", []):
-        entry.pop("created_at", None)
-        entry.pop("updated_at", None)
-        # a plain apply leaves dependency edges pointing at addresses a
-        # downscale deleted; resume's dependency refresh prunes them.
-        # Dangling edges carry no information either way -- drop both.
-        entry["dependencies"] = [
-            d for d in entry.get("dependencies", []) if d in live_addresses
-        ]
-    return rewrite(doc)
-
-
-def live_prefix_counts(engine):
-    """How many live records exist per id prefix (type family)."""
-    counts = {}
-    for record in engine.gateway.all_records():
-        prefix = record.id.rsplit("-", 1)[0]
-        counts[prefix] = counts.get(prefix, 0) + 1
-    return counts
-
-
-def assert_converged_like(resumed, baseline):
-    # 1. canonical state equality: everything addressable matches once
-    #    ids are rewritten to addresses
-    assert canonical_state(resumed) == canonical_state(baseline)
-    # 2. the clouds hold the same estate shape: no leaked duplicates,
-    #    no missing resources
-    assert live_prefix_counts(resumed) == live_prefix_counts(baseline)
-    # 3. state ids <-> live record ids is a bijection (zero orphans,
-    #    zero dangling state entries)
-    state_ids = {
-        e.resource_id for e in resumed.state.resources() if e.resource_id
-    }
-    live_ids = {r.id for r in resumed.gateway.all_records()}
-    assert state_ids == live_ids
-
-
-# -- sweep ---------------------------------------------------------------------
-
-
-def count_boundaries(seed, tmp_path):
+def count_boundaries(tmp_path):
     """An uninterrupted run, counting event boundaries the hook sees."""
     boundaries = []
-    engine = CloudlessEngine(
-        seed=seed, wal_path=str(tmp_path / f"base-{seed}.wal")
-    )
+    engine = CloudlessEngine(seed=0, wal_path=str(tmp_path / "count.wal"))
     result = engine.apply(SRC, crash_hook=boundaries.append)
     assert result.ok
-    return engine, len(boundaries)
+    return len(boundaries)
 
 
 def kill_points(total):
@@ -140,70 +62,76 @@ def kill_points(total):
     return sorted({int(i * step) for i in range(n)})
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_crash_at_every_boundary_resumes_to_same_estate(seed, tmp_path):
-    baseline, total = count_boundaries(seed, tmp_path)
+def test_crash_at_every_boundary_resumes_to_same_estate(tmp_path):
+    """One generated scenario per boundary, swept through the runner:
+    every trial kills the apply at that boundary, resumes, and must
+    satisfy every convergence invariant (canonical equality, estate
+    shape, id bijection, content-hash agreement, retired WAL)."""
+    total = count_boundaries(tmp_path)
     assert total > 0
-
-    for k in kill_points(total):
-        wal = str(tmp_path / f"crash-{seed}-{k}.wal")
-        engine = CloudlessEngine(seed=seed, wal_path=wal)
-
-        def hook(index, _k=k):
-            if index == _k:
-                raise SimulatedCrash(f"killed at boundary {_k}")
-
-        with pytest.raises(SimulatedCrash):
-            engine.apply(SRC, crash_hook=hook)
-
-        # the cloud outlives the dead client: accepted in-flight
-        # operations still land
-        engine.gateway.settle_inflight()
-
-        outcome = engine.resume(SRC)
-        assert outcome.ok, (
-            f"seed {seed} kill point {k}: resume failed: "
-            f"{outcome.result.diagnoses}"
-        )
-        assert_converged_like(engine, baseline)
-        # the journal is retired once the resumed apply converges
-        assert os.path.getsize(wal) == 0, (
-            f"seed {seed} kill point {k}: WAL not marked clean"
-        )
-
-
-@pytest.mark.parametrize("seed", SEEDS[:1])
-def test_crash_during_downscale_recovers_deletes(seed, tmp_path):
-    """Crashing a destructive second apply must not strand deletes."""
-    before = web_tier(web_vms=3, app_vms=2)
-    after = web_tier(web_vms=2, app_vms=1)
-
-    baseline = CloudlessEngine(
-        seed=seed, wal_path=str(tmp_path / "base.wal")
+    campaign = CampaignSpec(
+        name="crash-boundaries",
+        scenarios=[
+            ScenarioSpec(
+                name=f"crash-at-{k}",
+                workload="web_tier",
+                workload_args={"web_vms": 3, "app_vms": 2},
+                phases=[{"op": "crash_apply", "kill_point": k}],
+            )
+            for k in kill_points(total)
+        ],
+        trials=TRIALS,
     )
-    assert baseline.apply(before).ok
+    report = CampaignRunner(campaign, workdir=str(tmp_path)).run()
+    assert report.passed, report.violations()
+    # every chaos arm really crashed and really recovered
+    for result in report.results:
+        for trial in result.trials:
+            assert trial.phases[0].crashed
+            assert trial.phases[0].details["recovered"]
+
+
+def test_crash_during_downscale_recovers_deletes(tmp_path):
+    """Crashing a destructive second apply must not strand deletes."""
+    before = {"web_vms": 3, "app_vms": 2}
+    after = {"web_vms": 2, "app_vms": 1}
+
+    # boundary count of the *second* apply, measured uninterrupted
+    baseline = CloudlessEngine(
+        seed=0, wal_path=str(tmp_path / "base.wal")
+    )
+    assert baseline.apply(web_tier(**before)).ok
     boundaries = []
-    assert baseline.apply(after, crash_hook=boundaries.append).ok
+    assert baseline.apply(
+        web_tier(**after), crash_hook=boundaries.append
+    ).ok
     total = len(boundaries)
     assert total > 0
 
     step = max(1, total // 4)
-    for k in range(0, total, step):
-        wal = str(tmp_path / f"down-{k}.wal")
-        engine = CloudlessEngine(seed=seed, wal_path=wal)
-        assert engine.apply(before).ok
-
-        def hook(index, _k=k):
-            if index == _k:
-                raise SimulatedCrash(f"killed at boundary {_k}")
-
-        with pytest.raises(SimulatedCrash):
-            engine.apply(after, crash_hook=hook)
-        engine.gateway.settle_inflight()
-
-        outcome = engine.resume(after)
-        assert outcome.ok, f"kill point {k}: resume failed"
-        assert_converged_like(engine, baseline)
+    campaign = CampaignSpec(
+        name="crash-downscale-sweep",
+        scenarios=[
+            ScenarioSpec(
+                name=f"downscale-at-{k}",
+                workload="web_tier",
+                workload_args=before,
+                phases=[
+                    {"op": "apply"},
+                    {
+                        "op": "crash_apply",
+                        "kill_point": k,
+                        "workload_args": after,
+                    },
+                ],
+            )
+            for k in range(0, total, step)
+        ],
+    )
+    report = CampaignRunner(campaign, workdir=str(tmp_path)).run()
+    assert report.passed, report.violations()
+    for result in report.results:
+        assert result.trials[0].phases[1].crashed
 
 
 def test_resume_without_crash_is_a_plain_apply(tmp_path):

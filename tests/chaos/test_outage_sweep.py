@@ -1,93 +1,78 @@
 """Outage chaos: overlapping region/provider windows, then recovery.
 
-The degraded-mode contract, swept across seeds: an apply that runs into
-overlapping outage windows (a hard regional outage plus a provider-wide
-brownout, or a staggered provider-wide blackout) must
+The degraded-mode contract, run as library scenarios through the
+campaign runner: an apply that runs into overlapping outage windows (a
+hard regional outage plus a provider-wide brownout, or a staggered
+provider-wide blackout) must
 
 * converge every reachable resource,
 * park every unreachable one as ``Quarantined`` -- zero terminal
   failures, and
-* after the windows close, ``engine.resume()`` must drain the parked
-  work to the *same canonical estate* an uninterrupted run produces.
+* after the windows close, drain the parked work to the *same
+  canonical estate* an uninterrupted run produces (the runner's
+  convergence invariants).
 
-Sweep size is env-tunable for CI smoke tiers::
+Sweep size is env-tunable for CI smoke tiers; the historical
+``OUTAGE_SEEDS`` list now sizes the trial matrix while the seeds
+themselves derive from the campaign::
 
     OUTAGE_SEEDS=0,1 python -m pytest tests/chaos/test_outage_sweep.py -q
 """
 
-import os
-
 import pytest
 
-from repro.cloud import OutageSpec
-from repro.core import CloudlessEngine
-from repro.workloads import two_region_estate
+from repro.chaos import CampaignRunner, CampaignSpec, scenario, trial_count
 
-from .test_crash_recovery import assert_converged_like
-
-SEEDS = [
-    int(s)
-    for s in os.environ.get("OUTAGE_SEEDS", "0,1,2").split(",")
-    if s.strip()
-]
-
-SRC = two_region_estate(42)  # 6 azure stacks, striped eastus/westus2
+TRIALS = trial_count("OUTAGE_SEEDS", 3)
 
 
-def drained_equals_uninterrupted(engine, seed):
-    """Resume and compare against a fault-free run of the same seed."""
-    outcome = engine.resume(SRC)
-    assert outcome.ok
-    baseline = CloudlessEngine(seed=seed)
-    assert baseline.apply(SRC).ok
-    assert_converged_like(engine, baseline)
-
-
-@pytest.mark.parametrize("seed", SEEDS)
-def test_region_outage_with_overlapping_brownout(seed, tmp_path):
-    engine = CloudlessEngine(
-        seed=seed, wal_path=str(tmp_path / "apply.wal")
+@pytest.fixture(scope="module")
+def outage_report():
+    campaign = CampaignSpec(
+        name="outage-sweep",
+        scenarios=[
+            scenario("region-outage-brownout"),
+            scenario("provider-blackout"),
+        ],
+        trials=TRIALS,
     )
-    engine.gateway.inject_outage(
-        "azure", OutageSpec(start_s=0.0, end_s=30000.0, region="westus2")
-    )
-    engine.gateway.inject_outage(
-        "azure",
-        OutageSpec(
-            start_s=500.0,
-            end_s=20000.0,
-            mode="brownout",
-            latency_multiplier=2.0,
-        ),
-    )
-    result = engine.apply(SRC)
-    assert result.partial
-    assert result.apply.failed == {}  # parked, never terminally failed
-    assert result.apply.quarantined_partitions() == ["azure/westus2"]
-    # the brownout slowed eastus but never darkened it
-    assert len(result.apply.succeeded) == 21
-
-    engine.clock.advance_to(30000.0 + 4000.0)
-    drained_equals_uninterrupted(engine, seed)
+    return CampaignRunner(campaign).run()
 
 
-@pytest.mark.parametrize("seed", SEEDS[:1])
-def test_provider_blackout_overlapping_region_outage(seed, tmp_path):
-    """Everything goes dark at t=0; the region stays dark longer. The
-    apply parks the entire azure estate, and recovery still converges."""
-    engine = CloudlessEngine(
-        seed=seed, wal_path=str(tmp_path / "apply.wal")
-    )
-    engine.gateway.inject_outage(
-        "azure", OutageSpec(start_s=0.0, end_s=8000.0)
-    )
-    engine.gateway.inject_outage(
-        "azure", OutageSpec(start_s=0.0, end_s=30000.0, region="westus2")
-    )
-    result = engine.apply(SRC)
-    assert result.partial
-    assert result.apply.failed == {}
-    assert len(result.apply.succeeded) == 0  # nothing was reachable
+def result_of(report, name):
+    return next(r for r in report.results if r.name == name)
 
-    engine.clock.advance_to(30000.0 + 4000.0)
-    drained_equals_uninterrupted(engine, seed)
+
+def test_outage_campaign_converges(outage_report):
+    assert outage_report.passed, outage_report.violations()
+
+
+def test_region_outage_with_overlapping_brownout(outage_report):
+    """Reachable resources converge; the dark region parks, never
+    fails terminally."""
+    for trial in result_of(outage_report, "region-outage-brownout").trials:
+        apply = trial.phases[0]
+        assert apply.partial
+        assert apply.failed == 0  # parked, never terminally failed
+        assert apply.quarantined == ["azure/westus2"]
+        # the brownout slowed eastus but never darkened it
+        assert apply.succeeded == 21
+
+
+def test_provider_blackout_overlapping_region_outage(outage_report):
+    """Everything is dark at t=0: the apply parks the entire estate,
+    and recovery still converges."""
+    for trial in result_of(outage_report, "provider-blackout").trials:
+        apply = trial.phases[0]
+        assert apply.partial
+        assert apply.failed == 0
+        assert apply.succeeded == 0  # nothing was reachable
+        assert apply.quarantined  # the whole estate parked
+
+
+def test_outage_recovery_costs_extra_calls(outage_report):
+    """Draining parked work is never free: the chaos arm re-plans and
+    re-applies, so it spends at least as many API calls as baseline."""
+    for result in outage_report.results:
+        for trial in result.trials:
+            assert trial.api_calls_chaos >= trial.api_calls_baseline

@@ -1,0 +1,75 @@
+"""The drift watcher under adversarial mutation storms (satellite).
+
+Two library scenarios drive the event-driven watcher through burst
+churn -- overlapping create/delete/update/security mutations between
+watch cycles -- and through the same storm while the provider is dark.
+The watcher must classify findings into the defect taxonomy, repair
+what it can reach, defer what it cannot, and the estate must still
+converge to the uninterrupted baseline.
+"""
+
+import pytest
+
+from repro.chaos import CampaignRunner, CampaignSpec, scenario, trial_count
+
+TRIALS = trial_count("CHAOS_SEEDS", 3)
+
+
+@pytest.fixture(scope="module")
+def storm_report(tmp_path_factory):
+    campaign = CampaignSpec(
+        name="watcher-storm",
+        scenarios=[
+            scenario("drift-storm-watch"),
+            scenario("drift-storm-under-outage"),
+        ],
+        trials=TRIALS,
+    )
+    workdir = str(tmp_path_factory.mktemp("watcher-storm"))
+    return CampaignRunner(campaign, workdir=workdir).run()
+
+
+def result_of(report, name):
+    return next(r for r in report.results if r.name == name)
+
+
+def test_storm_campaign_converges(storm_report):
+    assert storm_report.passed, storm_report.violations()
+
+
+def test_watcher_classifies_the_storm(storm_report):
+    """Burst churn must surface as taxonomy-classed findings: capacity
+    (resize), availability (delete), provisioning (rogue create), and
+    security (opened ingress)."""
+    for trial in result_of(storm_report, "drift-storm-watch").trials:
+        defects = {}
+        for phase in trial.phases:
+            if phase.op == "watch":
+                for klass, count in phase.details["defects"].items():
+                    defects[klass] = defects.get(klass, 0) + count
+        assert defects.get("capacity/misconfiguration", 0) > 0
+        assert defects.get("availability/missing-resource", 0) > 0
+        assert defects.get("provisioning/unmanaged-resource", 0) > 0
+        assert defects.get("security/misconfiguration", 0) > 0
+
+
+def test_watcher_repairs_storm_within_watch_phases(storm_report):
+    """With the plane reachable, every watch phase ends clean: no
+    hard-failed repairs, nothing deferred at the last cycle."""
+    for trial in result_of(storm_report, "drift-storm-watch").trials:
+        for phase in trial.phases:
+            if phase.op == "watch":
+                assert phase.ok  # no terminally-failed repair
+                assert phase.details["deferred"] == 0
+
+
+def test_watcher_defers_while_dark_then_drains(storm_report):
+    """Under an outage the watcher must not fail terminally -- repairs
+    park against the recovery horizon and the drain converges them
+    (the campaign-level invariants prove the convergence)."""
+    for trial in result_of(
+        storm_report, "drift-storm-under-outage"
+    ).trials:
+        for phase in trial.phases:
+            if phase.op == "watch":
+                assert phase.ok, phase.details

@@ -364,7 +364,7 @@ class TestDegradedApply:
         assert hits <= policy.failure_threshold + 2 * 10
 
     def test_resume_drains_quarantine_to_canonical_estate(self, tmp_path):
-        from tests.chaos.test_crash_recovery import assert_converged_like
+        from repro.chaos import assert_converged_like
 
         engine = make_engine(tmp_path)
         engine.gateway.inject_outage("azure", OUTAGE)
