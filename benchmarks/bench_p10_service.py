@@ -1,0 +1,279 @@
+"""P10 `serve` -- multi-tenant admission control under 2x overload.
+
+Drives the :class:`~repro.service.ControlPlaneService` with a seeded
+synthetic tenant mix (steady tenants plus one adversarial noisy
+neighbor at low priority) at roughly **twice** the measured apply-pool
+capacity, then checks the overload contract:
+
+* **Zero hangs**: every submitted request resolves, and every non-200
+  response carries a typed rejection reason (429/503/504 family).
+* **Shedding engaged**: at 2x capacity the admission tier must
+  actually shed (a bench that never sheds is not probing overload).
+* **Bounded tail**: p99 end-to-end latency of completed requests stays
+  under ``--gate-p99`` seconds -- queueing is bounded by the admission
+  queue, not unbounded collapse.
+* **Fairness**: max/min goodput across the *steady* tenants stays
+  under ``--gate-fairness`` (default 2.0) despite the noisy neighbor
+  offering 8x their rate.
+* **Isolation**: after the storm, every tenant's estate must converge
+  to a fresh single-tenant baseline engine's canonical state -- zero
+  cross-tenant bleed, byte-for-byte.
+
+Capacity is calibrated in-process first (sequential no-op applies
+through the service), so the 2x point tracks the machine.
+
+CI runs the short tier::
+
+    python benchmarks/bench_p10_service.py --duration 1.0 \
+        --out /tmp/BENCH_service.json
+
+The checked-in ``BENCH_service.json`` is the default 2-second run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.chaos.invariants import canonical_state
+from repro.core.engine import CloudlessEngine
+from repro.service import ControlPlaneService, ServicePolicy, TenantQuota
+from repro.service.core import _tenant_seed
+from repro.workloads import (
+    LatencyHistogram,
+    goodput_fairness_ratio,
+    mixed_arrivals,
+    tenant_mix,
+    web_tier,
+)
+
+SOURCES = web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False)
+
+
+async def calibrate(root: str, pool: int, samples: int = 12) -> float:
+    """Sequential no-op applies through the service -> capacity rps."""
+    service = ControlPlaneService(
+        root, instance="calibrate", policy=ServicePolicy(apply_pool=pool)
+    )
+    await service.start()
+    await service.request("cal", "apply", payload={"sources": SOURCES})
+    costs: List[float] = []
+    for _ in range(samples):
+        response = await service.request(
+            "cal", "apply", payload={"sources": SOURCES}
+        )
+        assert response.ok, response.reason
+        costs.append(response.service_s)
+    await service.stop()
+    costs.sort()
+    median = costs[len(costs) // 2]
+    return pool / max(1e-4, median)
+
+
+async def storm(
+    root: str, args: argparse.Namespace, capacity_rps: float
+) -> Dict[str, Any]:
+    offered_rps = capacity_rps * args.overload
+    # 4 steady + 1 noisy at 8x a steady tenant's rate: steady tenants
+    # carry 4/12 of the offered load, the adversary carries 8/12
+    profiles = tenant_mix(
+        steady=4, noisy=1, base_rate_rps=offered_rps / 12.0,
+        noisy_factor=8.0, seed=args.seed,
+    )
+    schedule = mixed_arrivals(
+        profiles, duration_s=args.duration, seed=args.seed
+    )
+    policy = ServicePolicy(
+        apply_pool=args.pool,
+        max_queue_depth=args.max_queue,
+        default_deadline_s=args.deadline_s,
+        default_quota=TenantQuota(
+            rate_rps=max(50.0, offered_rps / 3.0),
+            burst=max(20.0, offered_rps / 6.0),
+            max_pending=16,
+        ),
+    )
+    service = ControlPlaneService(root, instance="bench", policy=policy)
+    await service.start()
+
+    started = service.clock()
+    futures = []
+    for arrival in schedule:
+        delay = arrival.t - (service.clock() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        futures.append(
+            await service.submit(
+                arrival.tenant,
+                arrival.op,
+                payload={"sources": SOURCES},
+                priority=arrival.priority,
+            )
+        )
+    responses = await asyncio.gather(*futures)
+    stats = service.stats()
+
+    # -- post-storm guaranteed convergence pass (per tenant) -------------
+    convergence: Dict[str, bool] = {}
+    for profile in profiles:
+        ok = False
+        for _ in range(8):  # ladder needs a few ticks to step down
+            final = await service.request(
+                profile.tenant, "apply", payload={"sources": SOURCES},
+                priority=1,
+            )
+            if final.ok:
+                ok = True
+                break
+        if not ok:
+            convergence[profile.tenant] = False
+            continue
+        baseline = CloudlessEngine(seed=_tenant_seed(profile.tenant))
+        baseline.apply(SOURCES)
+        convergence[profile.tenant] = (
+            canonical_state(service.sessions[profile.tenant].engine)
+            == canonical_state(baseline)
+        )
+    await service.stop()
+
+    completed = LatencyHistogram()
+    untyped = 0
+    statuses: Dict[int, int] = {}
+    for response in responses:
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+        if response.ok:
+            completed.observe(response.queued_s + response.service_s)
+        elif not response.reason:
+            untyped += 1
+    steady = [p.tenant for p in profiles if p.kind == "steady"]
+    steady_goodput = {
+        t: stats["goodput"].get(t, 0) for t in steady
+    }
+    return {
+        "offered_rps": round(offered_rps, 1),
+        "arrivals": len(schedule),
+        "answered": len(responses),
+        "untyped": untyped,
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "completed": stats["completed"],
+        "shed_total": stats["shed_total"],
+        "shed": stats["shed"],
+        "mode_transitions": stats["mode_transitions"],
+        "final_mode": stats["mode"],
+        "goodput": stats["goodput"],
+        "steady_fairness": round(
+            goodput_fairness_ratio(steady_goodput), 3
+        ),
+        "p50_s": completed.p50,
+        "p99_s": completed.p99,
+        "p999_s": completed.p999,
+        "converged": convergence,
+    }
+
+
+def bench(args: argparse.Namespace) -> Dict[str, Any]:
+    root = tempfile.mkdtemp(prefix="bench-p10-")
+    try:
+        wall0 = time.perf_counter()
+        capacity_rps = asyncio.run(
+            calibrate(os.path.join(root, "cal"), args.pool)
+        )
+        print(
+            f"  calibrated capacity ~{capacity_rps:.0f} rps "
+            f"(pool={args.pool})",
+            file=sys.stderr,
+        )
+        result = asyncio.run(
+            storm(os.path.join(root, "storm"), args, capacity_rps)
+        )
+        wall = time.perf_counter() - wall0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "benchmark": "p10_service_overload",
+        "pool": args.pool,
+        "duration_s": args.duration,
+        "overload": args.overload,
+        "capacity_rps": round(capacity_rps, 1),
+        "wall_s": round(wall, 2),
+        **result,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pool", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--overload", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--deadline-s", type=float, default=20.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gate-p99", type=float, default=10.0)
+    parser.add_argument("--gate-fairness", type=float, default=2.0)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "BENCH_service.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    report = bench(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    failures: List[str] = []
+    if report["answered"] != report["arrivals"]:
+        failures.append(
+            f"{report['arrivals'] - report['answered']} request(s) hung"
+        )
+    if report["untyped"]:
+        failures.append(
+            f"{report['untyped']} rejection(s) carried no typed reason"
+        )
+    if report["shed_total"] == 0:
+        failures.append(
+            "no requests shed at 2x capacity (overload not engaged)"
+        )
+    if report["p99_s"] > args.gate_p99:
+        failures.append(
+            f"completed p99 {report['p99_s']:.3f}s > gate {args.gate_p99}s"
+        )
+    if report["steady_fairness"] > args.gate_fairness:
+        failures.append(
+            f"steady-tenant fairness {report['steady_fairness']} "
+            f"> gate {args.gate_fairness}"
+        )
+    stranded = sorted(
+        t for t, ok in report["converged"].items() if not ok
+    )
+    if stranded:
+        failures.append(
+            f"tenant(s) diverged from single-tenant baseline: {stranded}"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    print(
+        f"  offered={report['offered_rps']}rps completed="
+        f"{report['completed']} shed={report['shed_total']} "
+        f"p99={report['p99_s']:.3f}s fairness={report['steady_fairness']}",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -768,6 +768,12 @@ PHASE_OPS: Dict[str, Dict[str, tuple]] = {
     "snapshot": {},
     "rollback": {},
     "advance": {"to_s": (int, float), "by_s": (int, float)},
+    "tenant_storm": {
+        "tenants": (int,),
+        "kill_frac": (int, float),
+        "drift_reads": (int,),
+        "workload_args": (dict,),
+    },
 }
 
 #: defect classes a phase exercises regardless of injections
@@ -775,6 +781,12 @@ _PHASE_CLASSES = {
     "crash_apply": (
         "reliability/crash-consistency",
         "idempotency/duplicate-request",
+    ),
+    "tenant_storm": (
+        "reliability/crash-consistency",
+        "idempotency/duplicate-request",
+        "isolation/tenant-interference",
+        "capacity/admission-overload",
     ),
 }
 

@@ -314,6 +314,28 @@ def _scenarios() -> List[ScenarioSpec]:
             # arms converge canonically but not id-identically
             strict_hash=False,
         ),
+        ScenarioSpec(
+            name="tenant-storm",
+            description=(
+                "multi-tenant service storm: kill the instance mid-apply "
+                "for half the tenants, preempt with a successor, resume "
+                "the orphans, and require every tenant's estate to "
+                "converge to its single-tenant baseline"
+            ),
+            workload="web_tier",
+            workload_args={"web_vms": 2, "app_vms": 1, "with_db": False},
+            phases=[
+                # the twin engines still run a plain apply so the
+                # runner's own convergence/drain machinery has teeth
+                {"op": "apply"},
+                {
+                    "op": "tenant_storm",
+                    "tenants": 4,
+                    "kill_frac": 0.5,
+                    "drift_reads": 1,
+                },
+            ],
+        ),
     ]
 
 

@@ -247,6 +247,9 @@ class CampaignRunner:
         chaos_ctx: Dict[str, Any] = {
             "externals": [],
             "boundaries": base_ctx["boundaries"],
+            # per-tenant canonical baselines a tenant_storm phase's
+            # baseline arm computed; the chaos arm converges against them
+            "tenant_baselines": base_ctx.get("tenant_baselines", {}),
         }
         injections = scenario.injections
         for injection in injections:
@@ -258,7 +261,7 @@ class CampaignRunner:
         ]
         drain_ok = self._drain(chaos, injections, chaos_ctx)
 
-        violations: List[str] = []
+        violations: List[str] = list(chaos_ctx.get("violations", []))
         if not base_drain_ok:
             violations.append(
                 "baseline arm failed to converge (runner invariant)"
@@ -525,6 +528,83 @@ class CampaignRunner:
             },
         )
 
+    def _phase_tenant_storm(
+        self, engine, scenario, seed, index, phase, ctx, injected
+    ) -> PhaseRecord:
+        """Kill-and-preempt a multi-tenant service mid-storm.
+
+        The baseline arm builds each tenant's estate on a private
+        single-tenant engine (seeded exactly like the service seeds its
+        sessions) and records the canonical states. The chaos arm runs
+        the same applies through a :class:`ControlPlaneService`,
+        crashing the first ``kill_frac`` of the tenants mid-apply, then
+        SIGKILLs the whole instance, restarts a successor that preempts
+        the dead instance's session leases, resumes the orphans, and
+        requires every tenant -- killed or bystander -- to converge to
+        its baseline with an all-noop final apply. Cross-tenant bleed
+        (a bystander whose estate changed because a neighbor died) is a
+        violation. Runs with ``service.*`` perf probes enabled and
+        reports their snapshot in the phase details (the counter
+        contract the campaign report asserts on).
+        """
+        import asyncio
+
+        from ..perf import PERF
+        from .invariants import canonical_state
+
+        tenants = [f"t{i:02d}" for i in range(phase.get("tenants", 4))]
+        sources = scenario.sources(phase.get("workload_args"))
+        kill_count = max(
+            1, int(round(phase.get("kill_frac", 0.5) * len(tenants)))
+        )
+        killed = tenants[:kill_count]
+
+        if not injected:
+            from ..service.core import _tenant_seed
+
+            baselines: Dict[str, Any] = {}
+            for tenant in tenants:
+                single = CloudlessEngine(seed=_tenant_seed(tenant))
+                result = single.apply(sources)
+                if not result.ok:
+                    return PhaseRecord(
+                        op="tenant_storm",
+                        ok=False,
+                        details={"error": f"baseline apply failed: {tenant}"},
+                    )
+                baselines[tenant] = canonical_state(single)
+            ctx["tenant_baselines"] = baselines
+            return PhaseRecord(
+                op="tenant_storm",
+                ok=True,
+                succeeded=len(tenants),
+                details={"tenants": len(tenants), "killed": 0},
+            )
+
+        baselines = ctx.get("tenant_baselines", {})
+        violations: List[str] = ctx.setdefault("violations", [])
+        root = os.path.join(self.workdir, f"storm-{seed}-{index}")
+        was_enabled = PERF.enabled
+        PERF.enable()
+        try:
+            details = asyncio.run(
+                _run_tenant_storm(
+                    root, tenants, killed, sources,
+                    phase.get("drift_reads", 1), baselines, violations,
+                )
+            )
+        finally:
+            if not was_enabled:
+                PERF.disable()
+        return PhaseRecord(
+            op="tenant_storm",
+            ok=not violations,
+            succeeded=details.pop("converged"),
+            failed=len(violations),
+            crashed=True,
+            details=details,
+        )
+
     def _phase_advance(
         self, engine, scenario, seed, index, phase, ctx, injected
     ) -> PhaseRecord:
@@ -619,6 +699,155 @@ class CampaignRunner:
             not [f for f in run.findings if f.kind != "unmanaged"],
             repaired,
         )
+
+
+class _KillAtBoundary:
+    """Crash hook: dies at the Nth event boundary (SIGKILL stand-in)."""
+
+    def __init__(self, boundary: int):
+        self.boundary = boundary
+        self.seen = 0
+
+    def __call__(self, *args: Any, **kwargs: Any) -> None:
+        self.seen += 1
+        if self.seen >= self.boundary:
+            raise SimulatedCrash(f"tenant-storm kill at boundary {self.boundary}")
+
+
+async def _run_tenant_storm(
+    root: str,
+    tenants: List[str],
+    killed: List[str],
+    sources: str,
+    drift_reads: int,
+    baselines: Dict[str, Any],
+    violations: List[str],
+) -> Dict[str, Any]:
+    """Drive the service through storm -> kill -> preempt -> converge."""
+    import asyncio
+
+    from ..perf import PERF
+    from ..service import ControlPlaneService, ServicePolicy, TenantQuota
+    from .invariants import canonical_state
+
+    # generous quotas: the storm tests crash recovery and isolation, so
+    # admission shedding would only add noise here
+    policy = ServicePolicy(
+        apply_pool=4,
+        max_queue_depth=max(64, 8 * len(tenants)),
+        default_deadline_s=600.0,
+        default_quota=TenantQuota(
+            rate_rps=1e6, burst=1e6, max_pending=1 + drift_reads + 8
+        ),
+    )
+    service = ControlPlaneService(root, instance="storm-A", policy=policy)
+    await service.start()
+    applies = {}
+    for tenant in tenants:
+        payload: Dict[str, Any] = {"sources": sources}
+        if tenant in killed:
+            payload["crash_hook"] = _KillAtBoundary(2)
+        applies[tenant] = await service.submit(tenant, "apply", payload=payload)
+    reads = []
+    for tenant in tenants:
+        for _ in range(drift_reads):
+            reads.append(await service.submit(tenant, "drift"))
+    responses = {tenant: await fut for tenant, fut in applies.items()}
+    read_responses = list(await asyncio.gather(*reads))
+
+    for tenant, response in sorted(responses.items()):
+        if tenant in killed:
+            if response.reason != "crashed":
+                violations.append(
+                    f"tenant_storm: kill of {tenant} answered "
+                    f"{response.status}/{response.reason}, expected a "
+                    f"typed crash"
+                )
+        elif response.status != 200:
+            violations.append(
+                f"tenant_storm: bystander {tenant} apply failed with "
+                f"{response.status}/{response.reason}"
+            )
+    untyped = sum(
+        1 for r in read_responses if r.status != 200 and not r.reason
+    )
+    if untyped:
+        violations.append(
+            f"tenant_storm: {untyped} read(s) came back untyped"
+        )
+    await service.kill()
+
+    successor = ControlPlaneService(root, instance="storm-B", policy=policy)
+    await successor.start()
+    adopted = 0
+    for tenant in killed:
+        resumed = await successor.request(
+            tenant, "resume", payload={"sources": sources}
+        )
+        if resumed.status != 200:
+            violations.append(
+                f"tenant_storm: resume of {tenant} failed with "
+                f"{resumed.status}/{resumed.reason}"
+            )
+        else:
+            adopted += int((resumed.body or {}).get("adopted", 0))
+    converged = 0
+    for tenant in tenants:
+        final = await successor.request(
+            tenant, "apply", payload={"sources": sources}
+        )
+        if final.status != 200:
+            violations.append(
+                f"tenant_storm: final apply for {tenant} failed with "
+                f"{final.status}/{final.reason}"
+            )
+            continue
+        summary = (final.body or {}).get("summary", {})
+        mutations = sum(
+            count
+            for verb, count in summary.items()
+            if verb not in ("noop", "read")
+        )
+        if mutations:
+            violations.append(
+                f"tenant_storm: final apply for {tenant} was not a "
+                f"noop ({summary})"
+            )
+            continue
+        state = canonical_state(successor.sessions[tenant].engine)
+        if baselines and state != baselines.get(tenant):
+            violations.append(
+                f"tenant_storm: {tenant} diverged from its "
+                f"single-tenant baseline estate"
+            )
+            continue
+        converged += 1
+    stats = successor.stats()  # also publishes the service.* gauges
+    snapshot = PERF.snapshot()
+    await successor.stop()
+    return {
+        "tenants": len(tenants),
+        "killed": len(killed),
+        "adopted": adopted,
+        "converged": converged,
+        "reads": len(read_responses),
+        "shed": stats["shed"],
+        "perf_counters": {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("service.")
+        },
+        "perf_gauges": {
+            name: value
+            for name, value in snapshot["gauges"].items()
+            if name.startswith("service.")
+        },
+        "perf_timers": {
+            name: timer["count"]
+            for name, timer in snapshot["timers"].items()
+            if name.startswith("service.")
+        },
+    }
 
 
 def _merge_counts(dicts) -> Dict[str, int]:

@@ -74,6 +74,15 @@ DEFECT_CLASSES: Dict[str, str] = {
         "a plane's clock runs ahead of the coordinator; timestamps "
         "and staleness accounting must survive"
     ),
+    # -- multi-tenant service classes ------------------------------------
+    "isolation/tenant-interference": (
+        "one tenant's load or failure bleeds into another tenant's "
+        "estate, latency, or goodput (noisy neighbor, shared-fate)"
+    ),
+    "capacity/admission-overload": (
+        "offered load exceeds service capacity; the admission tier "
+        "must shed typed rejections instead of hanging or collapsing"
+    ),
 }
 
 

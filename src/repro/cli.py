@@ -585,6 +585,94 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant control-plane service.
+
+    Default mode binds the HTTP front end and serves until interrupted.
+    ``--selftest`` instead drives a seeded synthetic tenant mix through
+    the service in-process and gates on the typed-response contract:
+    exit 0 when every request got a typed answer and no steady tenant
+    was starved, 1 otherwise.
+    """
+    import asyncio
+
+    from .service import ControlPlaneService, ServiceHTTPD, ServicePolicy
+
+    root = os.path.join(args.chdir, args.root)
+    policy = ServicePolicy(
+        apply_pool=args.apply_pool, max_queue_depth=args.max_queue
+    )
+    service = ControlPlaneService(root, instance=args.instance, policy=policy)
+
+    if args.selftest:
+        return asyncio.run(_serve_selftest(service, args))
+
+    async def _serve() -> int:
+        await service.start()
+        httpd = ServiceHTTPD(service, host=args.host, port=args.port)
+        await httpd.start()
+        host, port = httpd.address
+        print(f"serving {args.root} on http://{host}:{port} (ctrl-c to stop)")
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await httpd.stop()
+            await service.stop()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
+async def _serve_selftest(service, args) -> int:
+    """A seeded one-process load test: steady tenants plus one noisy."""
+    import asyncio
+
+    from .workloads import mixed_arrivals, tenant_mix, web_tier
+
+    profiles = tenant_mix(
+        steady=3, noisy=1, base_rate_rps=6.0, noisy_factor=8.0, seed=7
+    )
+    schedule = mixed_arrivals(profiles, duration_s=args.duration, seed=7)
+    sources = web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False)
+    await service.start()
+    started = service.clock()
+    futures = []
+    for arrival in schedule:
+        delay = arrival.t - (service.clock() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        futures.append(
+            await service.submit(
+                arrival.tenant,
+                arrival.op,
+                payload={"sources": sources},
+                priority=arrival.priority,
+            )
+        )
+    responses = await asyncio.gather(*futures)
+    stats = service.stats()
+    await service.stop()
+    print(json.dumps(stats, indent=1, sort_keys=True))
+    untyped = sum(1 for r in responses if r.status not in (200,) and not r.reason)
+    answered = len(responses) == len(schedule)
+    steady = [p.tenant for p in profiles if p.kind == "steady"]
+    starved = [t for t in steady if stats["goodput"].get(t, 0) == 0]
+    ok = answered and untyped == 0 and not starved
+    print(
+        f"selftest: {len(responses)}/{len(schedule)} answered, "
+        f"{untyped} untyped, starved steady tenants: {starved or 'none'}"
+    )
+    print(f"selftest {'PASSED' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 # -- wiring -------------------------------------------------------------------------
 
 
@@ -753,6 +841,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the scenario catalog and its taxonomy coverage",
     )
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant control-plane service (HTTP front end)",
+    )
+    p.add_argument(
+        "--root",
+        default="service-root",
+        help="directory holding per-tenant estates (default: service-root)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8787, help="bind port")
+    p.add_argument(
+        "--instance",
+        default="svc-0",
+        help="service instance id (session-lease holder name)",
+    )
+    p.add_argument(
+        "--apply-pool",
+        type=int,
+        default=4,
+        help="concurrent engine executions (worker slots)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="global admission-queue bound",
+    )
+    p.add_argument(
+        "--selftest",
+        action="store_true",
+        help="drive a seeded synthetic tenant mix in-process and exit "
+        "0/1 on the typed-response and no-starvation gates",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=1.5,
+        help="selftest traffic duration in seconds",
+    )
+    p.set_defaults(fn=cmd_serve)
     return parser
 
 

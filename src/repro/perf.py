@@ -18,19 +18,53 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator
 
 
-class PerfRegistry:
-    """Counters, accumulated timers, and per-event maxima.
+#: canonical probe names subsystems register here, so benchmarks and
+#: campaign reports can assert on stable spellings instead of grepping
+#: call sites. The service tier's ``service.*`` family is the contract
+#: the tenant-storm chaos scenario checks in its ``CampaignReport``.
+KNOWN_PROBES: Dict[str, str] = {
+    # -- persistence (PR 3/4) ---------------------------------------------
+    "persist.journal_appends": "count: delta appends to a journal store",
+    "persist.compactions": "count: journal foldings into a keyframe",
+    "persist.torn_tail_recoveries": "count: torn journal tails truncated",
+    "persist.keyframe_fallbacks": "count: keyframe reads served by .bak",
+    # -- multi-tenant service tier (PR 10) --------------------------------
+    "service.admitted": "count: requests accepted past the admission tier",
+    "service.shed": "count: requests rejected with a typed shed",
+    "service.queued_ms": (
+        "timer: milliseconds a dispatched request waited in the "
+        "admission queue (observe() takes ms here, not seconds)"
+    ),
+    "service.active_tenants": "gauge: tenants with an open session",
+    "service.fairness_ratio": (
+        "gauge: max/min per-tenant goodput among tenants that "
+        "completed at least one request"
+    ),
+}
 
-    Three probe kinds:
+
+class PerfRegistry:
+    """Counters, accumulated timers, gauges, and per-event maxima.
+
+    Four probe kinds:
 
     * ``count(name)`` -- how many times something happened.
     * ``observe(name, seconds)`` -- accumulate a duration; tracks the
       sum, the event count, and the maximum single observation (the
       "peak dispatch cost" the scale benchmark reports).
     * ``timed(name)`` -- context manager sugar over ``observe``.
+    * ``gauge(name, value)`` -- a last-value-wins level (queue depth,
+      active tenants, a fairness ratio).
     """
 
-    __slots__ = ("enabled", "counters", "timer_total", "timer_count", "timer_max")
+    __slots__ = (
+        "enabled",
+        "counters",
+        "timer_total",
+        "timer_count",
+        "timer_max",
+        "gauges",
+    )
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
@@ -38,6 +72,7 @@ class PerfRegistry:
         self.timer_total: Dict[str, float] = {}
         self.timer_count: Dict[str, int] = {}
         self.timer_max: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
 
     # -- switches ----------------------------------------------------------
 
@@ -52,6 +87,7 @@ class PerfRegistry:
         self.timer_total.clear()
         self.timer_count.clear()
         self.timer_max.clear()
+        self.gauges.clear()
 
     # -- probes ------------------------------------------------------------
 
@@ -67,6 +103,11 @@ class PerfRegistry:
         self.timer_count[name] = self.timer_count.get(name, 0) + 1
         if seconds > self.timer_max.get(name, 0.0):
             self.timer_max[name] = seconds
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.gauges[name] = float(value)
 
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
@@ -93,6 +134,7 @@ class PerfRegistry:
                 }
                 for name in self.timer_total
             },
+            "gauges": dict(self.gauges),
         }
 
 

@@ -1,0 +1,84 @@
+"""Per-tenant circuit breakers for the service tier.
+
+A tenant whose operations keep failing (broken estate config, a cloud
+partition that dooms its region, a poisoned workload) should fast-fail
+at admission instead of burning apply-pool slots on doomed work. The
+breaker is the classic three-state machine:
+
+* **closed** -- requests flow; consecutive failures count up.
+* **open** -- requests shed with ``circuit-open`` until the cooldown
+  elapses.
+* **half-open** -- one probe request is let through; success closes the
+  breaker, failure re-opens it with the cooldown reset.
+
+These compose with the per-partition breakers inside the engine's cloud
+resilience layer (PR 5): the engine breaker protects a *provider
+partition* shared by everyone, this one protects the *pool* from a
+single tenant. A tenant can also trip here simply because its partition
+breaker keeps failing its applies -- the two tiers reinforce each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown and half-open probe."""
+
+    __slots__ = ("threshold", "cooldown_s", "state", "failures", "opened_at")
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 10.0):
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.state = STATE_CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+
+    def allow(self, now: float) -> bool:
+        if self.state == STATE_CLOSED:
+            return True
+        if self.state == STATE_OPEN:
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = STATE_HALF_OPEN
+                return True
+            return False
+        # half-open: the single probe is already in flight
+        return False
+
+    def record_success(self) -> None:
+        self.state = STATE_CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: float) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self.state = STATE_OPEN
+            self.opened_at = now
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.state = STATE_OPEN
+            self.opened_at = now
+
+
+class TenantBreakerBank:
+    """Lazy per-tenant breakers sharing one threshold/cooldown policy."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 10.0):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def of(self, tenant: str) -> CircuitBreaker:
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(self.threshold, self.cooldown_s)
+            self._breakers[tenant] = breaker
+        return breaker
+
+    def states(self) -> Dict[str, str]:
+        return {t: b.state for t, b in self._breakers.items()}

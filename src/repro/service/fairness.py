@@ -1,0 +1,118 @@
+"""Weighted-fair scheduling of admitted requests across tenants.
+
+Stride scheduling over per-tenant FIFO backlogs: each tenant carries a
+virtual *pass*; dispatching one of its requests advances the pass by
+``stride = SCALE / weight``. The scheduler always serves the backlogged
+tenant with the smallest pass, so over any window each tenant's share
+of dispatches converges to its weight share -- a noisy neighbor with
+weight 1 among N weight-1 tenants gets 1/N of the pool no matter how
+hard it floods the queue. Ties break on tenant id, keeping dispatch
+order deterministic for a fixed arrival schedule.
+
+The queue is also the brownout valve: ``shed_lowest_priority`` evicts
+backlogged requests from the bottom priority band up, newest first, so
+load shedding eats the adversarial tier before it touches anyone else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+_STRIDE_SCALE = 1 << 20
+
+
+class WeightedFairQueue:
+    """Per-tenant FIFOs dispatched by stride scheduling."""
+
+    def __init__(self):
+        self._backlogs: Dict[str, Deque[object]] = {}
+        self._weights: Dict[str, float] = {}
+        self._passes: Dict[str, float] = {}
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def pending(self, tenant: str) -> int:
+        backlog = self._backlogs.get(tenant)
+        return len(backlog) if backlog else 0
+
+    def push(self, tenant: str, item: object, weight: float = 1.0) -> None:
+        backlog = self._backlogs.get(tenant)
+        if backlog is None:
+            backlog = deque()
+            self._backlogs[tenant] = backlog
+        self._weights[tenant] = max(1e-6, weight)
+        if tenant not in self._passes:
+            # Late joiners start at the current minimum pass, not zero --
+            # otherwise a fresh tenant would monopolize dispatch until it
+            # "caught up" with everyone's accumulated stride.
+            backlogged = [
+                p
+                for t, p in self._passes.items()
+                if self._backlogs.get(t)
+            ]
+            self._passes[tenant] = min(backlogged) if backlogged else 0.0
+        backlog.append(item)
+        self._depth += 1
+
+    def pop(self) -> Optional[Tuple[str, object]]:
+        """Dispatch from the backlogged tenant with the smallest pass."""
+        best: Optional[str] = None
+        best_pass = 0.0
+        for tenant, backlog in self._backlogs.items():
+            if not backlog:
+                continue
+            tenant_pass = self._passes[tenant]
+            if (
+                best is None
+                or tenant_pass < best_pass
+                or (tenant_pass == best_pass and tenant < best)
+            ):
+                best = tenant
+                best_pass = tenant_pass
+        if best is None:
+            return None
+        item = self._backlogs[best].popleft()
+        self._passes[best] = best_pass + _STRIDE_SCALE / self._weights[best]
+        self._depth -= 1
+        return best, item
+
+    def shed_lowest_priority(
+        self, count: int, priority_of, below: Optional[int] = None
+    ) -> List[Tuple[str, object]]:
+        """Evict up to ``count`` backlogged items, lowest priority first.
+
+        Within a priority band, evicts newest-queued first (the request
+        that has waited least loses the least invested work).
+        ``priority_of(item)`` maps a queued item to its priority;
+        ``below`` restricts eviction to items strictly under that
+        priority (the brownout floor), leaving the rest untouched.
+        """
+        if count <= 0 or self._depth == 0:
+            return []
+        indexed: List[Tuple[int, str, int, object]] = []
+        for tenant, backlog in self._backlogs.items():
+            for position, item in enumerate(backlog):
+                priority = priority_of(item)
+                if below is not None and priority >= below:
+                    continue
+                indexed.append((priority, tenant, position, item))
+        indexed.sort(key=lambda row: (row[0], -row[2], row[1]))
+        victims = indexed[:count]
+        shed: List[Tuple[str, object]] = []
+        for _, tenant, _, item in victims:
+            self._backlogs[tenant].remove(item)
+            self._depth -= 1
+            shed.append((tenant, item))
+        return shed
+
+    def drain_all(self) -> List[Tuple[str, object]]:
+        """Empty every backlog (shutdown path); returns what was queued."""
+        out: List[Tuple[str, object]] = []
+        for tenant, backlog in self._backlogs.items():
+            while backlog:
+                out.append((tenant, backlog.popleft()))
+        self._depth = 0
+        return out

@@ -1,0 +1,145 @@
+"""A minimal stdlib-asyncio HTTP front end for the service.
+
+Just enough HTTP/1.1 to drive :class:`ControlPlaneService` from curl or
+a load generator -- no framework, no dependency, one connection per
+request (``Connection: close``):
+
+    GET  /healthz                  -> 200 {"state": ..., "mode": ...}
+    GET  /stats                    -> 200 full service stats
+    POST /v1/<tenant>/<op>         -> typed ServiceResponse as JSON
+
+The POST body (optional) is a JSON object passed through as the op
+payload; ``priority`` and ``deadline_s`` ride as top-level keys. The
+HTTP status code IS the typed admission answer (200/400/409/429/503/
+504), so a load balancer's retry policy can read shed-vs-retry straight
+off the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .core import ControlPlaneService
+
+_MAX_BODY = 1 << 20  # 1 MiB request-body cap
+
+
+class ServiceHTTPD:
+    """asyncio.start_server wrapper around one ControlPlaneService."""
+
+    def __init__(
+        self,
+        service: ControlPlaneService,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._server is not None and self._server.sockets
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._respond(reader)
+        except Exception as exc:
+            status, body = 500, {"error": str(exc)}
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0], parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = min(int(value.strip()), _MAX_BODY)
+                except ValueError:
+                    return 400, {"error": "bad content-length"}
+        if method == "GET" and path == "/healthz":
+            stats = self.service.stats()
+            return 200, {"state": stats["state"], "mode": stats["mode"]}
+        if method == "GET" and path == "/stats":
+            return 200, self.service.stats()
+        if method == "POST" and path.startswith("/v1/"):
+            segments = path.strip("/").split("/")
+            if len(segments) != 3:
+                return 404, {"error": "expected /v1/<tenant>/<op>"}
+            _, tenant, op = segments
+            raw = await reader.readexactly(content_length)
+            try:
+                payload = json.loads(raw) if raw else {}
+            except ValueError:
+                return 400, {"error": "body is not JSON"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "body must be a JSON object"}
+            priority = payload.pop("priority", None)
+            deadline_s = payload.pop("deadline_s", None)
+            response = await self.service.request(
+                tenant, op, payload=payload,
+                priority=priority, deadline_s=deadline_s,
+            )
+            return response.status, {
+                "tenant": response.tenant,
+                "op": response.op,
+                "status": response.status,
+                "reason": response.reason,
+                "body": response.body,
+                "queued_s": round(response.queued_s, 6),
+                "service_s": round(response.service_s, 6),
+            }
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}

@@ -16,6 +16,7 @@ from .store import (
     MemoryStateStore,
     StaleStateError,
     StateStore,
+    StoreOwnedError,
 )
 from .transactions import (
     CommittedTransaction,
@@ -48,5 +49,6 @@ __all__ = [
     "StateDocument",
     "StateStore",
     "StateTransaction",
+    "StoreOwnedError",
     "TransactionError",
 ]

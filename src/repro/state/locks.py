@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from typing import Dict, FrozenSet, List, Optional, Set
 
 GLOBAL_KEY = "__entire_infrastructure__"
@@ -57,7 +58,18 @@ class LockManager:
     ``try_acquire`` returns the grant (truthy) on success and ``None``
     on conflict -- every pre-lease caller only tested truthiness, so
     the richer return type is drop-in compatible.
+
+    Managers are thread-safe: every public method runs under one
+    re-entrant mutex, which the multi-tenant service tier relies on
+    (sessions heartbeat from worker threads while commits validate
+    fences). Expiry is observed *eagerly*: any method that looks at a
+    lapsed grant drops it on the spot, so whether a zombie's grant is
+    still visible no longer depends on which caller happened to sweep
+    first.
     """
+
+    def __init__(self) -> None:
+        self._mutex = threading.RLock()
 
     def try_acquire(
         self,
@@ -77,14 +89,17 @@ class LockManager:
         Returns the refreshed grant, or ``None`` if the holder no
         longer holds a live grant (never held one, or its lease already
         expired -- a renew after expiry must NOT resurrect the grant,
-        someone else may hold the keys now).
+        someone else may hold the keys now). A lapsed grant is dropped
+        here rather than left squatting on its keys until an unrelated
+        acquisition sweeps it.
         """
-        grant = self._live_grant(holder, now)
-        if grant is None:
-            return None
-        if ttl is not None:
-            grant.expires_at = now + ttl
-        return grant
+        with self._mutex:
+            grant = self._live_grant(holder, now)
+            if grant is None:
+                return None
+            if ttl is not None:
+                grant.expires_at = now + ttl
+            return grant
 
     def check_fence(
         self, holder: str, fencing_token: int, now: float
@@ -93,10 +108,32 @@ class LockManager:
 
         The fencing check real storage systems do on every write: a
         zombie presenting a token from a lapsed lease fails here even
-        if it is still convinced it holds the lock.
+        if it is still convinced it holds the lock. Observing a lapsed
+        grant drops it.
         """
-        grant = self._live_grant(holder, now)
-        return grant is not None and grant.fencing_token == fencing_token
+        with self._mutex:
+            grant = self._live_grant(holder, now)
+            return grant is not None and grant.fencing_token == fencing_token
+
+    def commit_fence(
+        self, holder: str, fencing_token: int, now: float
+    ) -> bool:
+        """Atomically validate ``(holder, fencing_token)`` and release.
+
+        The commit-side counterpart of :meth:`check_fence`: validating
+        the fence and surrendering the grant happen in one step under
+        the manager's mutex, so a lease cannot lapse -- nor its keys be
+        re-granted to another holder -- between the check and the
+        caller's commit write. Returns ``False`` (and drops any lapsed
+        grant the holder still had) when the fence is stale; the caller
+        must abort.
+        """
+        with self._mutex:
+            grant = self._live_grant(holder, now)
+            if grant is None or grant.fencing_token != fencing_token:
+                return False
+            self._drop_holder(holder)
+            return True
 
     def release(
         self, holder: str, fencing_token: Optional[int] = None
@@ -119,14 +156,23 @@ class LockManager:
         """Which current holders block an acquisition of ``keys``."""
         raise NotImplementedError
 
-    # -- shared lease plumbing (subclasses supply _grant_for) ---------------
+    # -- shared lease plumbing (subclasses supply _grant_for/_drop_holder) --
 
     def _grant_for(self, holder: str) -> Optional[LockGrant]:
         raise NotImplementedError
 
+    def _drop_holder(self, holder: str) -> None:
+        """Forget ``holder``'s grant (no fencing/expiry checks)."""
+        raise NotImplementedError
+
     def _live_grant(self, holder: str, now: float) -> Optional[LockGrant]:
         grant = self._grant_for(holder)
-        if grant is None or grant.expired(now):
+        if grant is None:
+            return None
+        if grant.expired(now):
+            # eager expiry: drop the lapsed grant the moment any caller
+            # observes it, so visibility does not depend on sweep order
+            self._drop_holder(holder)
             return None
         return grant
 
@@ -135,6 +181,7 @@ class GlobalLockManager(LockManager):
     """One big lock: a second holder always waits (until the lease lapses)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._grant: Optional[LockGrant] = None
         self._next_fence = 1
 
@@ -142,6 +189,10 @@ class GlobalLockManager(LockManager):
         if self._grant is not None and self._grant.holder == holder:
             return self._grant
         return None
+
+    def _drop_holder(self, holder: str) -> None:
+        if self._grant is not None and self._grant.holder == holder:
+            self._grant = None
 
     def _sweep(self, now: Optional[float]) -> None:
         if (
@@ -158,50 +209,61 @@ class GlobalLockManager(LockManager):
         now: float,
         ttl: Optional[float] = None,
     ) -> Optional[LockGrant]:
-        self._sweep(now)
-        if self._grant is not None:
-            return None
-        fence = self._next_fence
-        self._next_fence += 1
-        self._grant = LockGrant(
-            holder=holder,
-            keys=frozenset([GLOBAL_KEY]),
-            acquired_at=now,
-            expires_at=math.inf if ttl is None else now + ttl,
-            fencing_token=fence,
-        )
-        return self._grant
+        with self._mutex:
+            self._sweep(now)
+            if self._grant is not None:
+                return None
+            fence = self._next_fence
+            self._next_fence += 1
+            self._grant = LockGrant(
+                holder=holder,
+                keys=frozenset([GLOBAL_KEY]),
+                acquired_at=now,
+                expires_at=math.inf if ttl is None else now + ttl,
+                fencing_token=fence,
+            )
+            return self._grant
 
     def release(
         self, holder: str, fencing_token: Optional[int] = None
     ) -> None:
-        grant = self._grant
-        if grant is None or grant.holder != holder:
-            return
-        if fencing_token is not None and grant.fencing_token != fencing_token:
-            return
-        self._grant = None
+        with self._mutex:
+            grant = self._grant
+            if grant is None or grant.holder != holder:
+                return
+            if (
+                fencing_token is not None
+                and grant.fencing_token != fencing_token
+            ):
+                return
+            self._grant = None
 
     def holders(self) -> List[str]:
-        return [self._grant.holder] if self._grant else []
+        with self._mutex:
+            return [self._grant.holder] if self._grant else []
 
     def conflicts_with(
         self, keys: Set[str], now: Optional[float] = None
     ) -> Set[str]:
-        self._sweep(now)
-        return {self._grant.holder} if self._grant else set()
+        with self._mutex:
+            self._sweep(now)
+            return {self._grant.holder} if self._grant else set()
 
 
 class ResourceLockManager(LockManager):
     """Per-resource locks with atomic multi-key acquisition."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._owner_of: Dict[str, str] = {}  # key -> holder
         self._grants: Dict[str, LockGrant] = {}  # holder -> grant
         self._next_fence = 1
 
     def _grant_for(self, holder: str) -> Optional[LockGrant]:
         return self._grants.get(holder)
+
+    def _drop_holder(self, holder: str) -> None:
+        self._drop(holder)
 
     def _drop(self, holder: str) -> None:
         grant = self._grants.pop(holder, None)
@@ -229,46 +291,54 @@ class ResourceLockManager(LockManager):
         now: float,
         ttl: Optional[float] = None,
     ) -> Optional[LockGrant]:
-        self._sweep(now)
-        if holder in self._grants:
-            raise RuntimeError(f"{holder!r} already holds a lock set")
-        if any(key in self._owner_of for key in keys):
-            return None
-        for key in keys:
-            self._owner_of[key] = holder
-        fence = self._next_fence
-        self._next_fence += 1
-        grant = LockGrant(
-            holder=holder,
-            keys=frozenset(keys),
-            acquired_at=now,
-            expires_at=math.inf if ttl is None else now + ttl,
-            fencing_token=fence,
-        )
-        self._grants[holder] = grant
-        return grant
+        with self._mutex:
+            self._sweep(now)
+            if holder in self._grants:
+                raise RuntimeError(f"{holder!r} already holds a lock set")
+            if any(key in self._owner_of for key in keys):
+                return None
+            for key in keys:
+                self._owner_of[key] = holder
+            fence = self._next_fence
+            self._next_fence += 1
+            grant = LockGrant(
+                holder=holder,
+                keys=frozenset(keys),
+                acquired_at=now,
+                expires_at=math.inf if ttl is None else now + ttl,
+                fencing_token=fence,
+            )
+            self._grants[holder] = grant
+            return grant
 
     def release(
         self, holder: str, fencing_token: Optional[int] = None
     ) -> None:
-        grant = self._grants.get(holder)
-        if grant is None:
-            return
-        if fencing_token is not None and grant.fencing_token != fencing_token:
-            return
-        self._drop(holder)
+        with self._mutex:
+            grant = self._grants.get(holder)
+            if grant is None:
+                return
+            if (
+                fencing_token is not None
+                and grant.fencing_token != fencing_token
+            ):
+                return
+            self._drop(holder)
 
     def holders(self) -> List[str]:
-        return sorted(self._grants)
+        with self._mutex:
+            return sorted(self._grants)
 
     def conflicts_with(
         self, keys: Set[str], now: Optional[float] = None
     ) -> Set[str]:
-        self._sweep(now)
-        return {
-            self._owner_of[key] for key in keys if key in self._owner_of
-        }
+        with self._mutex:
+            self._sweep(now)
+            return {
+                self._owner_of[key] for key in keys if key in self._owner_of
+            }
 
     def held_keys(self, holder: str) -> FrozenSet[str]:
-        grant = self._grants.get(holder)
-        return grant.keys if grant else frozenset()
+        with self._mutex:
+            grant = self._grants.get(holder)
+            return grant.keys if grant else frozenset()

@@ -10,6 +10,7 @@ experiments) that the interleaved history is conflict-serializable.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..addressing import ResourceAddress
@@ -150,20 +151,29 @@ class StateDatabase:
         self.history: List[CommittedTransaction] = []
         self._active: Dict[str, StateTransaction] = {}
         self._begin_times: Dict[str, float] = {}
+        #: serializes begin/renew/commit/abort so a lease cannot lapse
+        #: (nor its keys be re-granted) between the fencing check and
+        #: the document writes of a commit
+        self._mutex = threading.RLock()
 
     def begin(
         self, txn_id: str, keys: Set[str], now: float
     ) -> Optional[StateTransaction]:
         """Start a transaction holding ``keys``; None if locks unavailable."""
-        if txn_id in self._active:
-            raise TransactionError(f"transaction id {txn_id} already active")
-        grant = self.locks.try_acquire(txn_id, keys, now, ttl=self.lease_ttl)
-        if not grant:
-            return None
-        txn = StateTransaction(txn_id, self, keys, grant=grant)
-        self._active[txn_id] = txn
-        self._begin_times[txn_id] = now
-        return txn
+        with self._mutex:
+            if txn_id in self._active:
+                raise TransactionError(
+                    f"transaction id {txn_id} already active"
+                )
+            grant = self.locks.try_acquire(
+                txn_id, keys, now, ttl=self.lease_ttl
+            )
+            if not grant:
+                return None
+            txn = StateTransaction(txn_id, self, keys, grant=grant)
+            self._active[txn_id] = txn
+            self._begin_times[txn_id] = now
+            return txn
 
     def renew(self, txn_id: str, now: float) -> bool:
         """Heartbeat a transaction's lease; False if it already lapsed."""
@@ -172,36 +182,47 @@ class StateDatabase:
         return self.locks.renew(txn_id, now, ttl=self.lease_ttl) is not None
 
     def _apply(self, txn: StateTransaction, now: float) -> None:
-        if self.lease_ttl is not None:
-            grant = txn.grant
-            fence = grant.fencing_token if grant is not None else -1
-            if not self.locks.check_fence(txn.txn_id, fence, now):
-                self._abort(txn)
-                raise StaleLeaseError(
-                    f"transaction {txn.txn_id} outlived its lock lease; "
-                    f"commit rejected by fencing check"
+        with self._mutex:
+            if self.lease_ttl is not None:
+                grant = txn.grant
+                fence = grant.fencing_token if grant is not None else -1
+                # atomic validate-and-release: commit_fence checks the
+                # token and surrenders the grant in one step, so a lease
+                # that lapsed by `now` -- even one whose keys another
+                # holder has since re-acquired -- deterministically
+                # raises instead of depending on sweep order
+                if not self.locks.commit_fence(txn.txn_id, fence, now):
+                    self._abort_locked(txn)
+                    raise StaleLeaseError(
+                        f"transaction {txn.txn_id} outlived its lock "
+                        f"lease; commit rejected by fencing check"
+                    )
+            for op in txn._ops:
+                if op.kind == "set" and op.entry is not None:
+                    self.document.set(op.entry)
+                elif op.kind == "remove" and op.address is not None:
+                    self.document.remove(op.address)
+                elif op.kind == "output":
+                    self.document.outputs[op.output_name] = op.output_value
+            self.document.bump()
+            self.history.append(
+                CommittedTransaction(
+                    txn_id=txn.txn_id,
+                    read_set=txn.read_set,
+                    write_set=txn.write_set,
+                    begin_at=self._begin_times.pop(txn.txn_id, 0.0),
+                    commit_at=now,
                 )
-        for op in txn._ops:
-            if op.kind == "set" and op.entry is not None:
-                self.document.set(op.entry)
-            elif op.kind == "remove" and op.address is not None:
-                self.document.remove(op.address)
-            elif op.kind == "output":
-                self.document.outputs[op.output_name] = op.output_value
-        self.document.bump()
-        self.history.append(
-            CommittedTransaction(
-                txn_id=txn.txn_id,
-                read_set=txn.read_set,
-                write_set=txn.write_set,
-                begin_at=self._begin_times.pop(txn.txn_id, 0.0),
-                commit_at=now,
             )
-        )
-        self.locks.release(txn.txn_id)
-        del self._active[txn.txn_id]
+            if self.lease_ttl is None:
+                self.locks.release(txn.txn_id)
+            del self._active[txn.txn_id]
 
     def _abort(self, txn: StateTransaction) -> None:
+        with self._mutex:
+            self._abort_locked(txn)
+
+    def _abort_locked(self, txn: StateTransaction) -> None:
         self.locks.release(txn.txn_id)
         self._active.pop(txn.txn_id, None)
         self._begin_times.pop(txn.txn_id, None)

@@ -336,3 +336,33 @@ def test_quota_storm_releases_cleanly(tmp_path):
     trial = report.results[0].trials[0]
     # the storm was real: the chaos arm worked harder than baseline
     assert trial.api_calls_chaos > trial.api_calls_baseline
+
+
+def test_tenant_storm_reports_service_perf_probes(tmp_path):
+    """The tenant-storm phase drives the multi-tenant service tier and
+    must surface its service.* perf probes in the campaign report, so a
+    campaign JSON is enough to audit admission behavior post-hoc."""
+    scenario = library()["tenant-storm"]
+    campaign = CampaignSpec(
+        name="storm-unit", scenarios=[scenario], trials=1
+    )
+    report = CampaignRunner(campaign, workdir=str(tmp_path)).run()
+    assert report.passed, report.violations()
+
+    doc = json.loads(json.dumps(report.to_dict()))
+    phases = doc["scenarios"][0]["trials"][0]["phases"]
+    storm = next(p for p in phases if p["op"] == "tenant_storm")
+    details = storm["details"]
+    # the kill is real: tenants crashed mid-apply and the successor
+    # instance adopted their orphaned resources on resume
+    assert details["killed"] >= 1
+    assert details["adopted"] > 0
+    # counters: admissions flowed through the service tier
+    counters = details["perf_counters"]
+    assert counters.get("service.admitted", 0) > 0
+    # gauges: fairness + tenancy published by stats()
+    gauges = details["perf_gauges"]
+    assert gauges.get("service.active_tenants", 0) >= details["tenants"]
+    assert "service.fairness_ratio" in gauges
+    # timers: queue-wait observations were recorded
+    assert details["perf_timers"].get("service.queued_ms", 0) > 0

@@ -1,6 +1,8 @@
 """Lease-fenced locks: TTL expiry, heartbeats, fencing tokens, zombies."""
 
 import math
+import random
+import threading
 
 import pytest
 
@@ -264,3 +266,108 @@ class TestCoordinatorWithLeases:
             ("b", 60.0, 120.0),
             ("c", 2.0, 62.0),
         ]
+
+class TestCommitFenceRace:
+    """Regression tests for the renewal/commit race.
+
+    The bug class: a holder's lease lapses between its last fencing
+    check and the commit write, the keys get re-granted to another
+    holder, and the zombie's commit lands anyway (or the outcome
+    depends on which observer swept the lapsed grant first). The
+    commit-side fence validates-and-releases atomically, so the result
+    is a deterministic function of (ttl, commit time) alone.
+    """
+
+    def test_commit_at_exact_expiry_is_stale(self):
+        # a lease granted [0, ttl) is dead AT ttl, not merely after it
+        locks = ResourceLockManager()
+        grant = locks.try_acquire("t1", {"k"}, now=0.0, ttl=30.0)
+        assert locks.commit_fence("t1", grant.fencing_token, now=30.0) is False
+        assert locks.holders() == []
+
+    def test_commit_just_inside_ttl_wins_and_releases(self):
+        locks = ResourceLockManager()
+        grant = locks.try_acquire("t1", {"k"}, now=0.0, ttl=30.0)
+        assert locks.commit_fence("t1", grant.fencing_token, now=29.999)
+        # the fence surrendered the grant: the keys are free immediately
+        regrant = locks.try_acquire("t2", {"k"}, now=29.999, ttl=30.0)
+        assert regrant is not None
+        assert regrant.fencing_token > grant.fencing_token
+
+    def test_zombie_commit_after_regrant_cannot_win(self):
+        locks = ResourceLockManager()
+        old = locks.try_acquire("t1", {"k"}, now=0.0, ttl=10.0)
+        new = locks.try_acquire("t2", {"k"}, now=20.0, ttl=10.0)
+        assert new is not None
+        # the zombie presents its (valid-looking) token; the fence says no
+        assert locks.commit_fence("t1", old.fencing_token, now=21.0) is False
+        # and the live holder is untouched by the zombie's failed commit
+        assert locks.commit_fence("t2", new.fencing_token, now=22.0) is True
+
+    def test_lapsed_grant_dropped_regardless_of_observer_order(self):
+        """Eager expiry: whichever path observes a lapsed grant first
+        drops it, so the outcome never depends on sweep scheduling."""
+        for observer in ("commit", "check", "acquire", "conflicts"):
+            locks = ResourceLockManager()
+            grant = locks.try_acquire("t1", {"k"}, now=0.0, ttl=10.0)
+            if observer == "commit":
+                assert not locks.commit_fence("t1", grant.fencing_token, 11.0)
+            elif observer == "check":
+                assert not locks.check_fence("t1", grant.fencing_token, 11.0)
+            elif observer == "acquire":
+                assert locks.try_acquire("t2", {"k"}, now=11.0) is not None
+            else:
+                assert locks.conflicts_with({"k"}, now=11.0) == set()
+            # in every ordering the zombie's grant is gone afterwards
+            assert "t1" not in locks.holders(), observer
+
+    def test_seeded_interleavings_are_deterministic(self):
+        """200 seeded (ttl, commit-time) pairs: the commit outcome is
+        exactly `commit < expiry`, and no grants survive either way."""
+        rng = random.Random(1234)
+        for trial in range(200):
+            ttl = rng.uniform(1.0, 60.0)
+            t_commit = rng.uniform(0.0, 90.0)
+            locks = ResourceLockManager()
+            grant = locks.try_acquire(
+                f"t{trial}", {"k"}, now=0.0, ttl=ttl
+            )
+            ok = locks.commit_fence(
+                f"t{trial}", grant.fencing_token, now=t_commit
+            )
+            assert ok == (t_commit < ttl), (trial, ttl, t_commit)
+            assert locks.holders() == [], (trial, ttl, t_commit)
+
+    def test_threaded_commits_straddling_expiry(self):
+        """Many threads race commits around the expiry boundary through
+        the full StateDatabase path: each either commits cleanly or gets
+        a deterministic StaleLeaseError -- never a silent zombie write
+        -- and the lock table ends empty."""
+        doc = StateDocument()
+        db = StateDatabase(doc, ResourceLockManager(), lease_ttl=10.0)
+        rng = random.Random(99)
+        plans = [
+            (f"txn-{i}", rng.uniform(5.0, 15.0)) for i in range(24)
+        ]
+        outcomes = {}
+
+        def run_one(txn_id, commit_at):
+            txn = db.begin(txn_id, {f"aws_vpc.{txn_id}"}, now=0.0)
+            assert txn is not None
+            try:
+                txn.commit(commit_at)
+                outcomes[txn_id] = "committed"
+            except StaleLeaseError:
+                outcomes[txn_id] = "stale"
+
+        threads = [
+            threading.Thread(target=run_one, args=plan) for plan in plans
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for txn_id, commit_at in plans:
+            expected = "committed" if commit_at < 10.0 else "stale"
+            assert outcomes[txn_id] == expected, (txn_id, commit_at)
+        assert db.locks.holders() == []

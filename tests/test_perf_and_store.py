@@ -28,8 +28,9 @@ class TestPerfRegistry:
         perf.observe("y", 1.0)
         with perf.timed("z"):
             pass
+        perf.gauge("g", 3.0)
         snap = perf.snapshot()
-        assert snap == {"counters": {}, "timers": {}}
+        assert snap == {"counters": {}, "timers": {}, "gauges": {}}
 
     def test_counters_and_timers(self):
         perf = PerfRegistry(enabled=True)
@@ -57,8 +58,9 @@ class TestPerfRegistry:
         perf = PerfRegistry(enabled=True)
         perf.count("a")
         perf.observe("b", 1.0)
+        perf.gauge("g", 2.0)
         perf.reset()
-        assert perf.snapshot() == {"counters": {}, "timers": {}}
+        assert perf.snapshot() == {"counters": {}, "timers": {}, "gauges": {}}
         assert perf.enabled  # reset clears data, not the switch
 
 

@@ -1,0 +1,546 @@
+"""Multi-tenant control-plane service: admission, isolation, degradation.
+
+Exercises the service tier end to end: typed rejections under every
+shed path, per-tenant estate isolation (byte-for-byte vs single-tenant
+baselines), weighted-fair scheduling, the degradation ladder, circuit
+breakers, lease-fenced zombie sessions, and the kill/preempt/resume
+crash cycle.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.chaos.invariants import canonical_state
+from repro.core.engine import CloudlessEngine
+from repro.service import (
+    MODE_BROWNOUT,
+    MODE_NORMAL,
+    MODE_READ_ONLY,
+    REJECT_BROWNOUT,
+    REJECT_CIRCUIT_OPEN,
+    REJECT_DEADLINE,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECT_READ_ONLY,
+    REJECT_STALE_SESSION,
+    REJECT_TENANT_QUOTA,
+    REJECT_UNKNOWN_OP,
+    STATUS_OF,
+    CircuitBreaker,
+    ControlPlaneService,
+    DegradationLadder,
+    ServicePolicy,
+    SessionFencedError,
+    TenantQuota,
+    TenantSession,
+    WeightedFairQueue,
+)
+from repro.service.core import _tenant_seed
+from repro.workloads import web_tier
+
+SRC = web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False)
+BIGGER = web_tier(web_vms=2, app_vms=1, with_lb=True, with_db=False)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(root, **overrides) -> ControlPlaneService:
+    policy = ServicePolicy(apply_pool=2, **overrides)
+    return ControlPlaneService(str(root), policy=policy)
+
+
+class TestRequestLifecycle:
+    def test_apply_then_drift_then_stats(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            apply = await svc.request("a", "apply", payload={"sources": SRC})
+            drift = await svc.request("a", "drift")
+            stats = await svc.request("a", "stats")
+            await svc.stop()
+            return apply, drift, stats
+
+        apply, drift, stats = run(main())
+        assert apply.ok and apply.body["ok"]
+        assert drift.ok and drift.body["findings"] == 0
+        assert stats.ok and stats.body["resources"] > 0
+
+    def test_unknown_op_is_typed_400(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            response = await svc.request("a", "frobnicate")
+            await svc.stop()
+            return response
+
+        response = run(main())
+        assert response.status == STATUS_OF[REJECT_UNKNOWN_OP] == 400
+        assert response.reason == REJECT_UNKNOWN_OP
+
+    def test_submit_before_start_sheds(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            return await (await svc.submit("a", "apply",
+                                           payload={"sources": SRC}))
+
+        response = run(main())
+        assert response.status == 503 and response.reason == "shutting-down"
+
+    def test_engine_error_is_typed_500(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            response = await svc.request(
+                "a", "apply", payload={"sources": "vm { nope"}
+            )
+            await svc.stop()
+            return response
+
+        response = run(main())
+        assert response.status == 500
+        assert response.reason == "internal-error"
+
+
+class TestTenantIsolation:
+    def test_estates_match_single_tenant_baselines(self, tmp_path):
+        """N tenants through one service == N private engines, byte for
+        byte; the core zero-bleed property."""
+
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            futs = []
+            for tenant, sources in (("a", SRC), ("b", BIGGER), ("c", SRC)):
+                futs.append(
+                    await svc.submit(
+                        tenant, "apply", payload={"sources": sources}
+                    )
+                )
+            responses = await asyncio.gather(*futs)
+            states = {
+                t: canonical_state(svc.sessions[t].engine)
+                for t in ("a", "b", "c")
+            }
+            await svc.stop()
+            return responses, states
+
+        responses, states = run(main())
+        assert all(r.ok for r in responses)
+        for tenant, sources in (("a", SRC), ("b", BIGGER), ("c", SRC)):
+            baseline = CloudlessEngine(seed=_tenant_seed(tenant))
+            assert baseline.apply(sources).ok
+            assert states[tenant] == canonical_state(baseline), tenant
+
+    def test_tenant_homes_are_disjoint(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            await svc.request("a", "apply", payload={"sources": SRC})
+            await svc.request("b", "apply", payload={"sources": SRC})
+            await svc.stop()
+
+        run(main())
+        assert (tmp_path / "tenants" / "a" / "world.json").exists()
+        assert (tmp_path / "tenants" / "b" / "world.json").exists()
+
+    def test_one_tenants_failure_does_not_break_another(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            bad = await svc.request(
+                "bad", "apply", payload={"sources": "vm {"}
+            )
+            good = await svc.request(
+                "good", "apply", payload={"sources": SRC}
+            )
+            await svc.stop()
+            return bad, good
+
+        bad, good = run(main())
+        assert bad.status == 500
+        assert good.ok
+
+
+class TestAdmissionSheds:
+    def test_rate_limit_sheds_429(self, tmp_path):
+        async def main():
+            svc = make_service(
+                tmp_path,
+                default_quota=TenantQuota(
+                    rate_rps=1.0, burst=2.0, max_pending=50
+                ),
+            )
+            await svc.start()
+            futs = [
+                await svc.submit("a", "stats") for _ in range(10)
+            ]
+            responses = await asyncio.gather(*futs)
+            await svc.stop()
+            return responses
+
+        responses = run(main())
+        shed = [r for r in responses if r.reason == REJECT_RATE_LIMITED]
+        assert shed and all(r.status == 429 for r in shed)
+
+    def test_tenant_quota_sheds_429(self, tmp_path):
+        async def main():
+            svc = make_service(
+                tmp_path,
+                default_quota=TenantQuota(
+                    rate_rps=1e6, burst=1e6, max_pending=2
+                ),
+            )
+            await svc.start()
+            futs = [
+                await svc.submit("a", "apply", payload={"sources": SRC})
+                for _ in range(8)
+            ]
+            responses = await asyncio.gather(*futs)
+            await svc.stop()
+            return responses
+
+        responses = run(main())
+        assert any(r.reason == REJECT_TENANT_QUOTA for r in responses)
+        assert all(r.ok or r.reason for r in responses)  # all typed
+
+    def test_queue_bound_sheds_429(self, tmp_path):
+        async def main():
+            svc = make_service(
+                tmp_path,
+                max_queue_depth=2,
+                default_quota=TenantQuota(
+                    rate_rps=1e6, burst=1e6, max_pending=100
+                ),
+            )
+            await svc.start()
+            # drift is a read op: the ladder never sheds it, so the only
+            # shed path left for the overflow is the global queue bound
+            futs = [
+                await svc.submit(f"t{i}", "drift") for i in range(12)
+            ]
+            responses = await asyncio.gather(*futs)
+            await svc.stop()
+            return responses
+
+        responses = run(main())
+        assert any(r.reason == REJECT_QUEUE_FULL for r in responses)
+
+    def test_deadline_exceeded_is_typed_504(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            # a deadline that lapses while queued behind the first apply
+            first = await svc.submit("a", "apply", payload={"sources": SRC})
+            doomed = await svc.submit(
+                "a", "apply", payload={"sources": SRC}, deadline_s=0.0
+            )
+            responses = await asyncio.gather(first, doomed)
+            await svc.stop()
+            return responses
+
+        first, doomed = run(main())
+        assert first.ok
+        assert doomed.status == STATUS_OF[REJECT_DEADLINE] == 504
+        assert doomed.reason == REJECT_DEADLINE
+
+
+class TestFairness:
+    def test_weighted_fair_queue_shares(self):
+        queue = WeightedFairQueue()
+        for i in range(30):
+            queue.push("hog", f"h{i}", weight=1.0)
+        for i in range(3):
+            queue.push("mouse", f"m{i}", weight=1.0)
+        # with equal weights and both backlogged, dispatch alternates:
+        # the mouse's 3 requests all leave within the first 6 pops
+        order = [queue.pop()[0] for _ in range(6)]
+        assert order.count("mouse") == 3
+
+    def test_weights_scale_shares(self):
+        queue = WeightedFairQueue()
+        for i in range(40):
+            queue.push("big", f"b{i}", weight=3.0)
+            queue.push("small", f"s{i}", weight=1.0)
+        first = [queue.pop()[0] for _ in range(20)]
+        # 3:1 weights -> ~3x dispatches while both stay backlogged
+        assert 12 <= first.count("big") <= 18
+
+    def test_late_joiner_does_not_monopolize(self):
+        queue = WeightedFairQueue()
+        for i in range(10):
+            queue.push("old", f"o{i}")
+        for _ in range(5):
+            queue.pop()
+        for i in range(10):
+            queue.push("new", f"n{i}")
+        window = [queue.pop()[0] for _ in range(6)]
+        assert window.count("new") <= 3  # starts at min pass, not zero
+
+    def test_noisy_neighbor_cannot_starve_steady_tenants(self, tmp_path):
+        async def main():
+            svc = make_service(
+                tmp_path,
+                default_quota=TenantQuota(
+                    rate_rps=1e6, burst=1e6, max_pending=1000
+                ),
+            )
+            await svc.start()
+            futs = []
+            # the hog floods 30 applies before the steady tenants ask
+            for i in range(30):
+                futs.append(
+                    await svc.submit(
+                        "hog", "apply", payload={"sources": SRC}
+                    )
+                )
+            for tenant in ("s1", "s2"):
+                for _ in range(3):
+                    futs.append(
+                        await svc.submit(
+                            tenant, "apply", payload={"sources": SRC}
+                        )
+                    )
+            await asyncio.gather(*futs)
+            stats = svc.stats()
+            await svc.stop()
+            return stats
+
+        stats = run(main())
+        assert stats["goodput"]["s1"] == 3
+        assert stats["goodput"]["s2"] == 3
+        # steady tenants' share was served despite the 10x backlog
+        assert stats["fairness_ratio"] < math.inf
+
+
+class TestDegradation:
+    def test_ladder_hysteresis(self):
+        ladder = DegradationLadder(
+            brownout_up=0.7, brownout_down=0.4,
+            read_only_up=0.9, read_only_down=0.6,
+        )
+        assert ladder.update(0.5) == MODE_NORMAL
+        assert ladder.update(0.75) == MODE_BROWNOUT
+        assert ladder.update(0.5) == MODE_BROWNOUT  # above down-threshold
+        assert ladder.update(0.95) == MODE_READ_ONLY
+        assert ladder.update(0.7) == MODE_READ_ONLY  # above release
+        assert ladder.update(0.55) == MODE_BROWNOUT  # one rung at a time
+        assert ladder.update(0.3) == MODE_NORMAL
+
+    def test_ladder_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            DegradationLadder(brownout_up=0.4, brownout_down=0.7)
+
+    def test_read_only_keeps_drift_up_and_sheds_apply(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            # prime the tenant so drift has an estate to scan
+            await svc.request("a", "apply", payload={"sources": SRC})
+            svc.ladder.mode = MODE_READ_ONLY
+            svc.ladder.read_only_down = 0.0  # pin: never steps down
+            apply = await svc.request("a", "apply", payload={"sources": SRC})
+            drift = await svc.request("a", "drift")
+            await svc.stop()
+            return apply, drift
+
+        apply, drift = run(main())
+        assert apply.status == STATUS_OF[REJECT_READ_ONLY] == 503
+        assert apply.reason == REJECT_READ_ONLY
+        assert drift.ok  # the read path stays available
+
+    def test_brownout_sheds_low_priority_only(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            svc.ladder.mode = MODE_BROWNOUT
+            svc.ladder.brownout_down = 0.0  # pin
+            low = await svc.request(
+                "noisy", "apply", payload={"sources": SRC}, priority=0
+            )
+            normal = await svc.request(
+                "steady", "apply", payload={"sources": SRC}, priority=1
+            )
+            await svc.stop()
+            return low, normal
+
+        low, normal = run(main())
+        assert low.reason == REJECT_BROWNOUT and low.status == 503
+        assert normal.ok
+
+
+class TestBreakers:
+    def test_breaker_state_machine(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=10.0)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(5.0)  # cooling
+        assert breaker.allow(11.0)  # half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow(11.5)  # only one probe
+        breaker.record_failure(11.5)
+        assert breaker.state == "open"
+        assert breaker.allow(22.0)
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failing_tenant_trips_its_breaker_only(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path, breaker_threshold=2)
+            await svc.start()
+            for _ in range(2):
+                await svc.request("bad", "apply", payload={"sources": "x {"})
+            tripped = await svc.request(
+                "bad", "apply", payload={"sources": SRC}
+            )
+            bystander = await svc.request(
+                "good", "apply", payload={"sources": SRC}
+            )
+            await svc.stop()
+            return tripped, bystander
+
+        tripped, bystander = run(main())
+        assert tripped.reason == REJECT_CIRCUIT_OPEN
+        assert tripped.status == 503
+        assert bystander.ok
+
+
+class TestSessionsAndCrash:
+    def test_zombie_session_is_fenced(self, tmp_path):
+        """A preempted session's mutating ops raise; the service maps
+        them to a typed 409."""
+        session = TenantSession.open(str(tmp_path), "a", "inst-1", now=0.0)
+        usurper = TenantSession.open(
+            str(tmp_path), "a", "inst-2", now=1.0, preempt=True
+        )
+        assert usurper.grant.fencing_token > session.grant.fencing_token
+        with pytest.raises(SessionFencedError):
+            session.ensure_live(2.0)
+        usurper.close(3.0)
+
+    def test_zombie_apply_maps_to_409(self, tmp_path):
+        async def main():
+            svc = ControlPlaneService(
+                str(tmp_path), instance="old",
+                policy=ServicePolicy(apply_pool=1),
+            )
+            await svc.start()
+            await svc.request("a", "apply", payload={"sources": SRC})
+            # another instance preempts tenant a's session lease
+            usurper = TenantSession.open(
+                str(tmp_path), "a", "new", now=svc.clock(), preempt=True,
+            )
+            response = await svc.request(
+                "a", "apply", payload={"sources": SRC}
+            )
+            usurper.close(svc.clock())
+            await svc.stop()
+            return response
+
+        response = run(main())
+        assert response.status == STATUS_OF[REJECT_STALE_SESSION] == 409
+        assert response.reason == REJECT_STALE_SESSION
+
+    def test_kill_restart_resume_converges(self, tmp_path):
+        from repro.deploy import SimulatedCrash
+
+        class Kill:
+            def __init__(self):
+                self.seen = 0
+
+            def __call__(self, *a):
+                self.seen += 1
+                if self.seen >= 2:
+                    raise SimulatedCrash("die")
+
+        async def main():
+            svc = ControlPlaneService(
+                str(tmp_path), instance="A",
+                policy=ServicePolicy(apply_pool=2),
+            )
+            await svc.start()
+            crashed = await svc.request(
+                "a", "apply",
+                payload={"sources": BIGGER, "crash_hook": Kill()},
+            )
+            survivor = await svc.request(
+                "b", "apply", payload={"sources": SRC}
+            )
+            await svc.kill()
+
+            succ = ControlPlaneService(
+                str(tmp_path), instance="B",
+                policy=ServicePolicy(apply_pool=2),
+            )
+            await succ.start()
+            resumed = await succ.request(
+                "a", "resume", payload={"sources": BIGGER}
+            )
+            final_a = await succ.request(
+                "a", "apply", payload={"sources": BIGGER}
+            )
+            final_b = await succ.request(
+                "b", "apply", payload={"sources": SRC}
+            )
+            states = {
+                "a": canonical_state(succ.sessions["a"].engine),
+                "b": canonical_state(succ.sessions["b"].engine),
+            }
+            await succ.stop()
+            return crashed, survivor, resumed, final_a, final_b, states
+
+        crashed, survivor, resumed, final_a, final_b, states = run(main())
+        assert crashed.status == 500 and crashed.reason == "crashed"
+        assert survivor.ok
+        assert resumed.ok
+        # the continued applies are pure noops: nothing was duplicated
+        assert final_a.body["summary"]["create"] == 0
+        assert final_b.body["summary"]["create"] == 0
+        for tenant, sources in (("a", BIGGER), ("b", SRC)):
+            baseline = CloudlessEngine(seed=_tenant_seed(tenant))
+            assert baseline.apply(sources).ok
+            assert states[tenant] == canonical_state(baseline), tenant
+
+    def test_kill_answers_queued_requests_typed(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            futs = [
+                await svc.submit(f"t{i}", "apply", payload={"sources": SRC})
+                for i in range(6)
+            ]
+            await svc.kill()
+            return await asyncio.gather(*futs)
+
+        responses = run(main())
+        # every future resolved: executed, crashed out, or typed-shed
+        assert all(r.ok or r.reason for r in responses)
+        assert any(r.reason == "shutting-down" for r in responses)
+
+    def test_graceful_stop_releases_owner_markers(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            await svc.request("a", "apply", payload={"sources": SRC})
+            await svc.stop()
+
+        run(main())
+        assert not (
+            tmp_path / "tenants" / "a" / "state.json.owner"
+        ).exists()
+
+    def test_kill_leaves_owner_marker_debris(self, tmp_path):
+        async def main():
+            svc = make_service(tmp_path)
+            await svc.start()
+            await svc.request("a", "apply", payload={"sources": SRC})
+            await svc.kill()
+
+        run(main())
+        assert (tmp_path / "tenants" / "a" / "state.json.owner").exists()

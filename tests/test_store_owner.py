@@ -1,0 +1,92 @@
+"""JournalStateStore advisory ownership: markers, steal, stale reclaim.
+
+Two live engine instances appending to one delta journal interleave
+writes from different documents -- silent corruption. The `.owner`
+marker turns that into a loud :class:`StoreOwnedError` at open time,
+while staying advisory: dead owners are reclaimed, fenced successors
+may steal, and `owner=None` callers are untouched.
+"""
+
+import json
+import os
+import subprocess
+
+import pytest
+
+from repro.core.engine import CloudlessEngine
+from repro.state import JournalStateStore, StoreOwnedError
+from repro.workloads import web_tier
+
+
+def store_at(tmp_path, **kwargs) -> JournalStateStore:
+    return JournalStateStore(str(tmp_path / "state.json"), **kwargs)
+
+
+class TestOwnerMarker:
+    def test_claim_writes_marker(self, tmp_path):
+        store = store_at(tmp_path, owner="svc-a")
+        marker = json.loads((tmp_path / "state.json.owner").read_text())
+        assert marker["owner"] == "svc-a"
+        assert marker["pid"] == os.getpid()
+        assert store.owns()
+
+    def test_second_live_claimant_is_rejected(self, tmp_path):
+        store_at(tmp_path, owner="svc-a")
+        with pytest.raises(StoreOwnedError) as excinfo:
+            store_at(tmp_path, owner="svc-b")
+        # the error names the blocking owner so operators can act on it
+        assert "svc-a" in str(excinfo.value)
+
+    def test_release_allows_reopen(self, tmp_path):
+        first = store_at(tmp_path, owner="svc-a")
+        first.release_owner()
+        assert not first.owns()
+        assert not (tmp_path / "state.json.owner").exists()
+        second = store_at(tmp_path, owner="svc-b")
+        assert second.owns()
+
+    def test_steal_takes_over_live_marker(self, tmp_path):
+        zombie = store_at(tmp_path, owner="svc-a")
+        usurper = store_at(tmp_path, owner="svc-b", steal=True)
+        assert usurper.owns()
+        assert not zombie.owns()  # the zombie's token no longer matches
+
+    def test_zombies_release_cannot_evict_usurper(self, tmp_path):
+        zombie = store_at(tmp_path, owner="svc-a")
+        usurper = store_at(tmp_path, owner="svc-b", steal=True)
+        zombie.release_owner()  # token mismatch: must leave marker alone
+        assert (tmp_path / "state.json.owner").exists()
+        assert usurper.owns()
+
+    def test_dead_pid_marker_is_reclaimed(self, tmp_path):
+        """A marker left by a SIGKILLed process (its pid no longer
+        exists) is stale debris, not a conflict."""
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        (tmp_path / "state.json.owner").write_text(
+            json.dumps({"owner": "dead", "pid": proc.pid, "token": "x"})
+        )
+        store = store_at(tmp_path, owner="svc-b")  # no steal needed
+        assert store.owns()
+
+    def test_corrupt_marker_is_reclaimed(self, tmp_path):
+        (tmp_path / "state.json.owner").write_text("not json{")
+        store = store_at(tmp_path, owner="svc-b")
+        assert store.owns()
+
+    def test_owner_none_skips_the_guard(self, tmp_path):
+        store_at(tmp_path, owner="svc-a")
+        unguarded = store_at(tmp_path)  # legacy single-owner callers
+        assert not unguarded.owns()
+        unguarded.write(CloudlessEngine(seed=0).state)
+
+    def test_ownership_survives_writes_and_reads(self, tmp_path):
+        store = store_at(tmp_path, owner="svc-a", compact_threshold=2)
+        engine = CloudlessEngine(seed=0)
+        assert engine.apply(
+            web_tier(web_vms=1, app_vms=0, with_lb=False, with_db=False)
+        ).ok
+        for _ in range(4):  # crosses a compaction boundary
+            store.write(engine.state)
+        assert store.owns()
+        assert store.read() is not None
